@@ -1,0 +1,78 @@
+// DimmWitted replication ablation (paper §III-B adopts DimmWitted's NUMA
+// Hogwild): PerMachine vs PerNode vs PerCore model replication on dense
+// and sparse data — conflicts, modeled epoch time, statistical cost, and
+// the memory price of the replicas.
+//
+//   ./bench_ablation_replication [--scale=200] [--epochs=12]
+#include <iostream>
+
+#include "asyncsim/replication.hpp"
+#include "bench_common.hpp"
+#include "common/format.hpp"
+#include "data/generator.hpp"
+#include "models/linear.hpp"
+#include "sgd/timing.hpp"
+
+using namespace parsgd;
+using namespace parsgd::benchutil;
+
+int main(int argc, char** argv) {
+  const Cli cli(argc, argv);
+  const double scale = cli.get_double("scale", 200.0);
+  const auto epochs = static_cast<std::size_t>(cli.get_int("epochs", 12));
+
+  std::printf("=== ablation: DimmWitted model-replication strategies ===\n");
+  std::printf("(Hogwild LR, 56 workers over 2 sockets, modeled for the "
+              "paper's machine)\n\n");
+
+  TableWriter table({"dataset", "strategy", "replica bytes",
+                     "conflicts/epoch", "tpi (ms)",
+                     "loss after fixed epochs"});
+
+  for (const std::string name : {"covtype", "real-sim"}) {
+    GeneratorOptions gen;
+    gen.scale = scale;
+    gen.seed = 42;
+    const Dataset ds = generate_dataset(name, gen);
+    TrainData data;
+    data.sparse = &ds.x;
+    data.dense = ds.x_dense ? &*ds.x_dense : nullptr;
+    data.y = ds.y;
+    LogisticRegression lr(ds.d());
+    const ScaleContext ctx = make_scale_context(ds, lr, ds.profile.dense);
+    const auto w0 = lr.init_params(11);
+
+    for (const Replication strategy :
+         {Replication::kPerMachine, Replication::kPerNode,
+          Replication::kPerCore}) {
+      ReplicationOptions opts;
+      opts.strategy = strategy;
+      opts.workers = 56;
+      opts.sockets = 2;
+      opts.prefer_dense = ds.profile.dense;
+      ReplicatedHogwild hog(lr, data, opts);
+      auto w = w0;
+      Rng rng(7);
+      CostBreakdown cost;
+      for (std::size_t e = 0; e < epochs; ++e) {
+        cost = hog.run_epoch(w, real_t(0.05), rng);
+      }
+      const double secs = cpu_epoch_seconds(paper_cpu(), cost, ctx, 56,
+                                            /*vectorized=*/false);
+      table.add_row({
+          name, to_string(strategy),
+          std::to_string(hog.replica_bytes()),
+          format_count(static_cast<std::uint64_t>(cost.write_conflicts)),
+          fmt_msec(secs),
+          fmt_sig3(lr.dataset_loss(data, w, ds.profile.dense)),
+      });
+    }
+    table.add_rule();
+  }
+  table.print(std::cout);
+  std::cout << "\nexpected shape (DimmWitted's trade): PerNode cuts the\n"
+               "dense-data conflict bill roughly in half for a small\n"
+               "statistical cost; PerCore eliminates conflicts entirely\n"
+               "but pays the most statistically (model averaging).\n";
+  return 0;
+}

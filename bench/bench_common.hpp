@@ -1,0 +1,60 @@
+// Shared plumbing for the table/figure reproduction binaries: CLI-driven
+// StudyOptions and small formatting helpers.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/cli.hpp"
+#include "common/log.hpp"
+#include "core/report.hpp"
+#include "core/study.hpp"
+
+namespace parsgd::benchutil {
+
+inline const std::vector<std::string>& all_datasets() {
+  static const std::vector<std::string> names = {"covtype", "w8a", "real-sim",
+                                                 "rcv1", "news"};
+  return names;
+}
+
+/// Builds StudyOptions from CLI flags:
+///   --scale=N     dataset downscale factor (default 200)
+///   --quick       tiny smoke configuration
+///   --verbose     progress logging
+inline StudyOptions study_options_from_cli(const Cli& cli) {
+  StudyOptions opts;
+  opts.scale = cli.get_double("scale", 200.0);
+  if (cli.get_bool("quick", false)) {
+    opts.scale = std::max(opts.scale, 400.0);
+    opts.probe_epochs = 5;
+    opts.full_epochs_linear = 40;
+    opts.full_epochs_mlp = 15;
+    opts.keep_candidates = 2;
+  }
+  if (cli.get_bool("verbose", false)) {
+    set_log_level(LogLevel::kInfo);
+  }
+  return opts;
+}
+
+/// "12.3 (paper 15.0)" cells.
+inline std::string vs_paper(double ours, double paper) {
+  return fmt_sec(ours) + " | " + fmt_sec(paper);
+}
+
+inline std::string epochs_str(const ConvergencePoint& p) {
+  return p.reached ? std::to_string(p.epochs) : "inf";
+}
+
+inline void print_banner(const char* title, const StudyOptions& opts) {
+  std::printf("=== %s ===\n", title);
+  std::printf("datasets scaled 1/%.0f in N; times are modeled for the "
+              "paper's hardware (Fig. 5) at paper-scale N.\n"
+              "cells show: ours | paper. 'inf' = no convergence "
+              "(paper's \"∞\").\n\n",
+              opts.scale);
+}
+
+}  // namespace parsgd::benchutil

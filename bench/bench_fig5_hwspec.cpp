@@ -1,0 +1,60 @@
+// Reproduces Fig. 5: the hardware specification table of the two modeled
+// architectures (dual-socket Xeon E5-2660 v4 and Tesla K80/GK210), plus
+// the derived model constants the timing models use.
+#include <iostream>
+
+#include "common/format.hpp"
+#include "core/report.hpp"
+#include "hwmodel/cpu_model.hpp"
+#include "hwmodel/spec.hpp"
+
+using namespace parsgd;
+
+int main() {
+  const CpuSpec& cpu = paper_cpu();
+  const GpuSpec& gpu = paper_gpu();
+
+  std::cout << "=== Fig. 5: hardware specification ===\n\n";
+  TableWriter table({"", "NUMA CPU", "GPU"});
+  table.add_row({"device", cpu.name, gpu.name});
+  table.add_row({"CPU/MP", std::to_string(cpu.sockets),
+                 std::to_string(gpu.sms)});
+  table.add_row({"cores", std::to_string(cpu.cores_per_socket) + " per CPU",
+                 std::to_string(gpu.cores_per_sm) + " per MP"});
+  table.add_row({"blocks", "-",
+                 std::to_string(gpu.max_blocks_per_sm) + " per MP"});
+  table.add_row({"threads",
+                 std::to_string(cpu.cores_per_socket *
+                                cpu.threads_per_core) + " per CPU",
+                 std::to_string(gpu.max_threads_per_sm) + " per MP"});
+  table.add_row({"L1 cache", "32+32 KB", "48 KB"});
+  table.add_row({"L2 cache",
+                 format_bytes(static_cast<double>(cpu.l2_per_core)),
+                 format_bytes(static_cast<double>(gpu.l2_bytes))});
+  table.add_row({"L3 / shared",
+                 format_bytes(static_cast<double>(cpu.l3_per_socket)),
+                 format_bytes(static_cast<double>(gpu.shared_per_sm))});
+  table.add_row({"RAM / global",
+                 format_bytes(static_cast<double>(cpu.dram_bytes)),
+                 format_bytes(static_cast<double>(gpu.global_bytes))});
+  table.add_row({"clock", fmt_sig3(cpu.clock_ghz) + " GHz",
+                 fmt_sig3(gpu.clock_ghz) + " GHz"});
+  table.print(std::cout);
+
+  const CpuModel model(cpu);
+  std::cout << "\nderived model constants:\n";
+  std::cout << "  cpu effective cores @56 threads : "
+            << fmt_sig3(model.effective_cores(56)) << "\n";
+  std::cout << "  cpu fork/join per primitive @56 : "
+            << format_seconds(model.fork_join_seconds(56)) << "\n";
+  std::cout << "  gpu bandwidth                   : "
+            << fmt_sig3(gpu.global_bw_gbs) << " GB/s ("
+            << fmt_sig3(gpu.global_bw_gbs / gpu.sms /
+                        gpu.clock_ghz)
+            << " B/cycle/SM)\n";
+  std::cout << "  gpu kernel-launch overhead      : "
+            << format_seconds(gpu.cycles_kernel_launch /
+                              (gpu.clock_ghz * 1e9))
+            << "\n";
+  return 0;
+}

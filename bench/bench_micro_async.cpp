@@ -1,0 +1,68 @@
+// Micro-benchmarks of the asynchrony simulator: epoch throughput and
+// conflict-counting overhead as worker count and sparsity vary, with the
+// measured conflict counts exported as counters (the inputs to the
+// coherency model).
+#include <benchmark/benchmark.h>
+
+#include "asyncsim/async_sim.hpp"
+#include "common/rng.hpp"
+#include "data/generator.hpp"
+#include "models/linear.hpp"
+
+namespace parsgd {
+namespace {
+
+struct Bench {
+  Dataset ds;
+  TrainData data;
+  LogisticRegression lr;
+
+  explicit Bench(const char* name)
+      : ds(generate_dataset(name,
+                            GeneratorOptions{.seed = 3, .scale = 200.0})),
+        lr(ds.d()) {
+    data.sparse = &ds.x;
+    data.dense = ds.x_dense ? &*ds.x_dense : nullptr;
+    data.y = ds.y;
+  }
+};
+
+void run_async(benchmark::State& state, const char* dataset, int workers) {
+  Bench b(dataset);
+  AsyncSimOptions opts;
+  opts.workers = workers;
+  AsyncSim sim(b.lr, b.data, opts);
+  auto w = b.lr.init_params(1);
+  Rng rng(7);
+  double conflicts = 0, epochs = 0;
+  for (auto _ : state) {
+    const CostBreakdown c = sim.run_epoch(w, real_t(0.01), rng);
+    conflicts += c.write_conflicts;
+    epochs += 1;
+    benchmark::DoNotOptimize(w.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(b.ds.n()));
+  state.counters["conflicts_per_epoch"] =
+      benchmark::Counter(epochs > 0 ? conflicts / epochs : 0);
+}
+
+void BM_HogwildDense(benchmark::State& state) {
+  run_async(state, "covtype", static_cast<int>(state.range(0)));
+}
+BENCHMARK(BM_HogwildDense)->Arg(1)->Arg(8)->Arg(56);
+
+void BM_HogwildSparse(benchmark::State& state) {
+  run_async(state, "real-sim", static_cast<int>(state.range(0)));
+}
+BENCHMARK(BM_HogwildSparse)->Arg(1)->Arg(8)->Arg(56);
+
+void BM_HogwildHighDim(benchmark::State& state) {
+  run_async(state, "news", static_cast<int>(state.range(0)));
+}
+BENCHMARK(BM_HogwildHighDim)->Arg(1)->Arg(56);
+
+}  // namespace
+}  // namespace parsgd
+
+BENCHMARK_MAIN();

@@ -1,0 +1,71 @@
+// Micro-benchmarks of the SIMT simulator itself: simulation throughput
+// (host-side cost per simulated element) and the modeled cycle counts of
+// the kernel library, exported as counters.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "gpusim/kernels.hpp"
+
+namespace parsgd::gpusim {
+namespace {
+
+void BM_SimReduce(benchmark::State& state) {
+  Device dev(paper_gpu());
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::vector<real_t> host(n, 1.0f);
+  DeviceBuffer<real_t> data(dev, host);
+  KernelStats stats;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(reduce_sum(dev, data, &stats));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(n));
+  state.counters["modeled_cycles"] = benchmark::Counter(stats.sm_cycles);
+}
+BENCHMARK(BM_SimReduce)->Arg(1 << 12)->Arg(1 << 16);
+
+void BM_SimHistogram(benchmark::State& state) {
+  Device dev(paper_gpu());
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(1);
+  std::vector<std::uint32_t> host(n);
+  for (auto& v : host) v = static_cast<std::uint32_t>(rng.uniform_index(64));
+  DeviceBuffer<std::uint32_t> values(dev, host);
+  KernelStats stats;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(histogram(dev, values, 64, &stats));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(n));
+  state.counters["modeled_cycles"] = benchmark::Counter(stats.sm_cycles);
+  state.counters["atomic_conflicts"] =
+      benchmark::Counter(stats.atomic_conflicts);
+}
+BENCHMARK(BM_SimHistogram)->Arg(1 << 12)->Arg(1 << 15);
+
+void BM_SimTranspose(benchmark::State& state) {
+  Device dev(paper_gpu());
+  const auto edge = static_cast<std::size_t>(state.range(0));
+  Rng rng(2);
+  DenseMatrix in(edge, edge);
+  for (auto& v : in.data()) v = static_cast<real_t>(rng.normal());
+  KernelStats stats;
+  const bool padded = state.range(1) != 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(transpose(dev, in, padded, &stats));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(edge * edge));
+  state.counters["modeled_cycles"] = benchmark::Counter(stats.sm_cycles);
+  state.counters["bank_replays"] =
+      benchmark::Counter(stats.bank_conflict_replays);
+}
+BENCHMARK(BM_SimTranspose)
+    ->Args({128, 1})
+    ->Args({128, 0})
+    ->Args({256, 1});
+
+}  // namespace
+}  // namespace parsgd::gpusim
+
+BENCHMARK_MAIN();

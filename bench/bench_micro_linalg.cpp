@@ -1,0 +1,135 @@
+// Micro-benchmarks (google-benchmark) of the linalg primitives on both
+// backends: host wall time of the functional path plus the modeled device
+// cost as counters. Useful for catching regressions in the simulator's
+// overhead and for profiling the reproduction itself.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "gpusim/device.hpp"
+#include "linalg/cpu_backend.hpp"
+#include "linalg/gpu_backend.hpp"
+
+namespace parsgd::linalg {
+namespace {
+
+DenseMatrix random_dense(std::size_t r, std::size_t c, Rng& rng) {
+  DenseMatrix m(r, c);
+  for (auto& v : m.data()) v = static_cast<real_t>(rng.normal());
+  return m;
+}
+
+CsrMatrix random_csr(std::size_t r, std::size_t c, double density, Rng& rng) {
+  CsrMatrix::Builder b(c);
+  std::vector<index_t> idx;
+  std::vector<real_t> val;
+  for (std::size_t i = 0; i < r; ++i) {
+    idx.clear();
+    val.clear();
+    for (index_t j = 0; j < c; ++j) {
+      if (rng.bernoulli(density)) {
+        idx.push_back(j);
+        val.push_back(static_cast<real_t>(rng.normal()));
+      }
+    }
+    b.add_row(idx, val);
+  }
+  return std::move(b).build();
+}
+
+void BM_CpuGemv(benchmark::State& state) {
+  Rng rng(1);
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const DenseMatrix a = random_dense(n, 256, rng);
+  std::vector<real_t> x(256, 1), y(n);
+  CpuBackend be;
+  CostBreakdown cost;
+  be.set_sink(&cost);
+  for (auto _ : state) {
+    be.gemv(a, x, y, false);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n) *
+                          256);
+}
+BENCHMARK(BM_CpuGemv)->Arg(256)->Arg(2048);
+
+void BM_CpuSpmv(benchmark::State& state) {
+  Rng rng(2);
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const CsrMatrix a = random_csr(n, 4096, 0.02, rng);
+  std::vector<real_t> x(4096, 1), y(n);
+  CpuBackend be;
+  CostBreakdown cost;
+  be.set_sink(&cost);
+  for (auto _ : state) {
+    be.spmv(a, x, y, false);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(a.nnz()));
+}
+BENCHMARK(BM_CpuSpmv)->Arg(512)->Arg(4096);
+
+void BM_CpuGemm(benchmark::State& state) {
+  Rng rng(3);
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const DenseMatrix a = random_dense(n, 64, rng);
+  const DenseMatrix b = random_dense(64, 32, rng);
+  DenseMatrix c(n, 32);
+  CpuBackend be;
+  CostBreakdown cost;
+  be.set_sink(&cost);
+  for (auto _ : state) {
+    be.gemm(a, b, c, false, false);
+    benchmark::DoNotOptimize(c.data().data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n) *
+                          64 * 32 * 2);
+}
+BENCHMARK(BM_CpuGemm)->Arg(128)->Arg(1024);
+
+// GPU-simulated SpMV: measures simulator overhead per nonzero and reports
+// the modeled kernel cycles as a counter.
+void BM_GpuSimSpmv(benchmark::State& state) {
+  Rng rng(4);
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const CsrMatrix a = random_csr(n, 4096, 0.02, rng);
+  std::vector<real_t> x(4096, 1), y(n);
+  gpusim::Device dev(paper_gpu());
+  GpuBackend be(dev);
+  CostBreakdown cost;
+  be.set_sink(&cost);
+  for (auto _ : state) {
+    be.spmv(a, x, y, false);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(a.nnz()));
+  state.counters["modeled_cycles_per_call"] = benchmark::Counter(
+      cost.gpu_cycles / static_cast<double>(state.iterations()));
+}
+BENCHMARK(BM_GpuSimSpmv)->Arg(512)->Arg(2048);
+
+void BM_GpuSimGemmAnalytic(benchmark::State& state) {
+  Rng rng(5);
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const DenseMatrix a = random_dense(n, 64, rng);
+  const DenseMatrix b = random_dense(64, 32, rng);
+  DenseMatrix c(n, 32);
+  gpusim::Device dev(paper_gpu());
+  GpuBackend be(dev);
+  CostBreakdown cost;
+  be.set_sink(&cost);
+  for (auto _ : state) {
+    be.gemm(a, b, c, false, false);
+    benchmark::DoNotOptimize(c.data().data());
+  }
+  state.counters["modeled_cycles_per_call"] = benchmark::Counter(
+      cost.gpu_cycles / static_cast<double>(state.iterations()));
+}
+BENCHMARK(BM_GpuSimGemmAnalytic)->Arg(512);
+
+}  // namespace
+}  // namespace parsgd::linalg
+
+BENCHMARK_MAIN();

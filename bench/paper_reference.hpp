@@ -1,0 +1,96 @@
+// Published numbers from the paper's Tables II and III (IPDPS'19), embedded
+// so every bench prints ours-vs-paper side by side. Times in seconds (ttc)
+// and milliseconds (tpi). A negative value encodes the paper's "∞" (no
+// convergence within the time budget).
+#pragma once
+
+#include <cmath>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace parsgd::paperref {
+
+inline constexpr double kInf = std::numeric_limits<double>::infinity();
+
+struct SyncRow {
+  const char* task;
+  const char* dataset;
+  double ttc_gpu, ttc_seq, ttc_par;     // seconds
+  double tpi_gpu, tpi_seq, tpi_par;     // milliseconds
+  double epochs;                        // shared across architectures
+  double speedup_seq_par;               // cpu-seq / cpu-par (tpi ratio)
+  double speedup_par_gpu;               // cpu-par / gpu (tpi ratio)
+};
+
+/// Table II: synchronous SGD to 1% convergence error.
+inline const std::vector<SyncRow>& table2() {
+  static const std::vector<SyncRow> rows = {
+      {"LR", "covtype", 1.05, 145.11, 1.29, 15, 2073, 18.42, 70, 112.54, 1.23},
+      {"LR", "w8a", 0.37, 148.88, 0.46, 4.87, 1959, 6.05, 76, 323.80, 1.24},
+      {"LR", "real-sim", 3.10, 1537.90, 7.67, 4.43, 2197, 10.96, 700, 200.46, 2.47},
+      {"LR", "rcv1", 31.69, 2227.05, 48.06, 44.82, 3150, 67.98, 707, 46.34, 1.52},
+      {"LR", "news", 0.65, 240.21, 3.68, 6.37, 2355, 36.08, 102, 65.27, 5.66},
+      {"SVM", "covtype", 10.22, 1344.65, 13.50, 14.27, 1878, 18.85, 716, 99.63, 1.32},
+      {"SVM", "w8a", 0.78, 342.85, 0.80, 4.13, 1814, 4.23, 189, 428.84, 1.02},
+      {"SVM", "real-sim", 0.23, 75.59, 0.46, 6.22, 2043, 12.43, 37, 164.36, 2.00},
+      {"SVM", "rcv1", 1.13, 111.61, 2.61, 29.74, 2937, 68.69, 38, 42.76, 2.31},
+      {"SVM", "news", 0.30, 98.42, 1.69, 6.67, 2187, 37.56, 45, 58.23, 5.63},
+      {"MLP", "covtype", 1498, 19398, 10009, 919, 11908, 6145, 1629, 1.94, 6.68},
+      {"MLP", "w8a", 83.57, 909, 388, 107, 1161, 495, 783, 2.34, 4.64},
+      {"MLP", "real-sim", 21.99, 229, 93.98, 130, 1365, 556, 168, 2.46, 4.26},
+      {"MLP", "rcv1", 48.91, 1146, 241, 1193, 16960, 5880, 41, 2.89, 4.93},
+      {"MLP", "news", 4.03, 35.04, 16.08, 40.23, 357, 164, 98, 2.17, 4.08},
+  };
+  return rows;
+}
+
+struct AsyncRow {
+  const char* task;
+  const char* dataset;
+  double ttc_gpu, ttc_seq, ttc_par;       // seconds; kInf = ∞
+  double tpi_gpu, tpi_seq, tpi_par;       // milliseconds
+  double ep_gpu, ep_seq, ep_par;          // epochs; kInf = ∞
+  double speedup_seq_par;                 // tpi cpu-seq / cpu-par
+  double ratio_gpu_par;                   // tpi gpu / cpu-par
+};
+
+/// Table III: asynchronous SGD to 1% convergence error.
+inline const std::vector<AsyncRow>& table3() {
+  static const std::vector<AsyncRow> rows = {
+      {"LR", "covtype", 1.97, 0.60, 1.51, 15, 150, 251, 135, 4, 6, 0.60, 0.06},
+      {"LR", "w8a", 0.22, 0.27, 0.18, 2.8, 15, 5.9, 80, 18, 27, 2.54, 0.47},
+      {"LR", "real-sim", 2.48, 1.35, 0.52, 27, 25, 8.1, 92, 54, 61, 3.09, 3.33},
+      {"LR", "rcv1", 18.29, 20.37, 4.64, 226, 345, 71, 81, 59, 65, 4.86, 3.18},
+      {"LR", "news", kInf, 5.47, kInf, 65, 53, 8.7, kInf, 103, kInf, 6.09, 7.47},
+      {"SVM", "covtype", 0.96, 0.16, 0.35, 15, 53, 77, 63, 3, 4, 0.69, 0.19},
+      {"SVM", "w8a", kInf, 0.54, 1.89, 2.6, 2.2, 5.6, kInf, 239, 333, 0.39, 1.18},
+      {"SVM", "real-sim", 3.46, 1.82, 1.28, 14, 11, 7.6, 247, 164, 166, 1.45, 1.84},
+      {"SVM", "rcv1", 10.25, 22.71, 7.57, 94, 216, 68, 109, 105, 111, 3.18, 1.38},
+      {"SVM", "news", kInf, 20.01, 1.79, 50, 47, 8.4, kInf, 425, 211, 5.60, 5.95},
+      {"MLP", "covtype", 2106, 6365, 288, 6056, 19058, 814, 344, 334, 354, 23.42, 7.44},
+      {"MLP", "w8a", 495, 1284, 986, 635, 1668, 92.61, 776, 770, 10635, 18.01, 6.85},
+      {"MLP", "real-sim", 140, 317, 11.14, 715, 1925, 107, 196, 165, 108, 18.04, 6.70},
+      {"MLP", "rcv1", 352, 724, 34.47, 8326, 17234, 858, 42, 42, 40, 20.08, 9.70},
+      {"MLP", "news", 18.25, 47.35, 1.12, 234, 512, 34.04, 78, 91, 32, 15.06, 6.87},
+  };
+  return rows;
+}
+
+inline const SyncRow* find_sync(const std::string& task,
+                                const std::string& dataset) {
+  for (const auto& r : table2()) {
+    if (task == r.task && dataset == r.dataset) return &r;
+  }
+  return nullptr;
+}
+
+inline const AsyncRow* find_async(const std::string& task,
+                                  const std::string& dataset) {
+  for (const auto& r : table3()) {
+    if (task == r.task && dataset == r.dataset) return &r;
+  }
+  return nullptr;
+}
+
+}  // namespace parsgd::paperref

@@ -1,0 +1,57 @@
+// Runs a small slice of the study and exports the results as CSV and
+// JSON — the machine-readable path for downstream analysis pipelines.
+//
+//   ./export_results [--task=LR] [--dataset=w8a] [--csv=out.csv]
+//                    [--json=out.json]
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+
+#include "common/cli.hpp"
+#include "core/export.hpp"
+#include "core/study.hpp"
+
+using namespace parsgd;
+
+int main(int argc, char** argv) {
+  const Cli cli(argc, argv);
+  const std::string dataset = cli.get("dataset", "w8a");
+  const std::string task_name = cli.get("task", "LR");
+  const Task task = task_name == "SVM"   ? Task::kSvm
+                    : task_name == "MLP" ? Task::kMlp
+                                         : Task::kLr;
+
+  StudyOptions opts;
+  opts.scale = cli.get_double("scale", 300.0);
+  opts.probe_epochs = 10;
+  opts.full_epochs_linear = 120;
+  opts.full_epochs_linear_sync = 250;
+  opts.full_epochs_mlp = 80;
+  opts.full_epochs_mlp_sync = 80;
+  Study study(opts);
+
+  std::vector<ExportRow> rows;
+  for (const Update update : {Update::kSync, Update::kAsync}) {
+    for (const Arch arch : {Arch::kCpuSeq, Arch::kCpuPar, Arch::kGpu}) {
+      const ConfigResult r = study.config_result(task, dataset, update, arch);
+      rows.push_back(ExportRow::from(task, dataset, update, arch, r));
+    }
+  }
+
+  const std::string csv_path = cli.get("csv", "");
+  const std::string json_path = cli.get("json", "");
+  if (!csv_path.empty()) {
+    std::ofstream os(csv_path);
+    write_csv(os, rows);
+    std::printf("wrote %s\n", csv_path.c_str());
+  }
+  if (!json_path.empty()) {
+    std::ofstream os(json_path);
+    write_json(os, rows);
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+  if (csv_path.empty() && json_path.empty()) {
+    write_csv(std::cout, rows);
+  }
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Hogwild thread-scaling curves — the study's asynchronous axis explored
+// interactively: sweep the logical thread count on one dataset and print
+// modeled time/epoch, conflicts, and the loss reached after a fixed epoch
+// budget. Shows where parallelism stops paying (dense data: almost
+// immediately; sparse data: near the physical core count).
+//
+//   ./hogwild_scaling [--dataset=real-sim] [--epochs=15] [--alpha=0.1]
+#include <cstdio>
+
+#include "common/cli.hpp"
+#include "common/format.hpp"
+#include "data/generator.hpp"
+#include "models/linear.hpp"
+#include "sgd/async_engine.hpp"
+
+using namespace parsgd;
+
+int main(int argc, char** argv) {
+  const Cli cli(argc, argv);
+  const std::string name = cli.get("dataset", "real-sim");
+  const auto epochs = static_cast<std::size_t>(cli.get_int("epochs", 15));
+  const double alpha = cli.get_double("alpha", 0.1);
+
+  GeneratorOptions gen;
+  gen.scale = 150.0;
+  const Dataset ds = generate_dataset(name, gen);
+  LogisticRegression lr(ds.d());
+  TrainData data;
+  data.sparse = &ds.x;
+  data.dense = ds.x_dense ? &*ds.x_dense : nullptr;
+  data.y = ds.y;
+  const ScaleContext ctx = make_scale_context(ds, lr, ds.profile.dense);
+  const auto w0 = lr.init_params(21);
+
+  std::printf("Hogwild scaling on %s (LR, alpha=%g, %zu epochs)\n\n",
+              name.c_str(), alpha, epochs);
+  std::printf("%-8s %-16s %-18s %-14s %-10s\n", "threads", "time/epoch",
+              "conflicts/epoch", "final loss", "speedup");
+
+  double seq_time = 0;
+  for (const int threads : {1, 2, 4, 8, 14, 28, 56}) {
+    AsyncCpuOptions opts;
+    opts.arch = threads == 1 ? Arch::kCpuSeq : Arch::kCpuPar;
+    opts.threads = threads;
+    opts.prefer_dense = ds.profile.dense;
+    AsyncCpuEngine engine(lr, data, ctx, opts);
+    TrainOptions t;
+    t.max_epochs = epochs;
+    t.prefer_dense = ds.profile.dense;
+    const RunResult r = run_training(engine, lr, data, w0,
+                                     static_cast<real_t>(alpha), t);
+    const double per_epoch = r.seconds_per_epoch();
+    if (threads == 1) seq_time = per_epoch;
+    std::printf("%-8d %-16s %-18s %-14.4f %.2fx\n", threads,
+                format_seconds(per_epoch).c_str(),
+                format_count(static_cast<std::uint64_t>(
+                    engine.last_cost().write_conflicts)).c_str(),
+                r.losses.back(), seq_time / per_epoch);
+  }
+  std::printf("\n(paper Table III: parallel Hogwild peaks ~6x on sparse "
+              "data and can fall below 1x on dense low-dimensional "
+              "models)\n");
+  return 0;
+}

@@ -1,0 +1,135 @@
+// parsgd_cli — run any single configuration of the study cube from the
+// command line and print its three performance measures. The low-level
+// sibling of architecture_advisor: full control, no step-size search
+// (you provide alpha, like a practitioner would).
+//
+//   ./parsgd_cli --task=LR --dataset=rcv1 --update=async --arch=cpu-par
+//                --alpha=0.1 --epochs=60 [--threads=56] [--scale=200]
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "common/cli.hpp"
+#include "common/format.hpp"
+#include "data/generator.hpp"
+#include "data/mlp_view.hpp"
+#include "models/linear.hpp"
+#include "models/mlp.hpp"
+#include "sgd/async_engine.hpp"
+#include "sgd/convergence.hpp"
+#include "sgd/sync_engine.hpp"
+
+using namespace parsgd;
+
+namespace {
+
+[[noreturn]] void usage(const char* msg) {
+  std::fprintf(stderr,
+               "error: %s\n"
+               "usage: parsgd_cli --task=LR|SVM|MLP --dataset=<name>\n"
+               "       --update=sync|async --arch=cpu-seq|cpu-par|gpu\n"
+               "       [--alpha=0.1] [--epochs=60] [--threads=56]\n"
+               "       [--scale=200] [--seed=42]\n",
+               msg);
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Cli cli(argc, argv);
+  const std::string task = cli.get("task", "LR");
+  const std::string dataset = cli.get("dataset", "covtype");
+  const std::string update = cli.get("update", "async");
+  const std::string arch_name = cli.get("arch", "cpu-par");
+  const double alpha = cli.get_double("alpha", 0.1);
+  const auto epochs = static_cast<std::size_t>(cli.get_int("epochs", 60));
+  const int threads = static_cast<int>(cli.get_int("threads", 56));
+
+  Arch arch;
+  if (arch_name == "cpu-seq") arch = Arch::kCpuSeq;
+  else if (arch_name == "cpu-par") arch = Arch::kCpuPar;
+  else if (arch_name == "gpu") arch = Arch::kGpu;
+  else usage("unknown --arch");
+  if (update != "sync" && update != "async") usage("unknown --update");
+  if (task != "LR" && task != "SVM" && task != "MLP") {
+    usage("unknown --task");
+  }
+
+  // Data + model.
+  GeneratorOptions gen;
+  gen.scale = cli.get_double("scale", 200.0);
+  gen.seed = static_cast<std::uint64_t>(cli.get_int("seed", 42));
+  Dataset base = generate_dataset(dataset, gen);
+  Dataset ds = task == "MLP" ? make_mlp_dataset(base) : std::move(base);
+  TrainData data;
+  data.sparse = &ds.x;
+  data.dense = ds.x_dense ? &*ds.x_dense : nullptr;
+  data.y = ds.y;
+  const bool dense = task == "MLP" ? ds.x_dense.has_value()
+                                   : ds.profile.dense;
+
+  std::unique_ptr<Model> model;
+  if (task == "LR") model = std::make_unique<LogisticRegression>(ds.d());
+  else if (task == "SVM") model = std::make_unique<LinearSvm>(ds.d());
+  else model = std::make_unique<Mlp>(ds.profile.mlp_architecture());
+
+  const ScaleContext ctx = make_scale_context(ds, *model, dense);
+  const auto w0 = model->init_params(gen.seed ^ 0xabcdef);
+
+  // Engine.
+  std::unique_ptr<Engine> engine;
+  if (update == "sync") {
+    SyncEngineOptions o;
+    o.arch = arch;
+    o.use_dense = dense;
+    o.cpu_threads = threads;
+    if (task == "MLP") {
+      o.calibration = SyncCalibration::mlp();
+      o.minibatch = 64;
+    }
+    engine = std::make_unique<SyncEngine>(*model, data, ctx, o);
+  } else if (arch == Arch::kGpu) {
+    AsyncGpuOptions o;
+    if (task == "MLP") {
+      o.batch = 64;
+      o.dispatch_us = 10.5;
+      o.prefer_dense = dense;
+    }
+    engine = std::make_unique<AsyncGpuEngine>(*model, data, ctx, o);
+  } else {
+    AsyncCpuOptions o;
+    o.arch = arch;
+    o.threads = threads;
+    o.prefer_dense = dense;
+    if (task == "MLP") {
+      o.batch = 64;
+      o.window_units = 1;
+      o.dispatch_us_seq = 21.0;
+      o.dispatch_us_par = 1.3;
+    }
+    engine = std::make_unique<AsyncCpuEngine>(*model, data, ctx, o);
+  }
+
+  std::printf("%s / %s / %s / %s  alpha=%g epochs=%zu (scale 1/%.0f)\n",
+              task.c_str(), dataset.c_str(), update.c_str(),
+              arch_name.c_str(), alpha, epochs, gen.scale);
+
+  TrainOptions t;
+  t.max_epochs = epochs;
+  t.prefer_dense = dense;
+  const RunResult run = run_training(*engine, *model, data, w0,
+                                     static_cast<real_t>(alpha), t);
+
+  const ConvergencePoint p1 = convergence_point(run, run.best_loss(), 0.01);
+  std::printf("\n  initial loss        : %.4f\n", run.initial_loss);
+  std::printf("  best loss           : %.4f%s\n", run.best_loss(),
+              run.diverged ? "  (diverged)" : "");
+  std::printf("  hardware efficiency : %s / epoch (modeled, paper N)\n",
+              format_seconds(run.seconds_per_epoch()).c_str());
+  std::printf("  statistical eff.    : %zu epochs to 1%% of own best\n",
+              p1.epochs);
+  std::printf("  time to convergence : %s\n",
+              format_seconds(p1.seconds).c_str());
+  return run.diverged ? 1 : 0;
+}

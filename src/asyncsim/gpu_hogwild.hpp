@@ -1,0 +1,95 @@
+// Asynchronous SGD on the simulated GPU.
+//
+// GpuHogwild (LR/SVM): the Hogwild kernel executes warp-synchronously —
+// 32 consecutive examples are processed in lockstep by one warp, and with
+// W warps resident device-wide, roughly W*32 examples compute their
+// gradients against the *same* model values before any update lands. We
+// simulate that as rounds: a round of `concurrency_warps * 32` examples
+// reads a frozen model, updates are summed (atomicAdd semantics: no lost
+// updates, but serialized on conflicts) and applied at round end. The
+// paper's findings emerge from the two costs this exposes:
+//  * statistical — the round is a huge effective batch, so dense
+//    low-dimensional data needs far more epochs (Table III: covtype LR
+//    gpu 135 epochs vs 4 sequential) or diverges (w8a SVM inf);
+//  * hardware — intra-warp atomic conflicts on dense models and
+//    uncoalesced gathers + lane stalls on variable-length sparse rows,
+//    measured by replaying the access pattern through the warp simulator.
+//
+// GpuHogbatch (MLP): kernels for one mini-batch run one-at-a-time on the
+// device (paper §IV-B), so execution degenerates to *sequential*
+// mini-batch SGD — statistically near cpu-seq — while paying per-batch
+// kernel-launch overhead and low-occupancy small-GEMM costs.
+#pragma once
+
+#include <optional>
+
+#include "common/rng.hpp"
+#include "gpusim/device.hpp"
+#include "hwmodel/cost.hpp"
+#include "models/model.hpp"
+
+namespace parsgd {
+
+struct GpuHogwildOptions {
+  /// Warps concurrently resident device-wide. Default: 13 SMs x 16 warps.
+  /// This is an *absolute* machine property: the stability-limiting
+  /// effective batch of warp-synchronous Hogwild is concurrency x 32
+  /// examples regardless of dataset size, so it is not scaled with N
+  /// (rounds simply span epochs on small scaled datasets).
+  int concurrency_warps = 13 * 16;
+  bool prefer_dense = false;
+  /// Warps sampled when instrumenting the per-epoch kernel cost.
+  int instrument_warps = 256;
+};
+
+class GpuHogwild {
+ public:
+  GpuHogwild(const Model& model, const TrainData& data,
+             gpusim::Device& device, const GpuHogwildOptions& opts);
+
+  /// One functional epoch (round-synchronous semantics) plus the modeled
+  /// per-epoch kernel cost (gpu_cycles filled in the breakdown).
+  CostBreakdown run_epoch(std::span<real_t> w, real_t alpha, Rng& rng);
+
+ private:
+  /// Replays the gather/update access pattern of `sample` warps through
+  /// the warp simulator and caches the extrapolated per-epoch stats.
+  void instrument(std::span<const real_t> w);
+
+  const Model& model_;
+  const TrainData& data_;
+  gpusim::Device& device_;
+  GpuHogwildOptions opts_;
+  std::optional<gpusim::KernelStats> epoch_stats_;
+  // Round state persists across epochs: a device-wide round of
+  // concurrency x 32 in-flight examples may span several scaled epochs.
+  std::vector<real_t> round_delta_;
+  std::vector<index_t> round_touched_;
+  std::size_t round_filled_ = 0;
+};
+
+struct GpuHogbatchOptions {
+  std::size_t batch = 512;
+  bool prefer_dense = false;
+};
+
+class GpuHogbatch {
+ public:
+  GpuHogbatch(const Model& model, const TrainData& data,
+              gpusim::Device& device, const GpuHogbatchOptions& opts);
+
+  CostBreakdown run_epoch(std::span<real_t> w, real_t alpha, Rng& rng);
+
+ private:
+  /// Runs one representative batch through the GPU linalg backend and
+  /// caches its cost; per-epoch cost = per-batch cost x batch count.
+  void instrument(std::span<const real_t> w);
+
+  const Model& model_;
+  const TrainData& data_;
+  gpusim::Device& device_;
+  GpuHogbatchOptions opts_;
+  std::optional<CostBreakdown> batch_cost_;
+};
+
+}  // namespace parsgd

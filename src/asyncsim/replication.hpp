@@ -1,0 +1,77 @@
+// DimmWitted-style model-replication strategies for NUMA Hogwild
+// (Zhang & Re, PVLDB'14 — the implementation the paper §III-B adopts:
+// "we adopt this implementation in our work").
+//
+// On a multi-socket machine, Hogwild's shared model can be replicated at
+// three granularities, trading hardware efficiency against statistical
+// efficiency:
+//
+//  * kPerMachine — one shared model; every write is globally visible
+//    immediately, but cross-socket coherency traffic throttles dense
+//    updates (this is the configuration the rest of parsgd simulates).
+//  * kPerNode — one replica per socket. Workers update their socket's
+//    replica (coherency confined to the socket), and replicas are
+//    averaged every `sync_interval` units. Staleness across sockets is
+//    bounded by the averaging period.
+//  * kPerCore — one replica per worker, averaged at epoch boundaries
+//    (classic model averaging, Zinkevich et al.): zero write conflicts,
+//    worst statistical efficiency.
+//
+// The simulator executes the strategies functionally (real losses) and
+// reports the conflict/traffic counters the CPU cost model converts into
+// the hardware-efficiency side of the trade.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "hwmodel/cost.hpp"
+#include "models/model.hpp"
+
+namespace parsgd {
+
+enum class Replication { kPerMachine, kPerNode, kPerCore };
+
+const char* to_string(Replication r);
+
+struct ReplicationOptions {
+  Replication strategy = Replication::kPerNode;
+  int workers = 56;
+  int sockets = 2;
+  /// Units (examples) between replica averagings for kPerNode.
+  std::size_t sync_interval = 256;
+  bool prefer_dense = false;
+};
+
+/// Hogwild with a replicated model. Only linear (sparse-update) models:
+/// replication at MLP scale is out of the paper's scope.
+class ReplicatedHogwild {
+ public:
+  ReplicatedHogwild(const Model& model, const TrainData& data,
+                    const ReplicationOptions& opts);
+
+  /// One epoch; `w` is the authoritative (averaged) model before and
+  /// after. Returns the work/conflict ledger.
+  CostBreakdown run_epoch(std::span<real_t> w, real_t alpha, Rng& rng);
+
+  /// Replicas currently materialized (1, sockets, or workers).
+  std::size_t replica_count() const { return replicas_; }
+
+  /// Extra model copies' bytes — the memory cost of the strategy.
+  std::size_t replica_bytes() const {
+    return (replicas_ - 1) * model_.dim() * sizeof(real_t);
+  }
+
+ private:
+  void average_into(std::span<real_t> w,
+                    std::vector<std::vector<real_t>>& views) const;
+
+  const Model& model_;
+  const TrainData& data_;
+  ReplicationOptions opts_;
+  std::size_t replicas_;
+};
+
+}  // namespace parsgd

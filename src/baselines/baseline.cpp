@@ -1,0 +1,45 @@
+#include "baselines/baseline.hpp"
+
+#include "sgd/sync_engine.hpp"
+
+namespace parsgd {
+
+BaselineProfile tensorflow_profile() {
+  BaselineProfile p;
+  p.name = "TensorFlow";
+  p.force_dense = true;
+  p.gemm_parallel_threshold = 0;   // Eigen-backed GEMM always parallel
+  p.gpu_sparse_cycle_penalty = 1.0;
+  p.framework_overhead = 1.25;     // graph-executor dispatch tax
+  return p;
+}
+
+BaselineProfile bidmach_profile() {
+  BaselineProfile p;
+  p.name = "BIDMach";
+  p.force_dense = false;
+  p.gemm_parallel_threshold = 0;
+  p.gpu_sparse_cycle_penalty = 2.2;  // dense-tuned sparse GPU kernels
+  p.framework_overhead = 1.10;
+  return p;
+}
+
+double baseline_epoch_seconds(const BaselineProfile& profile,
+                              const Model& model, const TrainData& data,
+                              const ScaleContext& scale, Arch arch,
+                              bool use_dense,
+                              std::span<const real_t> w_sample) {
+  SyncEngineOptions opts;
+  opts.arch = arch;
+  opts.use_dense =
+      (profile.force_dense && data.has_dense()) || use_dense;
+  opts.gemm_parallel_threshold = profile.gemm_parallel_threshold;
+  SyncEngine engine(model, data, scale, opts);
+  double secs = engine.epoch_seconds(w_sample);
+  if (arch == Arch::kGpu && !opts.use_dense) {
+    secs *= profile.gpu_sparse_cycle_penalty;
+  }
+  return secs * profile.framework_overhead;
+}
+
+}  // namespace parsgd

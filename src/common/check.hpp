@@ -1,0 +1,58 @@
+// Error-checking macros. PARSGD_CHECK throws on violated preconditions in
+// all build types; PARSGD_DCHECK compiles out in NDEBUG builds and is meant
+// for hot inner loops.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace parsgd {
+
+/// Exception thrown by PARSGD_CHECK failures. Carries file:line context.
+class CheckError : public std::runtime_error {
+ public:
+  explicit CheckError(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "CHECK failed: (" << expr << ") at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw CheckError(os.str());
+}
+
+// Stream-capture helper so PARSGD_CHECK(x, "a" << b) works.
+struct MsgStream {
+  std::ostringstream os;
+  template <typename T>
+  MsgStream& operator<<(const T& v) {
+    os << v;
+    return *this;
+  }
+  std::string str() const { return os.str(); }
+};
+
+}  // namespace detail
+}  // namespace parsgd
+
+#define PARSGD_CHECK(expr, ...)                                     \
+  do {                                                              \
+    if (!(expr)) {                                                  \
+      ::parsgd::detail::MsgStream parsgd_msg_;                      \
+      parsgd_msg_ << "" __VA_ARGS__;                                \
+      ::parsgd::detail::check_failed(#expr, __FILE__, __LINE__,     \
+                                     parsgd_msg_.str());            \
+    }                                                               \
+  } while (0)
+
+#ifdef NDEBUG
+#define PARSGD_DCHECK(expr, ...) \
+  do {                           \
+  } while (0)
+#else
+#define PARSGD_DCHECK(expr, ...) PARSGD_CHECK(expr, __VA_ARGS__)
+#endif

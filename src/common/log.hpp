@@ -1,0 +1,43 @@
+// Minimal leveled logger. Thread-safe line output to stderr; benches set the
+// level from PARSGD_LOG / --verbose flags.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace parsgd {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global minimum level; messages below it are dropped.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Emit one line (adds level tag + newline). Thread-safe.
+void log_line(LogLevel level, const std::string& msg);
+
+namespace detail {
+struct LogStream {
+  LogLevel level;
+  std::ostringstream os;
+  explicit LogStream(LogLevel l) : level(l) {}
+  ~LogStream() { log_line(level, os.str()); }
+  template <typename T>
+  LogStream& operator<<(const T& v) {
+    os << v;
+    return *this;
+  }
+};
+}  // namespace detail
+
+}  // namespace parsgd
+
+#define PARSGD_LOG(level)                                        \
+  if (static_cast<int>(::parsgd::LogLevel::level) <              \
+      static_cast<int>(::parsgd::log_level())) {                 \
+  } else                                                         \
+    ::parsgd::detail::LogStream(::parsgd::LogLevel::level)
+
+#define PARSGD_INFO PARSGD_LOG(kInfo)
+#define PARSGD_WARN PARSGD_LOG(kWarn)
+#define PARSGD_DEBUG PARSGD_LOG(kDebug)

@@ -1,0 +1,54 @@
+// Deterministic, fast pseudo-random number generation.
+//
+// Every stochastic component in parsgd takes an explicit 64-bit seed so
+// experiments are reproducible run-to-run (DESIGN.md §5). We use
+// xoshiro256** seeded through splitmix64, the standard recipe from
+// Blackman & Vigna.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace parsgd {
+
+/// splitmix64 step — used to expand a single seed into a full state.
+std::uint64_t splitmix64(std::uint64_t& state);
+
+/// xoshiro256** generator. Satisfies UniformRandomBitGenerator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+
+  result_type operator()();
+
+  /// Uniform double in [0, 1).
+  double uniform();
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+  /// Uniform integer in [0, n). Requires n > 0.
+  std::uint64_t uniform_index(std::uint64_t n);
+  /// Standard normal via Marsaglia polar method (cached spare value).
+  double normal();
+  /// Normal with mean/stddev.
+  double normal(double mean, double stddev);
+  /// True with probability p.
+  bool bernoulli(double p);
+  /// Fisher–Yates shuffle of an index vector.
+  void shuffle(std::vector<std::uint32_t>& v);
+  void shuffle(std::vector<std::size_t>& v);
+
+  /// Derive an independent child generator (for per-thread streams).
+  Rng fork();
+
+ private:
+  std::uint64_t s_[4];
+  double spare_ = 0.0;
+  bool has_spare_ = false;
+};
+
+}  // namespace parsgd

@@ -1,0 +1,47 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace parsgd {
+
+void StreamingStats::add(double v) {
+  if (n_ == 0) {
+    min_ = max_ = v;
+  } else {
+    min_ = std::min(min_, v);
+    max_ = std::max(max_, v);
+  }
+  ++n_;
+  const double delta = v - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (v - mean_);
+  values_.push_back(v);
+  sorted_ = false;
+}
+
+double StreamingStats::variance() const {
+  return n_ < 2 ? 0.0 : m2_ / static_cast<double>(n_ - 1);
+}
+
+double StreamingStats::stddev() const { return std::sqrt(variance()); }
+
+double StreamingStats::percentile(double q) const {
+  PARSGD_CHECK(q >= 0.0 && q <= 1.0, "q=" << q);
+  PARSGD_CHECK(n_ > 0, "no samples");
+  if (!sorted_) {
+    std::sort(values_.begin(), values_.end());
+    sorted_ = true;
+  }
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(q * static_cast<double>(n_)));
+  return values_[rank == 0 ? 0 : rank - 1];
+}
+
+void StreamingStats::merge(const StreamingStats& other) {
+  for (const double v : other.values_) add(v);
+}
+
+}  // namespace parsgd

@@ -1,0 +1,39 @@
+// Streaming statistics accumulator (Welford) plus exact percentiles over a
+// retained sample — used by benches and tests to summarize per-epoch
+// measurements without storing every run.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace parsgd {
+
+class StreamingStats {
+ public:
+  void add(double v);
+
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 with fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+
+  /// Exact percentile over all added values (q in [0, 1], nearest-rank).
+  /// O(n log n) on first call after adds.
+  double percentile(double q) const;
+
+  void merge(const StreamingStats& other);
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0;
+  double m2_ = 0;
+  double min_ = 0;
+  double max_ = 0;
+  mutable std::vector<double> values_;
+  mutable bool sorted_ = true;
+};
+
+}  // namespace parsgd

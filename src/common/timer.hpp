@@ -1,0 +1,28 @@
+// Wall-clock timing helper (steady clock).
+#pragma once
+
+#include <chrono>
+
+namespace parsgd {
+
+/// Simple stopwatch over std::chrono::steady_clock.
+class Timer {
+ public:
+  Timer() : start_(clock::now()) {}
+
+  /// Reset the epoch to now.
+  void reset() { start_ = clock::now(); }
+
+  /// Seconds elapsed since construction / last reset.
+  double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  double millis() const { return seconds() * 1e3; }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace parsgd

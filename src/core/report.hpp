@@ -1,0 +1,33 @@
+// Plain-text table/series formatting for the bench binaries, mirroring the
+// row/column layout of the paper's tables and figures.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace parsgd {
+
+/// Aligned fixed-width text table.
+class TableWriter {
+ public:
+  explicit TableWriter(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+  /// Inserts a horizontal rule before the next row.
+  void add_rule();
+  void print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;  ///< empty row = rule
+};
+
+/// "1.23" / "12.3" / "123" — 3 significant digits, fixed point.
+std::string fmt_sig3(double v);
+/// Seconds (paper tables print sec with 2 decimals; "inf" for ∞).
+std::string fmt_sec(double v);
+/// Milliseconds from seconds.
+std::string fmt_msec(double seconds);
+
+}  // namespace parsgd

@@ -1,0 +1,30 @@
+#include "data/dataset.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace parsgd {
+
+NnzStats Dataset::nnz_stats() const {
+  NnzStats s;
+  if (x.rows() == 0) return s;
+  s.min = std::numeric_limits<std::size_t>::max();
+  std::size_t total = 0;
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    const std::size_t k = x.row_nnz(r);
+    s.min = std::min(s.min, k);
+    s.max = std::max(s.max, k);
+    total += k;
+  }
+  s.avg = static_cast<double>(total) / static_cast<double>(x.rows());
+  return s;
+}
+
+double Dataset::positive_fraction() const {
+  if (y.empty()) return 0;
+  std::size_t pos = 0;
+  for (const real_t v : y) pos += (v > 0);
+  return static_cast<double>(pos) / static_cast<double>(y.size());
+}
+
+}  // namespace parsgd

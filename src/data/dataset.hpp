@@ -1,0 +1,46 @@
+// The in-memory training set handed to every engine: CSR features, labels,
+// the generating ground-truth model (for diagnostics), and the profile it
+// was generated from.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "data/profile.hpp"
+#include "matrix/csr_matrix.hpp"
+#include "matrix/dense_matrix.hpp"
+#include "matrix/example_view.hpp"
+
+namespace parsgd {
+
+/// Aggregate row-nnz statistics (the "#nnz/exp" column of Table I).
+struct NnzStats {
+  std::size_t min = 0;
+  std::size_t max = 0;
+  double avg = 0;
+};
+
+struct Dataset {
+  DatasetProfile profile;
+  CsrMatrix x;                       ///< always present
+  std::optional<DenseMatrix> x_dense;  ///< materialized when affordable
+  std::vector<real_t> y;             ///< labels in {-1, +1}
+  std::vector<real_t> ground_truth;  ///< the separator used for labeling
+
+  std::size_t n() const { return x.rows(); }
+  std::size_t d() const { return x.cols(); }
+
+  /// Example view preferring the layout requested (falls back to sparse
+  /// when no dense materialization exists).
+  ExampleView example(std::size_t i, bool prefer_dense) const {
+    if (prefer_dense && x_dense) return ExampleView::dense(x_dense->row(i));
+    return ExampleView::sparse(x.row(i));
+  }
+
+  NnzStats nnz_stats() const;
+
+  /// Fraction of positive labels.
+  double positive_fraction() const;
+};
+
+}  // namespace parsgd

@@ -1,0 +1,43 @@
+#include "data/profile.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace parsgd {
+
+const std::vector<DatasetProfile>& paper_profiles() {
+  // Numbers from Table I. nnz_avg for covtype is exactly d (fully dense).
+  static const std::vector<DatasetProfile> profiles = {
+      {"covtype", 581012, 54, 54, 54.0, 54, /*dense=*/true,
+       /*zipf=*/0.0, /*mlp_input=*/54, {10, 5, 2}, /*noise=*/0.08},
+      {"w8a", 64700, 300, 0, 11.65, 114, /*dense=*/false,
+       /*zipf=*/0.9, /*mlp_input=*/300, {10, 5, 2}, /*noise=*/0.05},
+      {"real-sim", 72309, 20958, 1, 51.3, 3484, /*dense=*/false,
+       /*zipf=*/1.05, /*mlp_input=*/50, {10, 5, 2}, /*noise=*/0.05},
+      {"rcv1", 677399, 47236, 4, 73.2, 1224, /*dense=*/false,
+       /*zipf=*/1.05, /*mlp_input=*/50, {10, 5, 2}, /*noise=*/0.05},
+      {"news", 19996, 1355191, 1, 455.0, 16423, /*dense=*/false,
+       /*zipf=*/1.15, /*mlp_input=*/300, {10, 5, 2}, /*noise=*/0.05},
+  };
+  return profiles;
+}
+
+const DatasetProfile& profile_by_name(const std::string& name) {
+  for (const auto& p : paper_profiles()) {
+    if (p.name == name) return p;
+  }
+  PARSGD_CHECK(false, "unknown dataset profile: " << name);
+  return paper_profiles().front();  // unreachable
+}
+
+DatasetProfile scaled(const DatasetProfile& p, double factor) {
+  PARSGD_CHECK(factor >= 1.0, "scale factor must be >= 1");
+  DatasetProfile out = p;
+  out.paper_n_examples = p.paper_n();
+  out.n_examples = std::max<std::size_t>(
+      512, static_cast<std::size_t>(static_cast<double>(p.n_examples) / factor));
+  return out;
+}
+
+}  // namespace parsgd

@@ -1,0 +1,65 @@
+// Dataset profiles matching Table I of the paper. The real datasets are the
+// LIBSVM covtype / w8a / real-sim / rcv1 / news20; we regenerate synthetic
+// equivalents matched on the published shape statistics (DESIGN.md §2),
+// scaled down in N for runtime.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace parsgd {
+
+/// Shape statistics of one dataset plus its MLP configuration (Table I).
+struct DatasetProfile {
+  std::string name;
+  std::size_t n_examples;       ///< paper-scale N
+  std::size_t n_features;       ///< d
+  std::size_t nnz_min;          ///< min non-zeros per example
+  double nnz_avg;               ///< average non-zeros per example
+  std::size_t nnz_max;          ///< max non-zeros per example
+  bool dense;                   ///< covtype: fully dense
+  double zipf_exponent;         ///< feature-popularity skew (text ~1.1)
+  std::size_t mlp_input;        ///< input-layer width after grouping
+  std::vector<std::size_t> mlp_hidden;  ///< hidden+output widths (10,5,2)
+  double label_noise;           ///< label flip probability
+  /// Paper-scale N this profile was scaled down from; 0 when the profile
+  /// itself is at paper scale. See paper_n().
+  std::size_t paper_n_examples = 0;
+
+  /// The unscaled (paper) example count.
+  std::size_t paper_n() const {
+    return paper_n_examples == 0 ? n_examples : paper_n_examples;
+  }
+  /// Extrapolation factor paper_N / N for cost scaling.
+  double n_scale() const {
+    return static_cast<double>(paper_n()) /
+           static_cast<double>(n_examples);
+  }
+
+  /// MLP layer sizes including input, e.g. {54, 10, 5, 2}.
+  std::vector<std::size_t> mlp_architecture() const {
+    std::vector<std::size_t> arch{mlp_input};
+    arch.insert(arch.end(), mlp_hidden.begin(), mlp_hidden.end());
+    return arch;
+  }
+
+  /// Sparsity percentage as defined in Table I: avg nnz / d * 100.
+  double sparsity_percent() const {
+    return 100.0 * nnz_avg / static_cast<double>(n_features);
+  }
+};
+
+/// The five profiles of Table I, at paper scale.
+const std::vector<DatasetProfile>& paper_profiles();
+
+/// Look up one profile by name ("covtype", "w8a", "real-sim", "rcv1",
+/// "news"). Throws on unknown name.
+const DatasetProfile& profile_by_name(const std::string& name);
+
+/// Returns `p` with n_examples divided by `factor` (floor, min 512
+/// examples) — the runtime-scaled profile used by tests and benches.
+DatasetProfile scaled(const DatasetProfile& p, double factor);
+
+}  // namespace parsgd

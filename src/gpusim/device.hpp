@@ -1,0 +1,127 @@
+// Device + DeviceBuffer: the simulated GPU's global memory and the
+// accumulation point for kernel statistics.
+//
+// Buffers are host vectors with a device identity; "device addresses" are
+// the real host addresses (contiguous per buffer), which is all the
+// coalescing analysis needs. Host<->device copies are tracked but not
+// charged to kernel time — the paper's methodology measures kernel
+// execution time only (§IV-A).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/check.hpp"
+#include "gpusim/stats.hpp"
+#include "hwmodel/spec.hpp"
+
+namespace parsgd::gpusim {
+
+class Device {
+ public:
+  explicit Device(const GpuSpec& spec) : spec_(spec) {}
+
+  const GpuSpec& spec() const { return spec_; }
+
+  /// Global memory accounting (allocation failures mirror the paper's
+  /// "does not fit in GPU memory" cases).
+  void allocate(std::size_t bytes) {
+    PARSGD_CHECK(allocated_ + bytes <= spec_.global_bytes,
+                 "GPU OOM: " << allocated_ + bytes << " > "
+                             << spec_.global_bytes);
+    allocated_ += bytes;
+  }
+  void release(std::size_t bytes) {
+    PARSGD_DCHECK(bytes <= allocated_);
+    allocated_ -= bytes;
+  }
+  std::size_t allocated() const { return allocated_; }
+
+  /// Would `bytes` fit alongside current allocations?
+  bool fits(std::size_t bytes) const {
+    return allocated_ + bytes <= spec_.global_bytes;
+  }
+
+  void record_kernel(const KernelStats& s) { totals_ += s; }
+  void record_transfer(std::size_t bytes) { transfer_bytes_ += bytes; }
+
+  /// Aggregate stats since construction / last reset_stats().
+  const KernelStats& totals() const { return totals_; }
+  std::size_t transfer_bytes() const { return transfer_bytes_; }
+  void reset_stats() {
+    totals_ = KernelStats{};
+    transfer_bytes_ = 0;
+  }
+
+  /// Seconds corresponding to the accumulated kernel cycles, including the
+  /// per-launch host overhead.
+  double seconds() const {
+    return (totals_.sm_cycles +
+            totals_.launches * spec_.cycles_kernel_launch) /
+           (spec_.clock_ghz * 1e9);
+  }
+
+ private:
+  GpuSpec spec_;
+  std::size_t allocated_ = 0;
+  std::size_t transfer_bytes_ = 0;
+  KernelStats totals_;
+};
+
+/// Typed global-memory buffer. RAII over the device allocation ledger.
+template <typename T>
+class DeviceBuffer {
+ public:
+  DeviceBuffer(Device& dev, std::size_t n) : dev_(&dev), data_(n) {
+    dev_->allocate(bytes());
+  }
+  DeviceBuffer(Device& dev, std::span<const T> host) : dev_(&dev),
+        data_(host.begin(), host.end()) {
+    dev_->allocate(bytes());
+    dev_->record_transfer(bytes());
+  }
+  ~DeviceBuffer() {
+    if (dev_) dev_->release(bytes());
+  }
+  DeviceBuffer(const DeviceBuffer&) = delete;
+  DeviceBuffer& operator=(const DeviceBuffer&) = delete;
+  DeviceBuffer(DeviceBuffer&& o) noexcept : dev_(o.dev_),
+        data_(std::move(o.data_)) {
+    o.dev_ = nullptr;
+    o.data_.clear();
+  }
+
+  std::size_t size() const { return data_.size(); }
+  std::size_t bytes() const { return data_.size() * sizeof(T); }
+
+  /// Host-side (test/verification) access; kernels use WarpCtx loads.
+  const T* raw() const { return data_.data(); }
+  T* raw() { return data_.data(); }
+  T host_at(std::size_t i) const {
+    PARSGD_DCHECK(i < data_.size());
+    return data_[i];
+  }
+
+  /// Host -> device copy (tracked, not timed).
+  void upload(std::span<const T> host) {
+    PARSGD_CHECK(host.size() == data_.size());
+    std::copy(host.begin(), host.end(), data_.begin());
+    dev_->record_transfer(bytes());
+  }
+  /// Device -> host copy (tracked, not timed).
+  void download(std::span<T> host) const {
+    PARSGD_CHECK(host.size() == data_.size());
+    std::copy(data_.begin(), data_.end(), host.begin());
+    dev_->record_transfer(bytes());
+  }
+
+  void fill(T v) { std::fill(data_.begin(), data_.end(), v); }
+
+ private:
+  Device* dev_;
+  std::vector<T> data_;
+};
+
+}  // namespace parsgd::gpusim

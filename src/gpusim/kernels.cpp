@@ -1,0 +1,248 @@
+#include "gpusim/kernels.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace parsgd::gpusim {
+
+namespace {
+constexpr int kThreads = 256;
+constexpr int kWarpsPerBlock = kThreads / kWarpSize;
+
+LaneMask mask_for(std::size_t base, std::size_t n) {
+  if (base >= n) return 0;
+  return first_lanes(static_cast<int>(
+      std::min<std::size_t>(kWarpSize, n - base)));
+}
+}  // namespace
+
+double reduce_sum(Device& dev, const DeviceBuffer<real_t>& data,
+                  KernelStats* stats) {
+  const std::size_t n = data.size();
+  const int blocks =
+      std::max(1, static_cast<int>((n + kThreads - 1) / kThreads));
+  DeviceBuffer<real_t> out(dev, 1);
+  out.fill(0);
+
+  const KernelStats s = launch(dev, {blocks, kThreads}, [&](BlockCtx& blk) {
+    auto partial = blk.alloc_shared<real_t>(kWarpsPerBlock);
+    // Phase 1: each warp loads coalesced elements and shuffle-reduces.
+    for (int wi = 0; wi < blk.num_warps(); ++wi) {
+      auto& warp = blk.warp(wi);
+      const std::size_t base =
+          (static_cast<std::size_t>(blk.block_idx()) * kWarpsPerBlock + wi) *
+          kWarpSize;
+      const LaneMask mask = mask_for(base, n);
+      real_t total = 0;
+      if (mask != 0) {
+        Lanes<std::uint32_t> idx{};
+        for (int l = 0; l < kWarpSize; ++l) {
+          if (lane_active(mask, l)) {
+            idx[l] = static_cast<std::uint32_t>(base + l);
+          }
+        }
+        const auto v = warp.load(data, idx, mask);
+        total = warp.reduce_sum(v, mask);
+      }
+      Lanes<std::uint32_t> sidx{};
+      Lanes<real_t> sval{};
+      sidx[0] = static_cast<std::uint32_t>(wi);
+      sval[0] = total;
+      warp.shared_store(partial, sidx, sval, 0x1u);
+    }
+    blk.sync();
+    // Phase 2: warp 0 reduces the per-warp partials and atomics once.
+    auto& warp0 = blk.warp(0);
+    const LaneMask m = first_lanes(kWarpsPerBlock);
+    Lanes<std::uint32_t> sidx{};
+    for (int l = 0; l < kWarpsPerBlock; ++l) {
+      sidx[l] = static_cast<std::uint32_t>(l);
+    }
+    const auto partials = warp0.shared_load(partial, sidx, m);
+    const real_t block_total = warp0.reduce_sum(partials, m);
+    Lanes<std::uint32_t> oidx{};
+    Lanes<real_t> oval{};
+    oval[0] = block_total;
+    warp0.atomic_add(out, oidx, oval, 0x1u);
+  });
+  if (stats != nullptr) *stats = s;
+  return out.host_at(0);
+}
+
+namespace {
+
+std::vector<std::uint32_t> histogram_impl(
+    Device& dev, const DeviceBuffer<std::uint32_t>& values,
+    std::uint32_t bins, bool privatized, KernelStats* stats) {
+  PARSGD_CHECK(bins >= 1);
+  const std::size_t n = values.size();
+  const int blocks =
+      std::max(1, static_cast<int>((n + kThreads - 1) / kThreads));
+  // Counts as real_t so atomic_add applies; converted on download.
+  DeviceBuffer<real_t> counts(dev, bins);
+  counts.fill(0);
+
+  const KernelStats s = launch(dev, {blocks, kThreads}, [&](BlockCtx& blk) {
+    SharedArray<real_t> local = privatized
+                                    ? blk.alloc_shared<real_t>(bins)
+                                    : SharedArray<real_t>(0);
+    if (privatized) {
+      std::fill(local.raw(), local.raw() + bins, real_t(0));
+    }
+    for (int wi = 0; wi < blk.num_warps(); ++wi) {
+      auto& warp = blk.warp(wi);
+      const std::size_t base =
+          (static_cast<std::size_t>(blk.block_idx()) * kWarpsPerBlock + wi) *
+          kWarpSize;
+      const LaneMask mask = mask_for(base, n);
+      if (mask == 0) continue;
+      Lanes<std::uint32_t> idx{};
+      for (int l = 0; l < kWarpSize; ++l) {
+        if (lane_active(mask, l)) {
+          idx[l] = static_cast<std::uint32_t>(base + l);
+        }
+      }
+      const auto v = warp.load(values, idx, mask);
+      if (privatized) {
+        // Shared-memory accumulation: the simulator charges bank replays;
+        // functional accumulation is done directly on the scratchpad.
+        Lanes<std::uint32_t> bidx{};
+        Lanes<real_t> dummy{};
+        for (int l = 0; l < kWarpSize; ++l) {
+          if (lane_active(mask, l)) {
+            PARSGD_DCHECK(v[l] < bins);
+            bidx[l] = v[l];
+          }
+        }
+        (void)warp.shared_load(local, bidx, mask);  // read-modify-write
+        warp.shared_store(local, bidx, dummy, 0);   // (store cost; masked)
+        warp.arith(mask, 1, 1);
+        for (int l = 0; l < kWarpSize; ++l) {
+          if (lane_active(mask, l)) local.raw()[v[l]] += 1;
+        }
+      } else {
+        Lanes<std::uint32_t> bidx{};
+        Lanes<real_t> ones{};
+        for (int l = 0; l < kWarpSize; ++l) {
+          if (lane_active(mask, l)) {
+            PARSGD_DCHECK(v[l] < bins);
+            bidx[l] = v[l];
+            ones[l] = 1;
+          }
+        }
+        warp.atomic_add(counts, bidx, ones, mask);
+      }
+    }
+    if (privatized) {
+      blk.sync();
+      // Merge the private histogram: bins/32 coalesced atomic bursts.
+      for (std::uint32_t b0 = 0; b0 < bins; b0 += kWarpSize) {
+        auto& warp = blk.warp(0);
+        const LaneMask mask = mask_for(b0, bins);
+        Lanes<std::uint32_t> bidx{};
+        Lanes<real_t> vals{};
+        for (int l = 0; l < kWarpSize; ++l) {
+          if (lane_active(mask, l)) {
+            bidx[l] = b0 + l;
+            vals[l] = local.raw()[b0 + l];
+          }
+        }
+        warp.atomic_add(counts, bidx, vals, mask);
+      }
+    }
+  });
+  if (stats != nullptr) *stats = s;
+
+  std::vector<std::uint32_t> result(bins);
+  for (std::uint32_t b = 0; b < bins; ++b) {
+    result[b] = static_cast<std::uint32_t>(counts.host_at(b) + 0.5f);
+  }
+  return result;
+}
+
+}  // namespace
+
+std::vector<std::uint32_t> histogram(Device& dev,
+                                     const DeviceBuffer<std::uint32_t>& values,
+                                     std::uint32_t bins,
+                                     KernelStats* stats) {
+  return histogram_impl(dev, values, bins, /*privatized=*/true, stats);
+}
+
+std::vector<std::uint32_t> histogram_naive(
+    Device& dev, const DeviceBuffer<std::uint32_t>& values,
+    std::uint32_t bins, KernelStats* stats) {
+  return histogram_impl(dev, values, bins, /*privatized=*/false, stats);
+}
+
+DenseMatrix transpose(Device& dev, const DenseMatrix& in, bool padded,
+                      KernelStats* stats) {
+  constexpr std::size_t kTile = 32;
+  const std::size_t rows = in.rows(), cols = in.cols();
+  DeviceBuffer<real_t> d_in(dev, in.data());
+  DeviceBuffer<real_t> d_out(dev, rows * cols);
+  const std::size_t tiles_r = (rows + kTile - 1) / kTile;
+  const std::size_t tiles_c = (cols + kTile - 1) / kTile;
+  const int blocks = std::max(1, static_cast<int>(tiles_r * tiles_c));
+  const std::size_t stride = kTile + (padded ? 1 : 0);
+
+  const KernelStats s = launch(dev, {blocks, kThreads}, [&](BlockCtx& blk) {
+    auto tile = blk.alloc_shared<real_t>(kTile * stride);
+    const std::size_t tr =
+        static_cast<std::size_t>(blk.block_idx()) / tiles_c;
+    const std::size_t tc =
+        static_cast<std::size_t>(blk.block_idx()) % tiles_c;
+    // Load phase: warp w loads rows tr*32+w*rows_per_warp.. coalesced.
+    for (int wi = 0; wi < blk.num_warps(); ++wi) {
+      auto& warp = blk.warp(wi);
+      for (std::size_t rr = wi; rr < kTile;
+           rr += static_cast<std::size_t>(kWarpsPerBlock)) {
+        const std::size_t r = tr * kTile + rr;
+        if (r >= rows) continue;
+        const std::size_t c0 = tc * kTile;
+        const LaneMask mask = mask_for(c0, cols);
+        if (mask == 0) continue;
+        Lanes<std::uint32_t> gidx{}, sidx{};
+        for (int l = 0; l < kWarpSize; ++l) {
+          if (lane_active(mask, l)) {
+            gidx[l] = static_cast<std::uint32_t>(r * cols + c0 + l);
+            sidx[l] = static_cast<std::uint32_t>(rr * stride + l);
+          }
+        }
+        warp.shared_store(tile, sidx, warp.load(d_in, gidx, mask), mask);
+      }
+    }
+    blk.sync();
+    // Store phase: read the tile transposed (column-wise — this is where
+    // the padding kills the bank conflicts) and write coalesced.
+    for (int wi = 0; wi < blk.num_warps(); ++wi) {
+      auto& warp = blk.warp(wi);
+      for (std::size_t cc = wi; cc < kTile;
+           cc += static_cast<std::size_t>(kWarpsPerBlock)) {
+        const std::size_t c = tc * kTile + cc;
+        if (c >= cols) continue;
+        const std::size_t r0 = tr * kTile;
+        const LaneMask mask = mask_for(r0, rows);
+        if (mask == 0) continue;
+        Lanes<std::uint32_t> sidx{}, gidx{};
+        for (int l = 0; l < kWarpSize; ++l) {
+          if (lane_active(mask, l)) {
+            sidx[l] = static_cast<std::uint32_t>(l * stride + cc);
+            gidx[l] = static_cast<std::uint32_t>(c * rows + r0 + l);
+          }
+        }
+        warp.store(d_out, gidx, warp.shared_load(tile, sidx, mask), mask);
+      }
+    }
+  });
+  if (stats != nullptr) *stats = s;
+
+  DenseMatrix out(cols, rows);
+  std::vector<real_t> host(rows * cols);
+  d_out.download(host);
+  std::copy(host.begin(), host.end(), out.data().begin());
+  return out;
+}
+
+}  // namespace parsgd::gpusim

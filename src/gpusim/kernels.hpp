@@ -1,0 +1,41 @@
+// A small library of classic GPU kernels written against the SIMT
+// simulator: reduction, histogram, and tiled transpose. They serve three
+// purposes: (1) validating the simulator against well-known cost
+// characteristics (coalescing, atomics, bank conflicts), (2) providing
+// reference patterns for writing new kernels, and (3) exercising shared
+// memory and occupancy paths that the SGD kernels use only lightly.
+#pragma once
+
+#include "gpusim/device.hpp"
+#include "gpusim/launch.hpp"
+#include "matrix/dense_matrix.hpp"
+
+namespace parsgd::gpusim {
+
+/// Sum of all elements: block-level shared-memory tree reduction followed
+/// by one atomic per block. Returns the sum; stats recorded on `dev`.
+double reduce_sum(Device& dev, const DeviceBuffer<real_t>& data,
+                  KernelStats* stats = nullptr);
+
+/// Histogram over `bins` buckets with per-block shared-memory privatized
+/// counts merged by atomics — the canonical contention-avoidance pattern.
+/// `values` must be in [0, bins).
+std::vector<std::uint32_t> histogram(Device& dev,
+                                     const DeviceBuffer<std::uint32_t>& values,
+                                     std::uint32_t bins,
+                                     KernelStats* stats = nullptr);
+
+/// Naive histogram: every lane atomics straight into global memory.
+/// Exists to demonstrate the contention cost the privatized version
+/// avoids (stats comparison in tests/benches).
+std::vector<std::uint32_t> histogram_naive(
+    Device& dev, const DeviceBuffer<std::uint32_t>& values,
+    std::uint32_t bins, KernelStats* stats = nullptr);
+
+/// Tiled matrix transpose through shared memory. `padded` adds the
+/// classic +1 column of padding that removes shared-memory bank
+/// conflicts; compare stats with padded=false.
+DenseMatrix transpose(Device& dev, const DenseMatrix& in, bool padded,
+                      KernelStats* stats = nullptr);
+
+}  // namespace parsgd::gpusim

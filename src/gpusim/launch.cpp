@@ -1,0 +1,143 @@
+#include "gpusim/launch.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace parsgd::gpusim {
+
+BlockCtx::BlockCtx(const GpuSpec& spec, int block_idx, int block_threads)
+    : spec_(&spec), block_idx_(block_idx), threads_(block_threads) {
+  PARSGD_CHECK(block_threads >= 1 &&
+                   block_threads <= spec.max_threads_per_sm,
+               "block_threads=" << block_threads);
+  const int n_warps = (block_threads + kWarpSize - 1) / kWarpSize;
+  warps_.reserve(n_warps);
+  for (int w = 0; w < n_warps; ++w) {
+    const int lanes = std::min(kWarpSize, block_threads - w * kWarpSize);
+    warps_.push_back(
+        std::make_unique<WarpCtx>(spec, block_idx, w, lanes));
+  }
+}
+
+void BlockCtx::sync() {
+  for (auto& w : warps_) w->mutable_cost().issue_cycles += 1;
+}
+
+WarpCost BlockCtx::total_cost() const {
+  WarpCost total;
+  for (const auto& w : warps_) total += w->cost();
+  return total;
+}
+
+namespace {
+
+// Resident blocks per SM given the block shape (occupancy rule 1).
+int occupancy_blocks(const GpuSpec& spec, int block_threads,
+                     std::size_t block_shared) {
+  int blocks = spec.max_blocks_per_sm;
+  blocks = std::min(blocks, spec.max_threads_per_sm / std::max(1, block_threads));
+  if (block_shared > 0) {
+    blocks = std::min(blocks, static_cast<int>(spec.shared_per_sm /
+                                               block_shared));
+  }
+  return std::max(1, blocks);
+}
+
+// Applies scheduling rules 2-4 to per-SM aggregated costs.
+KernelStats schedule(const GpuSpec& spec, const std::vector<WarpCost>& blocks,
+                     int block_threads, std::size_t block_shared) {
+  KernelStats s;
+  s.blocks = static_cast<double>(blocks.size());
+  const int warps_per_block = (block_threads + kWarpSize - 1) / kWarpSize;
+  s.warps = s.blocks * warps_per_block;
+  s.launches = 1;
+
+  // Residency is bounded both by the occupancy rules and by how many
+  // blocks the grid actually supplies to each SM.
+  const int grid_blocks_per_sm = static_cast<int>(
+      (blocks.size() + spec.sms - 1) / spec.sms);
+  const int resident_blocks =
+      std::min(occupancy_blocks(spec, block_threads, block_shared),
+               std::max(1, grid_blocks_per_sm));
+  const double resident_warps =
+      static_cast<double>(resident_blocks) * warps_per_block;
+  const double hide =
+      std::min(1.0, resident_warps / spec.occupancy_hide_warps);
+
+  std::vector<WarpCost> per_sm(spec.sms);
+  for (std::size_t b = 0; b < blocks.size(); ++b) {
+    per_sm[b % spec.sms] += blocks[b];
+  }
+
+  double worst = 0;
+  for (const auto& sm : per_sm) {
+    const double issue_time =
+        (sm.issue_cycles + sm.shared_cycles) / spec.warp_schedulers_per_sm;
+    const double mem_time =
+        sm.global_transactions * spec.cycles_global_transaction +
+        sm.l2_transactions * spec.cycles_l2_transaction;
+    const double latency_exposed =
+        (sm.global_transactions + sm.l2_transactions) *
+        spec.global_latency_cycles * (1.0 - hide) /
+        std::max(1.0, resident_warps);
+    const double cycles = std::max(issue_time, mem_time) + sm.atomic_cycles +
+                          latency_exposed;
+    worst = std::max(worst, cycles);
+
+    s.issue_cycles += sm.issue_cycles;
+    s.mem_transactions += sm.global_transactions + sm.l2_transactions;
+    s.mem_bytes += sm.mem_bytes;
+    s.shared_accesses += sm.shared_accesses;
+    s.bank_conflict_replays += sm.bank_conflict_replays;
+    s.atomic_ops += sm.atomic_ops;
+    s.atomic_conflicts += sm.atomic_conflicts;
+    s.flops += sm.flops;
+    s.divergence_waste += sm.divergence_waste;
+  }
+  s.sm_cycles = worst;
+  return s;
+}
+
+}  // namespace
+
+KernelStats launch(Device& dev, const LaunchConfig& cfg,
+                   const KernelFn& kernel) {
+  PARSGD_CHECK(cfg.blocks >= 1, "blocks=" << cfg.blocks);
+  std::vector<WarpCost> block_costs;
+  block_costs.reserve(cfg.blocks);
+  std::size_t shared_bytes = 0;
+  for (int b = 0; b < cfg.blocks; ++b) {
+    BlockCtx ctx(dev.spec(), b, cfg.block_threads);
+    kernel(ctx);
+    block_costs.push_back(ctx.total_cost());
+    shared_bytes = std::max(shared_bytes, ctx.shared_bytes());
+  }
+  KernelStats s =
+      schedule(dev.spec(), block_costs, cfg.block_threads, shared_bytes);
+  dev.record_kernel(s);
+  return s;
+}
+
+KernelStats launch_analytic(Device& dev, const AnalyticKernel& k) {
+  const GpuSpec& spec = dev.spec();
+  PARSGD_CHECK(k.blocks >= 1);
+  // Spread the totals evenly over the blocks, then schedule normally.
+  const double n = static_cast<double>(k.blocks);
+  WarpCost per_block;
+  per_block.issue_cycles = k.warp_instructions * spec.cycles_arith / n;
+  per_block.flops = k.flops / n;
+  per_block.global_transactions =
+      k.global_bytes / static_cast<double>(spec.transaction_bytes) / n;
+  per_block.l2_transactions =
+      k.l2_bytes / static_cast<double>(spec.transaction_bytes) / n;
+  per_block.mem_bytes = (k.global_bytes + k.l2_bytes) / n;
+  per_block.shared_accesses = k.shared_accesses / n;
+  per_block.shared_cycles =
+      k.shared_accesses * spec.cycles_shared_access / n;
+  std::vector<WarpCost> blocks(k.blocks, per_block);
+  KernelStats s = schedule(spec, blocks, k.block_threads, 0);
+  dev.record_kernel(s);
+  return s;
+}
+
+}  // namespace parsgd::gpusim

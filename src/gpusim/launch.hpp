@@ -1,0 +1,98 @@
+// Kernel launch + SM scheduling/timing model.
+//
+// A kernel is a host function invoked once per thread block with a
+// BlockCtx. The block body iterates its warps explicitly; consecutive
+// passes over the warp list are implicitly separated by __syncthreads()
+// semantics (all warps finish pass k before pass k+1 starts), which is how
+// phased kernels (e.g. tiled GEMM) are written.
+//
+// Timing model (per launch):
+//   1. Occupancy: resident blocks/SM = min(max_blocks_per_sm,
+//      max_threads_per_sm / block_threads, shared_per_sm / block_shared).
+//   2. Blocks are assigned round-robin to SMs; per-SM totals of the warp
+//      cost classes are formed.
+//   3. Per-SM cycles =
+//        max(issue/schedulers + shared/schedulers,
+//            global_trans * c_global + l2_trans * c_l2)      // overlap
+//        + atomic serialization cycles
+//        + exposed latency: trans * lat * (1 - min(1, resident_warps /
+//          occupancy_hide_warps))   // low occupancy exposes latency
+//   4. Kernel cycles = max over SMs (they run concurrently).
+// Host-side launch overhead (cycles_kernel_launch) is added by
+// Device::seconds() per recorded launch.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "gpusim/device.hpp"
+#include "gpusim/warp.hpp"
+
+namespace parsgd::gpusim {
+
+struct LaunchConfig {
+  int blocks = 1;
+  int block_threads = 128;  ///< must be a multiple check <= 1024
+};
+
+/// Execution context of one thread block.
+class BlockCtx {
+ public:
+  BlockCtx(const GpuSpec& spec, int block_idx, int block_threads);
+
+  int block_idx() const { return block_idx_; }
+  int block_threads() const { return threads_; }
+  int num_warps() const { return static_cast<int>(warps_.size()); }
+  WarpCtx& warp(int i) { return *warps_[i]; }
+
+  /// Allocates a block-shared scratchpad array; counts against the per-SM
+  /// shared-memory capacity for occupancy.
+  template <typename T>
+  SharedArray<T> alloc_shared(std::size_t n) {
+    shared_bytes_ += n * sizeof(T);
+    PARSGD_CHECK(shared_bytes_ <= spec_->shared_per_sm,
+                 "shared memory overflow: " << shared_bytes_);
+    return SharedArray<T>(n);
+  }
+  std::size_t shared_bytes() const { return shared_bytes_; }
+
+  /// __syncthreads(): a barrier across the block's warps. Charges one
+  /// issue cycle per warp. (Execution is already phase-ordered by the
+  /// host loop structure; this records the cost and documents intent.)
+  void sync();
+
+  /// Total cost over all warps.
+  WarpCost total_cost() const;
+
+ private:
+  const GpuSpec* spec_;
+  int block_idx_;
+  int threads_;
+  std::size_t shared_bytes_ = 0;
+  std::vector<std::unique_ptr<WarpCtx>> warps_;
+};
+
+using KernelFn = std::function<void(BlockCtx&)>;
+
+/// Runs the kernel over all blocks, applies the SM scheduling model, and
+/// records the resulting KernelStats on the device. Returns the stats.
+KernelStats launch(Device& dev, const LaunchConfig& cfg,
+                   const KernelFn& kernel);
+
+/// Records an analytically-costed kernel (used for dense, regular kernels
+/// whose access pattern is statically known — DESIGN.md §3). The caller
+/// provides totals; this routine applies the same SM scheduling model as
+/// `launch` and records the stats.
+struct AnalyticKernel {
+  double warp_instructions = 0;   ///< total warp-wide issue slots
+  double flops = 0;
+  double global_bytes = 0;        ///< streamed through DRAM
+  double l2_bytes = 0;            ///< served from L2
+  double shared_accesses = 0;
+  int blocks = 1;
+  int block_threads = 128;
+};
+KernelStats launch_analytic(Device& dev, const AnalyticKernel& k);
+
+}  // namespace parsgd::gpusim

@@ -1,0 +1,45 @@
+// Per-kernel statistics produced by the SIMT simulator.
+#pragma once
+
+#include <cstdint>
+
+namespace parsgd::gpusim {
+
+/// Work and conflict counters for one kernel launch (or an aggregate of
+/// launches). `sm_cycles` is the modeled wall time of the launch in GPU
+/// cycles (max over SMs), excluding host launch overhead.
+struct KernelStats {
+  double sm_cycles = 0;          ///< modeled kernel duration, cycles
+  double issue_cycles = 0;       ///< total warp-instruction issue cycles
+  double mem_transactions = 0;   ///< 128 B global-memory segments moved
+  double mem_bytes = 0;          ///< bytes in those segments
+  double shared_accesses = 0;    ///< shared-memory access slots (with
+                                 ///  bank-conflict replays included)
+  double bank_conflict_replays = 0;
+  double atomic_ops = 0;         ///< atomic instructions issued
+  double atomic_conflicts = 0;   ///< lanes serialized behind another lane
+  double flops = 0;              ///< useful floating-point work
+  double divergence_waste = 0;   ///< lane-cycles lost to inactive lanes
+  double blocks = 0;
+  double warps = 0;
+  double launches = 0;
+
+  KernelStats& operator+=(const KernelStats& o) {
+    sm_cycles += o.sm_cycles;
+    issue_cycles += o.issue_cycles;
+    mem_transactions += o.mem_transactions;
+    mem_bytes += o.mem_bytes;
+    shared_accesses += o.shared_accesses;
+    bank_conflict_replays += o.bank_conflict_replays;
+    atomic_ops += o.atomic_ops;
+    atomic_conflicts += o.atomic_conflicts;
+    flops += o.flops;
+    divergence_waste += o.divergence_waste;
+    blocks += o.blocks;
+    warps += o.warps;
+    launches += o.launches;
+    return *this;
+  }
+};
+
+}  // namespace parsgd::gpusim

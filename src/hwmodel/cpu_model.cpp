@@ -1,0 +1,186 @@
+#include "hwmodel/cpu_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace parsgd {
+
+namespace {
+constexpr double kGB = 1e9;
+}  // namespace
+
+const char* to_string(CacheLevel level) {
+  switch (level) {
+    case CacheLevel::kL1: return "L1";
+    case CacheLevel::kL2: return "L2";
+    case CacheLevel::kL3: return "L3";
+    case CacheLevel::kDram: return "DRAM";
+  }
+  return "?";
+}
+
+double CpuModel::fork_join_seconds(int threads) const {
+  if (threads <= 1) return 0.0;
+  return (spec_.fork_join_base_us +
+          spec_.fork_join_per_thread_us * threads) * 1e-6;
+}
+
+int CpuModel::physical_cores_used(int threads) const {
+  PARSGD_CHECK(threads >= 1);
+  return std::min(threads, spec_.total_cores());
+}
+
+int CpuModel::sockets_used(int threads) const {
+  const int cores = physical_cores_used(threads);
+  return std::min(spec_.sockets,
+                  (cores + spec_.cores_per_socket - 1) /
+                      spec_.cores_per_socket);
+}
+
+double CpuModel::effective_cores(int threads) const {
+  const int cores = physical_cores_used(threads);
+  const int ht_threads =
+      std::min(std::max(0, threads - cores),
+               cores * (spec_.threads_per_core - 1));
+  return cores + spec_.ht_yield * ht_threads;
+}
+
+CacheLevel CpuModel::residency(double bytes, int threads) const {
+  const int cores = physical_cores_used(threads);
+  const double l1 = static_cast<double>(spec_.l1_per_core) * cores;
+  const double l2 = static_cast<double>(spec_.l2_per_core) * cores;
+  const double l3 =
+      static_cast<double>(spec_.l3_per_socket) * sockets_used(threads);
+  if (bytes <= l1) return CacheLevel::kL1;
+  if (bytes <= l1 + l2) return CacheLevel::kL2;
+  if (bytes <= l1 + l2 + l3) return CacheLevel::kL3;
+  return CacheLevel::kDram;
+}
+
+double CpuModel::stream_bandwidth(CacheLevel level, int threads) const {
+  const double cores = effective_cores(threads);
+  const int sockets = sockets_used(threads);
+  switch (level) {
+    case CacheLevel::kL1: return spec_.l1_bw_per_core * cores * kGB;
+    case CacheLevel::kL2: return spec_.l2_bw_per_core * cores * kGB;
+    case CacheLevel::kL3:
+      // Shared per socket; a few cores saturate the ring.
+      return std::min(spec_.l3_bw_per_socket * sockets,
+                      spec_.l2_bw_per_core * cores) * kGB;
+    case CacheLevel::kDram:
+      return std::min(spec_.dram_bw_per_socket * sockets,
+                      spec_.dram_stream_bw_per_core * cores) * kGB;
+  }
+  return 1.0;
+}
+
+double CpuModel::random_bandwidth(CacheLevel level, int threads) const {
+  double latency_ns;
+  switch (level) {
+    case CacheLevel::kL1: latency_ns = spec_.l1_latency_ns; break;
+    case CacheLevel::kL2: latency_ns = spec_.l2_latency_ns; break;
+    case CacheLevel::kL3: latency_ns = spec_.l3_latency_ns; break;
+    default: latency_ns = spec_.dram_latency_ns; break;
+  }
+  // Useful bytes per second: `gather_outstanding` dependent accesses in
+  // flight per core, each delivering one model entry.
+  const double per_core = spec_.gather_outstanding *
+                          spec_.random_access_bytes /
+                          (latency_ns * 1e-9);
+  double total = per_core * effective_cores(threads);
+  if (level == CacheLevel::kDram) {
+    total = std::min(total, spec_.dram_random_bw_total * kGB);
+  }
+  return total;
+}
+
+CpuTiming CpuModel::epoch_time(const CpuWorkload& w) const {
+  PARSGD_CHECK(w.threads >= 1 && w.threads <= spec_.total_threads(),
+               "threads=" << w.threads);
+  CpuTiming t;
+  const double cores = effective_cores(w.threads);
+  const double flops_per_cycle = w.vectorized
+                                     ? spec_.simd_flops_per_cycle
+                                     : spec_.scalar_flops_per_cycle;
+  t.compute_seconds =
+      w.per_epoch.flops / (cores * spec_.clock_ghz * 1e9 * flops_per_cycle);
+
+  // ---- Streaming: fractional multi-level residency. The working set
+  // fills the aggregate caches top-down; each resident fraction of the
+  // scanned bytes streams at that level's bandwidth. This produces the
+  // paper's super-linear parallel speedups: a dataset that misses to DRAM
+  // for one core but (mostly) fits the combined caches of 28 cores.
+  {
+    const int cores_used = physical_cores_used(w.threads);
+    const double cap_l1 =
+        static_cast<double>(spec_.l1_per_core) * cores_used;
+    const double cap_l2 =
+        static_cast<double>(spec_.l2_per_core) * cores_used;
+    const double cap_l3 = static_cast<double>(spec_.l3_per_socket) *
+                          sockets_used(w.threads);
+    const double ws = std::max(w.working_set_bytes, 1.0);
+    double remaining = ws;
+    const double in_l1 = std::min(remaining, cap_l1);
+    remaining -= in_l1;
+    const double in_l2 = std::min(remaining, cap_l2);
+    remaining -= in_l2;
+    const double in_l3 = std::min(remaining, cap_l3);
+    remaining -= in_l3;
+    const double in_dram = remaining;
+
+    const double bytes = w.per_epoch.bytes_streamed;
+    t.stream_seconds =
+        bytes * (in_l1 / ws) / stream_bandwidth(CacheLevel::kL1, w.threads) +
+        bytes * (in_l2 / ws) / stream_bandwidth(CacheLevel::kL2, w.threads) +
+        bytes * (in_l3 / ws) / stream_bandwidth(CacheLevel::kL3, w.threads) +
+        bytes * (in_dram / ws) /
+            stream_bandwidth(CacheLevel::kDram, w.threads);
+    t.data_level = in_dram > 0      ? CacheLevel::kDram
+                   : in_l3 > 0      ? CacheLevel::kL3
+                   : in_l2 > 0      ? CacheLevel::kL2
+                                    : CacheLevel::kL1;
+  }
+
+  // ---- Random model access. The model is shared: every thread gathers
+  // from all of it, so residency is judged against one core's private
+  // caches plus the shared L3.
+  {
+    const double l1 = static_cast<double>(spec_.l1_per_core);
+    const double l2 = static_cast<double>(spec_.l2_per_core);
+    const double l3 = static_cast<double>(spec_.l3_per_socket) *
+                      sockets_used(w.threads);
+    if (w.model_bytes <= l1)
+      t.model_level = CacheLevel::kL1;
+    else if (w.model_bytes <= l1 + l2)
+      t.model_level = CacheLevel::kL2;
+    else if (w.model_bytes <= l1 + l2 + l3)
+      t.model_level = CacheLevel::kL3;
+    else
+      t.model_level = CacheLevel::kDram;
+    t.random_seconds = w.per_epoch.bytes_random /
+                       random_bandwidth(t.model_level, w.threads);
+  }
+
+  // ---- Cache-coherency. A conflicting touch of a contended line costs
+  // a read miss plus the RFO (coherency_penalty_ns covers both).
+  // Transfers of *different* lines proceed concurrently — and cores
+  // overlap several in flight — so serialization is bounded by
+  // min(model lines, cores x overlap): a 54-feature model (4 lines)
+  // globally serializes; a 47k-feature model is writer-side limited.
+  if (w.threads > 1 && w.per_epoch.write_conflicts > 0) {
+    const double model_lines = std::max(1.0, w.model_bytes / 64.0);
+    const double concurrency = std::max(
+        1.0, std::min(cores * spec_.coherency_overlap, model_lines));
+    t.coherency_seconds = w.per_epoch.write_conflicts *
+                          spec_.coherency_penalty_ns * 1e-9 / concurrency;
+  }
+
+  t.seconds = std::max({t.compute_seconds, t.stream_seconds,
+                        t.random_seconds}) +
+              t.coherency_seconds;
+  return t;
+}
+
+}  // namespace parsgd

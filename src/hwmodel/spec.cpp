@@ -1,0 +1,15 @@
+#include "hwmodel/spec.hpp"
+
+namespace parsgd {
+
+const CpuSpec& paper_cpu() {
+  static const CpuSpec spec{};
+  return spec;
+}
+
+const GpuSpec& paper_gpu() {
+  static const GpuSpec spec{};
+  return spec;
+}
+
+}  // namespace parsgd

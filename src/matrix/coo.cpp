@@ -1,0 +1,112 @@
+#include "matrix/coo.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace parsgd {
+
+void CooMatrix::add(index_t row, index_t col, real_t value) {
+  PARSGD_CHECK(row < rows_ && col < cols_,
+               "triplet (" << row << "," << col << ") out of range");
+  triplets_.push_back({row, col, value});
+}
+
+CsrMatrix CooMatrix::to_csr() const {
+  std::vector<Triplet> sorted = triplets_;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const Triplet& a, const Triplet& b) {
+              return a.row != b.row ? a.row < b.row : a.col < b.col;
+            });
+  CsrMatrix::Builder builder(cols_);
+  std::vector<index_t> idx;
+  std::vector<real_t> val;
+  std::size_t pos = 0;
+  for (std::size_t r = 0; r < rows_; ++r) {
+    idx.clear();
+    val.clear();
+    while (pos < sorted.size() && sorted[pos].row == r) {
+      const index_t c = sorted[pos].col;
+      double acc = 0;
+      while (pos < sorted.size() && sorted[pos].row == r &&
+             sorted[pos].col == c) {
+        acc += sorted[pos].value;
+        ++pos;
+      }
+      if (acc != 0.0) {
+        idx.push_back(c);
+        val.push_back(static_cast<real_t>(acc));
+      }
+    }
+    builder.add_row(idx, val);
+  }
+  return std::move(builder).build();
+}
+
+CooMatrix CooMatrix::from_csr(const CsrMatrix& m) {
+  CooMatrix out(m.rows(), m.cols());
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    const auto rv = m.row(r);
+    for (std::size_t k = 0; k < rv.nnz(); ++k) {
+      out.add(static_cast<index_t>(r), rv.idx[k], rv.val[k]);
+    }
+  }
+  return out;
+}
+
+CooMatrix read_matrix_market(std::istream& in) {
+  std::string line;
+  // Header.
+  PARSGD_CHECK(static_cast<bool>(std::getline(in, line)),
+               "empty MatrixMarket stream");
+  PARSGD_CHECK(line.rfind("%%MatrixMarket", 0) == 0,
+               "missing MatrixMarket banner");
+  PARSGD_CHECK(line.find("coordinate") != std::string::npos,
+               "only coordinate format supported");
+  // Skip comments.
+  while (std::getline(in, line)) {
+    if (!line.empty() && line[0] != '%') break;
+  }
+  std::istringstream dims(line);
+  std::size_t rows = 0, cols = 0, nnz = 0;
+  PARSGD_CHECK(static_cast<bool>(dims >> rows >> cols >> nnz),
+               "bad size line: " << line);
+  CooMatrix m(rows, cols);
+  for (std::size_t k = 0; k < nnz; ++k) {
+    PARSGD_CHECK(static_cast<bool>(std::getline(in, line)),
+                 "truncated MatrixMarket body at entry " << k);
+    std::istringstream ls(line);
+    long r = 0, c = 0;
+    double v = 0;
+    PARSGD_CHECK(static_cast<bool>(ls >> r >> c >> v),
+                 "bad entry: " << line);
+    PARSGD_CHECK(r >= 1 && c >= 1, "MatrixMarket indices are 1-based");
+    m.add(static_cast<index_t>(r - 1), static_cast<index_t>(c - 1),
+          static_cast<real_t>(v));
+  }
+  return m;
+}
+
+CooMatrix read_matrix_market_file(const std::string& path) {
+  std::ifstream in(path);
+  PARSGD_CHECK(in.good(), "cannot open " << path);
+  return read_matrix_market(in);
+}
+
+void write_matrix_market(std::ostream& out, const CooMatrix& m) {
+  out << "%%MatrixMarket matrix coordinate real general\n";
+  out << m.rows() << ' ' << m.cols() << ' ' << m.nnz() << '\n';
+  for (const auto& t : m.triplets()) {
+    out << (t.row + 1) << ' ' << (t.col + 1) << ' ' << t.value << '\n';
+  }
+}
+
+void write_matrix_market_file(const std::string& path, const CooMatrix& m) {
+  std::ofstream out(path);
+  PARSGD_CHECK(out.good(), "cannot open " << path);
+  write_matrix_market(out, m);
+}
+
+}  // namespace parsgd

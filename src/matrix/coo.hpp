@@ -1,0 +1,50 @@
+// Coordinate (COO) sparse format: the assembly/interchange format
+// complementing CSR. Supports unsorted triplet accumulation with
+// duplicate-summing, conversion to/from CSR, and MatrixMarket I/O (the
+// other common on-disk format for the paper's kind of datasets).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "matrix/csr_matrix.hpp"
+
+namespace parsgd {
+
+class CooMatrix {
+ public:
+  struct Triplet {
+    index_t row;
+    index_t col;
+    real_t value;
+  };
+
+  CooMatrix(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols) {}
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t nnz() const { return triplets_.size(); }
+  const std::vector<Triplet>& triplets() const { return triplets_; }
+
+  /// Appends one entry; duplicates are allowed and summed by to_csr().
+  void add(index_t row, index_t col, real_t value);
+
+  /// Sorted, duplicate-summed, zero-dropped CSR conversion.
+  CsrMatrix to_csr() const;
+
+  static CooMatrix from_csr(const CsrMatrix& m);
+
+ private:
+  std::size_t rows_, cols_;
+  std::vector<Triplet> triplets_;
+};
+
+/// MatrixMarket "coordinate real general" reader/writer (1-based indices).
+CooMatrix read_matrix_market(std::istream& in);
+CooMatrix read_matrix_market_file(const std::string& path);
+void write_matrix_market(std::ostream& out, const CooMatrix& m);
+void write_matrix_market_file(const std::string& path, const CooMatrix& m);
+
+}  // namespace parsgd

@@ -1,0 +1,100 @@
+// Compressed Sparse Row matrix — the sparse representation of the paper's
+// data-sparsity axis. Column indices within a row are kept sorted, which the
+// coalescing analysis in gpusim relies on.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "matrix/dense_matrix.hpp"
+#include "matrix/types.hpp"
+
+namespace parsgd {
+
+/// A non-owning view of one sparse row: parallel (index, value) arrays.
+struct SparseRowView {
+  std::span<const index_t> idx;
+  std::span<const real_t> val;
+  std::size_t nnz() const { return idx.size(); }
+};
+
+class CsrMatrix {
+ public:
+  CsrMatrix() = default;
+
+  std::size_t rows() const { return row_ptr_.empty() ? 0 : row_ptr_.size() - 1; }
+  std::size_t cols() const { return cols_; }
+  std::size_t nnz() const { return values_.size(); }
+  /// Bytes of the CSR arrays (the "s" column of Table I).
+  std::size_t bytes() const {
+    return row_ptr_.size() * sizeof(offset_t) +
+           col_idx_.size() * sizeof(index_t) + values_.size() * sizeof(real_t);
+  }
+  /// Bytes the equivalent dense matrix would take (the "d" column).
+  std::size_t dense_bytes() const { return rows() * cols_ * sizeof(real_t); }
+
+  SparseRowView row(std::size_t r) const {
+    PARSGD_DCHECK(r < rows());
+    const offset_t b = row_ptr_[r], e = row_ptr_[r + 1];
+    return {{col_idx_.data() + b, static_cast<std::size_t>(e - b)},
+            {values_.data() + b, static_cast<std::size_t>(e - b)}};
+  }
+  std::size_t row_nnz(std::size_t r) const {
+    PARSGD_DCHECK(r < rows());
+    return static_cast<std::size_t>(row_ptr_[r + 1] - row_ptr_[r]);
+  }
+
+  std::span<const offset_t> row_ptr() const { return row_ptr_; }
+  std::span<const index_t> col_idx() const { return col_idx_; }
+  std::span<const real_t> values() const { return values_; }
+
+  /// Fraction of entries that are non-zero, in [0, 1].
+  double density() const {
+    const double total = static_cast<double>(rows()) * cols_;
+    return total == 0 ? 0.0 : static_cast<double>(nnz()) / total;
+  }
+
+  /// Materializes the dense equivalent. Throws if it would exceed
+  /// `max_bytes` (guards against the paper's 256 GB rcv1-dense case).
+  DenseMatrix to_dense(std::size_t max_bytes = std::size_t(1) << 33) const;
+
+  /// Builds a CSR from a dense matrix, dropping zeros.
+  static CsrMatrix from_dense(const DenseMatrix& m);
+
+  bool operator==(const CsrMatrix& o) const {
+    return cols_ == o.cols_ && row_ptr_ == o.row_ptr_ &&
+           col_idx_ == o.col_idx_ && values_ == o.values_;
+  }
+
+  /// Incremental row-by-row builder. Rows are appended in order; columns
+  /// within a row are sorted on append.
+  class Builder {
+   public:
+    explicit Builder(std::size_t cols) : cols_(cols) { row_ptr_.push_back(0); }
+
+    /// Appends a row given parallel (index, value) arrays. Indices need not
+    /// be pre-sorted; duplicates within a row are rejected.
+    void add_row(std::span<const index_t> idx, std::span<const real_t> val);
+    /// Appends a dense row, dropping zeros.
+    void add_dense_row(std::span<const real_t> row);
+
+    std::size_t rows() const { return row_ptr_.size() - 1; }
+
+    CsrMatrix build() &&;
+
+   private:
+    std::size_t cols_;
+    std::vector<offset_t> row_ptr_;
+    std::vector<index_t> col_idx_;
+    std::vector<real_t> values_;
+  };
+
+ private:
+  std::size_t cols_ = 0;
+  std::vector<offset_t> row_ptr_;
+  std::vector<index_t> col_idx_;
+  std::vector<real_t> values_;
+};
+
+}  // namespace parsgd

@@ -1,0 +1,60 @@
+// Row-major dense matrix of real_t, the "complete dense 2-D matrix
+// representation" of the paper's dense-data axis.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/check.hpp"
+#include "matrix/types.hpp"
+
+namespace parsgd {
+
+class DenseMatrix {
+ public:
+  DenseMatrix() = default;
+  DenseMatrix(std::size_t rows, std::size_t cols, real_t fill = 0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+  std::size_t bytes() const { return data_.size() * sizeof(real_t); }
+
+  real_t& at(std::size_t r, std::size_t c) {
+    PARSGD_DCHECK(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+  real_t at(std::size_t r, std::size_t c) const {
+    PARSGD_DCHECK(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+
+  std::span<real_t> row(std::size_t r) {
+    PARSGD_DCHECK(r < rows_);
+    return {data_.data() + r * cols_, cols_};
+  }
+  std::span<const real_t> row(std::size_t r) const {
+    PARSGD_DCHECK(r < rows_);
+    return {data_.data() + r * cols_, cols_};
+  }
+
+  std::span<real_t> data() { return data_; }
+  std::span<const real_t> data() const { return data_; }
+
+  /// Sets every element to `v`.
+  void fill(real_t v) { data_.assign(data_.size(), v); }
+
+  bool operator==(const DenseMatrix& o) const {
+    return rows_ == o.rows_ && cols_ == o.cols_ && data_ == o.data_;
+  }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<real_t> data_;
+};
+
+}  // namespace parsgd

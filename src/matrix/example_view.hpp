@@ -1,0 +1,90 @@
+// A uniform view of one training example that the per-example (incremental
+// SGD) code paths consume, abstracting over dense and sparse storage.
+#pragma once
+
+#include <span>
+
+#include "matrix/csr_matrix.hpp"
+#include "matrix/dense_matrix.hpp"
+#include "matrix/types.hpp"
+
+namespace parsgd {
+
+/// One training example x_i. Exactly one of the two representations is
+/// active: dense (a contiguous span of d features) or sparse (parallel
+/// index/value spans).
+class ExampleView {
+ public:
+  static ExampleView dense(std::span<const real_t> x) {
+    ExampleView v;
+    v.dense_ = x;
+    v.is_dense_ = true;
+    return v;
+  }
+  static ExampleView sparse(SparseRowView row) {
+    ExampleView v;
+    v.sparse_ = row;
+    v.is_dense_ = false;
+    return v;
+  }
+
+  bool is_dense() const { return is_dense_; }
+  std::span<const real_t> dense_features() const {
+    PARSGD_DCHECK(is_dense_);
+    return dense_;
+  }
+  const SparseRowView& sparse_features() const {
+    PARSGD_DCHECK(!is_dense_);
+    return sparse_;
+  }
+
+  /// Number of stored (touched) entries: d for dense, nnz for sparse.
+  std::size_t touched() const {
+    return is_dense_ ? dense_.size() : sparse_.nnz();
+  }
+
+  /// Dot product with a dense model vector w.
+  double dot(std::span<const real_t> w) const {
+    double acc = 0;
+    if (is_dense_) {
+      PARSGD_DCHECK(w.size() >= dense_.size());
+      for (std::size_t j = 0; j < dense_.size(); ++j)
+        acc += static_cast<double>(dense_[j]) * w[j];
+    } else {
+      for (std::size_t k = 0; k < sparse_.nnz(); ++k)
+        acc += static_cast<double>(sparse_.val[k]) * w[sparse_.idx[k]];
+    }
+    return acc;
+  }
+
+  /// w[j] += scale * x[j] over the stored entries.
+  void axpy_into(double scale, std::span<real_t> w) const {
+    if (is_dense_) {
+      for (std::size_t j = 0; j < dense_.size(); ++j)
+        w[j] += static_cast<real_t>(scale * dense_[j]);
+    } else {
+      for (std::size_t k = 0; k < sparse_.nnz(); ++k)
+        w[sparse_.idx[k]] += static_cast<real_t>(scale * sparse_.val[k]);
+    }
+  }
+
+  /// Invokes fn(feature_index, value) over the stored entries.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    if (is_dense_) {
+      for (std::size_t j = 0; j < dense_.size(); ++j)
+        fn(static_cast<index_t>(j), dense_[j]);
+    } else {
+      for (std::size_t k = 0; k < sparse_.nnz(); ++k)
+        fn(sparse_.idx[k], sparse_.val[k]);
+    }
+  }
+
+ private:
+  ExampleView() = default;
+  std::span<const real_t> dense_;
+  SparseRowView sparse_{};
+  bool is_dense_ = false;
+};
+
+}  // namespace parsgd

@@ -1,0 +1,88 @@
+#include "matrix/io.hpp"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace parsgd {
+
+namespace {
+
+real_t normalize_label(double raw) {
+  // Common encodings: {-1,+1}, {0,1}, {1,2}.
+  if (raw == -1 || raw == 0) return real_t(-1);
+  if (raw == 1) return real_t(1);
+  if (raw == 2) return real_t(-1);
+  PARSGD_CHECK(false, "unsupported label value " << raw);
+  return 0;
+}
+
+}  // namespace
+
+LabeledCsr read_libsvm(std::istream& in, std::size_t cols) {
+  std::vector<std::vector<index_t>> row_idx;
+  std::vector<std::vector<real_t>> row_val;
+  std::vector<real_t> labels;
+  std::size_t max_col = 0;
+
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    double raw_label;
+    PARSGD_CHECK(static_cast<bool>(ls >> raw_label),
+                 "bad libsvm line: " << line);
+    labels.push_back(normalize_label(raw_label));
+    row_idx.emplace_back();
+    row_val.emplace_back();
+    std::string tok;
+    while (ls >> tok) {
+      const auto colon = tok.find(':');
+      PARSGD_CHECK(colon != std::string::npos, "bad feature token " << tok);
+      const long idx1 = std::strtol(tok.c_str(), nullptr, 10);
+      PARSGD_CHECK(idx1 >= 1, "libsvm indices are 1-based, got " << idx1);
+      const double v = std::strtod(tok.c_str() + colon + 1, nullptr);
+      const auto idx0 = static_cast<index_t>(idx1 - 1);
+      row_idx.back().push_back(idx0);
+      row_val.back().push_back(static_cast<real_t>(v));
+      max_col = std::max<std::size_t>(max_col, idx0 + 1);
+    }
+  }
+
+  if (cols == 0) cols = max_col;
+  PARSGD_CHECK(cols >= max_col,
+               "cols=" << cols << " smaller than max index " << max_col);
+  CsrMatrix::Builder b(cols);
+  for (std::size_t r = 0; r < row_idx.size(); ++r) {
+    b.add_row(row_idx[r], row_val[r]);
+  }
+  return {std::move(b).build(), std::move(labels)};
+}
+
+LabeledCsr read_libsvm_file(const std::string& path, std::size_t cols) {
+  std::ifstream in(path);
+  PARSGD_CHECK(in.good(), "cannot open " << path);
+  return read_libsvm(in, cols);
+}
+
+void write_libsvm(std::ostream& out, const LabeledCsr& data) {
+  PARSGD_CHECK(data.y.size() == data.x.rows());
+  for (std::size_t r = 0; r < data.x.rows(); ++r) {
+    out << (data.y[r] > 0 ? "+1" : "-1");
+    const auto rv = data.x.row(r);
+    for (std::size_t k = 0; k < rv.nnz(); ++k) {
+      out << ' ' << (rv.idx[k] + 1) << ':' << rv.val[k];
+    }
+    out << '\n';
+  }
+}
+
+void write_libsvm_file(const std::string& path, const LabeledCsr& data) {
+  std::ofstream out(path);
+  PARSGD_CHECK(out.good(), "cannot open " << path);
+  write_libsvm(out, data);
+}
+
+}  // namespace parsgd

@@ -1,0 +1,29 @@
+// LIBSVM / svmlight text-format reader & writer, the format the paper's
+// five datasets ship in. Lines look like:
+//   <label> <index>:<value> <index>:<value> ...
+// with 1-based indices.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "matrix/csr_matrix.hpp"
+
+namespace parsgd {
+
+struct LabeledCsr {
+  CsrMatrix x;
+  std::vector<real_t> y;  ///< labels in {-1, +1}
+};
+
+/// Parses a libsvm stream. `cols` of 0 means infer from the max index seen.
+/// Labels {0,1} or {-1,+1} or {1,2} are normalized to {-1,+1}.
+LabeledCsr read_libsvm(std::istream& in, std::size_t cols = 0);
+LabeledCsr read_libsvm_file(const std::string& path, std::size_t cols = 0);
+
+/// Writes in libsvm format (1-based indices).
+void write_libsvm(std::ostream& out, const LabeledCsr& data);
+void write_libsvm_file(const std::string& path, const LabeledCsr& data);
+
+}  // namespace parsgd

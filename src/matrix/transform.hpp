@@ -1,0 +1,27 @@
+// Feature-grouping transform (paper §IV-A): to keep MLP models inside GPU
+// memory, consecutive features are grouped and averaged so each dataset
+// matches its MLP input-layer width (e.g. real-sim 20,958 -> 50 inputs).
+// The transform typically *increases* density, which Table I reports in the
+// "MLP sparsity" column.
+#pragma once
+
+#include "matrix/csr_matrix.hpp"
+#include "matrix/dense_matrix.hpp"
+
+namespace parsgd {
+
+/// Groups the `in.cols()` features into `groups` buckets of consecutive
+/// features and averages the *stored* values that fall in each bucket over
+/// the bucket width. Result is dense rows of width `groups`.
+DenseMatrix group_features_dense(const CsrMatrix& in, std::size_t groups);
+
+/// Same transform but keeping a sparse result (zero buckets stay absent).
+CsrMatrix group_features_sparse(const CsrMatrix& in, std::size_t groups);
+
+/// Copies rows [begin, end) into a new matrix (mini-batch slicing).
+CsrMatrix slice_rows(const CsrMatrix& in, std::size_t begin,
+                     std::size_t end);
+DenseMatrix slice_rows(const DenseMatrix& in, std::size_t begin,
+                       std::size_t end);
+
+}  // namespace parsgd

@@ -1,0 +1,17 @@
+// Fundamental scalar/index types for the numeric stack.
+//
+// Data and models use 32-bit floats — the representation used on the GPU
+// and by ViennaCL in the paper. Losses and other long accumulations use
+// double to avoid catastrophic cancellation over hundreds of thousands of
+// examples.
+#pragma once
+
+#include <cstdint>
+
+namespace parsgd {
+
+using real_t = float;
+using index_t = std::uint32_t;  ///< column / feature index
+using offset_t = std::uint64_t; ///< CSR row-pointer offset
+
+}  // namespace parsgd

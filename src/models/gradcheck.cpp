@@ -1,0 +1,46 @@
+#include "models/gradcheck.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace parsgd {
+
+GradCheckResult gradient_check(const Model& model, const ExampleView& x,
+                               real_t y, std::span<const real_t> w,
+                               double fd_step) {
+  const std::size_t d = model.dim();
+  PARSGD_CHECK(w.size() == d);
+
+  // Analytic gradient from one unit-step update: g = (w - w') / alpha.
+  // alpha=1 keeps float rounding minimal.
+  std::vector<real_t> w_after(w.begin(), w.end());
+  model.example_step(x, y, real_t(1), w, w_after, nullptr);
+  std::vector<double> analytic(d);
+  for (std::size_t j = 0; j < d; ++j) {
+    analytic[j] = static_cast<double>(w[j]) - w_after[j];
+  }
+
+  GradCheckResult res;
+  std::vector<real_t> probe(w.begin(), w.end());
+  for (std::size_t j = 0; j < d; ++j) {
+    const real_t keep = probe[j];
+    probe[j] = static_cast<real_t>(keep + fd_step);
+    const double up = model.example_loss(x, y, probe);
+    probe[j] = static_cast<real_t>(keep - fd_step);
+    const double dn = model.example_loss(x, y, probe);
+    probe[j] = keep;
+    const double numeric = (up - dn) / (2.0 * fd_step);
+    const double abs_err = std::abs(analytic[j] - numeric);
+    res.max_abs_err = std::max(res.max_abs_err, abs_err);
+    const double mag = std::max(std::abs(analytic[j]), std::abs(numeric));
+    if (mag > 1e-4) {
+      res.max_rel_err = std::max(res.max_rel_err, abs_err / mag);
+    }
+    ++res.checked;
+  }
+  return res;
+}
+
+}  // namespace parsgd

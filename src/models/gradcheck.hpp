@@ -1,0 +1,24 @@
+// Finite-difference gradient checking used by the model unit tests.
+#pragma once
+
+#include <span>
+
+#include "models/model.hpp"
+
+namespace parsgd {
+
+struct GradCheckResult {
+  double max_abs_err = 0;   ///< worst |analytic - numeric|
+  double max_rel_err = 0;   ///< worst relative error among large entries
+  std::size_t checked = 0;  ///< coordinates compared
+};
+
+/// Compares the gradient implied by model.example_step (recovered as
+/// (w - w') / alpha) against central finite differences of
+/// model.example_loss. Checks every coordinate with |g| > floor plus a
+/// deterministic sample of the rest.
+GradCheckResult gradient_check(const Model& model, const ExampleView& x,
+                               real_t y, std::span<const real_t> w,
+                               double fd_step = 1e-3);
+
+}  // namespace parsgd

@@ -1,0 +1,81 @@
+// Generalized linear models: logistic regression (LR) and linear SVM
+// (hinge loss), the two convex tasks of the paper. Both share the margin
+// structure z = w·x; they differ only in loss(z, y) and dloss/dz.
+#pragma once
+
+#include "models/model.hpp"
+
+namespace parsgd {
+
+/// Common machinery for margin-based linear models.
+class LinearModel : public Model {
+ public:
+  explicit LinearModel(std::size_t features) : d_(features) {}
+
+  std::size_t dim() const override { return d_; }
+  std::vector<real_t> init_params(std::uint64_t seed) const override;
+
+  double example_loss(const ExampleView& x, real_t y,
+                      std::span<const real_t> w) const override;
+  void example_step(const ExampleView& x, real_t y, real_t alpha,
+                    std::span<const real_t> w_read,
+                    std::span<real_t> w_write,
+                    std::vector<index_t>* touched) const override;
+  bool sparse_updates() const override { return true; }
+  void batch_step(const TrainData& data, std::size_t begin, std::size_t end,
+                  bool prefer_dense, real_t alpha,
+                  std::span<const real_t> w_read,
+                  std::span<real_t> w_write) const override;
+  double sync_epoch(linalg::Backend& backend, const TrainData& data,
+                    bool use_dense, real_t alpha,
+                    std::span<real_t> w) const override;
+  double step_flops(std::size_t touched_features) const override;
+
+ public:
+  /// loss(z, y) for one example given margin z = w.x.
+  virtual double margin_loss(double z, double y) const = 0;
+  /// d loss / d z — exposed for extensions (e.g. low-precision SGD).
+  virtual double margin_grad(double z, double y) const = 0;
+
+ protected:
+  /// Fused batch kernel selector (lr_ or svm_loss_coefficients).
+  virtual double coefficients(linalg::Backend& backend,
+                              std::span<const real_t> z,
+                              std::span<const real_t> y,
+                              std::span<real_t> coef) const = 0;
+
+ private:
+  std::size_t d_;
+};
+
+class LogisticRegression final : public LinearModel {
+ public:
+  using LinearModel::LinearModel;
+  std::string name() const override { return "LR"; }
+
+ public:
+  double margin_loss(double z, double y) const override;
+  double margin_grad(double z, double y) const override;
+
+ protected:
+  double coefficients(linalg::Backend& backend, std::span<const real_t> z,
+                      std::span<const real_t> y,
+                      std::span<real_t> coef) const override;
+};
+
+class LinearSvm final : public LinearModel {
+ public:
+  using LinearModel::LinearModel;
+  std::string name() const override { return "SVM"; }
+
+ public:
+  double margin_loss(double z, double y) const override;
+  double margin_grad(double z, double y) const override;
+
+ protected:
+  double coefficients(linalg::Backend& backend, std::span<const real_t> z,
+                      std::span<const real_t> y,
+                      std::span<real_t> coef) const override;
+};
+
+}  // namespace parsgd

@@ -1,0 +1,127 @@
+#include "models/matrix_fact.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "common/check.hpp"
+
+namespace parsgd {
+
+Ratings generate_ratings(std::size_t users, std::size_t items,
+                         std::size_t true_rank, double density,
+                         double noise, std::uint64_t seed) {
+  PARSGD_CHECK(users > 0 && items > 0 && true_rank > 0);
+  PARSGD_CHECK(density > 0 && density <= 1.0);
+  Rng rng(seed);
+  // Hidden factors scaled so ratings are O(1).
+  const double scale = 1.0 / std::sqrt(static_cast<double>(true_rank));
+  std::vector<double> pu(users * true_rank), qi(items * true_rank);
+  for (auto& v : pu) v = rng.normal() * scale;
+  for (auto& v : qi) v = rng.normal() * scale;
+
+  Ratings r;
+  r.users = users;
+  r.items = items;
+  r.entries.reserve(
+      static_cast<std::size_t>(density * users * items) + 16);
+  for (index_t u = 0; u < users; ++u) {
+    for (index_t i = 0; i < items; ++i) {
+      if (!rng.bernoulli(density)) continue;
+      double dot = 0;
+      for (std::size_t f = 0; f < true_rank; ++f) {
+        dot += pu[u * true_rank + f] * qi[i * true_rank + f];
+      }
+      r.entries.push_back(
+          {u, i, static_cast<real_t>(dot + noise * rng.normal())});
+    }
+  }
+  return r;
+}
+
+MatrixFactorization::MatrixFactorization(
+    std::size_t users, std::size_t items,
+    const MatrixFactorizationOptions& opts)
+    : opts_(opts), users_(users), items_(items) {
+  PARSGD_CHECK(opts_.rank >= 1);
+  PARSGD_CHECK(opts_.lambda >= 0);
+  Rng rng(opts_.seed);
+  const double scale = 1.0 / std::sqrt(static_cast<double>(opts_.rank));
+  p_.resize(users * opts_.rank);
+  q_.resize(items * opts_.rank);
+  for (auto& v : p_) v = static_cast<real_t>(rng.normal() * scale * 0.5);
+  for (auto& v : q_) v = static_cast<real_t>(rng.normal() * scale * 0.5);
+}
+
+double MatrixFactorization::predict(index_t user, index_t item) const {
+  PARSGD_DCHECK(user < users_ && item < items_);
+  const real_t* pu = p_.data() + static_cast<std::size_t>(user) * opts_.rank;
+  const real_t* qi = q_.data() + static_cast<std::size_t>(item) * opts_.rank;
+  double dot = 0;
+  for (std::size_t f = 0; f < opts_.rank; ++f) {
+    dot += static_cast<double>(pu[f]) * qi[f];
+  }
+  return dot;
+}
+
+double MatrixFactorization::rmse(const Ratings& data) const {
+  PARSGD_CHECK(!data.entries.empty());
+  double sq = 0;
+  for (const auto& e : data.entries) {
+    const double err = e.value - predict(e.user, e.item);
+    sq += err * err;
+  }
+  return std::sqrt(sq / static_cast<double>(data.size()));
+}
+
+void MatrixFactorization::sgd_update(const Ratings::Entry& e, real_t alpha) {
+  real_t* pu = p_.data() + static_cast<std::size_t>(e.user) * opts_.rank;
+  real_t* qi = q_.data() + static_cast<std::size_t>(e.item) * opts_.rank;
+  const auto err = static_cast<real_t>(e.value - predict(e.user, e.item));
+  const auto lam = static_cast<real_t>(opts_.lambda);
+  for (std::size_t f = 0; f < opts_.rank; ++f) {
+    const real_t puf = pu[f], qif = qi[f];
+    pu[f] += alpha * (err * qif - lam * puf);
+    qi[f] += alpha * (err * puf - lam * qif);
+  }
+}
+
+CostBreakdown MatrixFactorization::hogwild_epoch(const Ratings& data,
+                                                 real_t alpha, int workers,
+                                                 Rng& rng) {
+  PARSGD_CHECK(workers >= 1);
+  CostBreakdown cost;
+  std::vector<std::uint32_t> order(data.size());
+  for (std::uint32_t i = 0; i < data.size(); ++i) order[i] = i;
+  rng.shuffle(order);
+
+  // Conflict accounting: within a window of `workers` consecutive updates
+  // (the in-flight set), two ratings sharing a user or item row collide.
+  std::unordered_map<std::uint64_t, int> window_rows;
+  std::size_t in_window = 0;
+
+  for (const std::uint32_t idx : order) {
+    const auto& e = data.entries[idx];
+    sgd_update(e, alpha);
+
+    const std::uint64_t ukey = e.user;
+    const std::uint64_t ikey = (1ULL << 32) | e.item;
+    cost.write_conflicts += (window_rows[ukey]++ > 0);
+    cost.write_conflicts += (window_rows[ikey]++ > 0);
+    if (++in_window >= static_cast<std::size_t>(workers)) {
+      window_rows.clear();
+      in_window = 0;
+    }
+
+    // 2 dots + 2 axpy-like updates over rank entries.
+    cost.flops += 8.0 * static_cast<double>(opts_.rank) + 20.0;
+    cost.model_reads += 2.0 * static_cast<double>(opts_.rank);
+    cost.model_writes += 2.0 * static_cast<double>(opts_.rank);
+    cost.bytes_random +=
+        4.0 * static_cast<double>(opts_.rank) * sizeof(real_t);
+    cost.bytes_streamed += sizeof(Ratings::Entry);
+  }
+  return cost;
+}
+
+}  // namespace parsgd

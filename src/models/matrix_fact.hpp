@@ -1,0 +1,83 @@
+// Low-rank matrix factorization trained with SGD — the paper's stated
+// future work ("we plan to consider other machine learning models such as
+// matrix factorization") and the setting of its cuMF-SGD related work
+// (Xie et al., HPDC'17: the only Hogwild GPU kernel the paper found).
+//
+// Model: ratings r_ui ~ p_u . q_i with user factors P (n x k) and item
+// factors Q (m x k); squared loss with L2 regularization. SGD per rating:
+//   e = r - p.q;  p += alpha (e q - lambda p);  q += alpha (e p - lambda q)
+// Hogwild parallelization races on rows of P and Q; two ratings conflict
+// only when they share a user or an item, so the conflict structure is a
+// bipartite graph — much sparser than a shared linear model, which is why
+// MF is the one task where GPU Hogwild (cuMF-SGD) works well.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "hwmodel/cost.hpp"
+#include "matrix/csr_matrix.hpp"
+
+namespace parsgd {
+
+/// A sparse ratings dataset: triplets (user, item, rating).
+struct Ratings {
+  std::size_t users = 0;
+  std::size_t items = 0;
+  struct Entry {
+    index_t user;
+    index_t item;
+    real_t value;
+  };
+  std::vector<Entry> entries;
+
+  std::size_t size() const { return entries.size(); }
+};
+
+/// Synthetic MovieLens-like ratings from a hidden rank-k model plus noise.
+/// `density` is the observed fraction of the full matrix.
+Ratings generate_ratings(std::size_t users, std::size_t items,
+                         std::size_t true_rank, double density,
+                         double noise, std::uint64_t seed);
+
+struct MatrixFactorizationOptions {
+  std::size_t rank = 16;
+  double lambda = 0.05;  ///< L2 regularization
+  std::uint64_t seed = 1;
+};
+
+class MatrixFactorization {
+ public:
+  MatrixFactorization(std::size_t users, std::size_t items,
+                      const MatrixFactorizationOptions& opts);
+
+  std::size_t rank() const { return opts_.rank; }
+  std::span<const real_t> user_factors() const { return p_; }
+  std::span<const real_t> item_factors() const { return q_; }
+
+  /// Root-mean-square error over the ratings.
+  double rmse(const Ratings& data) const;
+
+  /// Predicted rating for (user, item).
+  double predict(index_t user, index_t item) const;
+
+  /// One SGD epoch over a shuffled rating order with `workers` logical
+  /// Hogwild workers (delayed-gradient semantics like asyncsim; workers=1
+  /// is exact sequential SGD). Returns the work/conflict ledger, counting
+  /// factor-row conflicts (two concurrent updates to the same user or
+  /// item row).
+  CostBreakdown hogwild_epoch(const Ratings& data, real_t alpha,
+                              int workers, Rng& rng);
+
+ private:
+  void sgd_update(const Ratings::Entry& e, real_t alpha);
+
+  MatrixFactorizationOptions opts_;
+  std::size_t users_, items_;
+  std::vector<real_t> p_;  ///< users x rank, row-major
+  std::vector<real_t> q_;  ///< items x rank, row-major
+};
+
+}  // namespace parsgd

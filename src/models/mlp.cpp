@@ -1,0 +1,294 @@
+#include "models/mlp.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.hpp"
+
+namespace parsgd {
+
+namespace {
+inline double sigmoid(double v) { return 1.0 / (1.0 + std::exp(-v)); }
+
+inline double activate(Activation a, double v) {
+  switch (a) {
+    case Activation::kSigmoid: return sigmoid(v);
+    case Activation::kRelu: return v > 0 ? v : 0.0;
+    case Activation::kTanh: return std::tanh(v);
+  }
+  return v;
+}
+
+// Derivative expressed through the *activated* value (what backprop has).
+inline double activate_grad(Activation a, double act) {
+  switch (a) {
+    case Activation::kSigmoid: return act * (1.0 - act);
+    case Activation::kRelu: return act > 0 ? 1.0 : 0.0;
+    case Activation::kTanh: return 1.0 - act * act;
+  }
+  return 1.0;
+}
+}  // namespace
+
+const char* to_string(Activation a) {
+  switch (a) {
+    case Activation::kSigmoid: return "sigmoid";
+    case Activation::kRelu: return "relu";
+    case Activation::kTanh: return "tanh";
+  }
+  return "?";
+}
+
+Mlp::Mlp(std::vector<std::size_t> layer_sizes, Activation activation)
+    : sizes_(std::move(layer_sizes)), activation_(activation) {
+  PARSGD_CHECK(sizes_.size() >= 2, "MLP needs at least input+output layers");
+  PARSGD_CHECK(sizes_.back() == 2, "output layer must have 2 units");
+  for (std::size_t k = 0; k + 1 < sizes_.size(); ++k) {
+    w_off_.push_back(dim_);
+    dim_ += sizes_[k] * sizes_[k + 1];
+    b_off_.push_back(dim_);
+    dim_ += sizes_[k + 1];
+  }
+}
+
+std::vector<real_t> Mlp::init_params(std::uint64_t seed) const {
+  Rng rng(seed);
+  std::vector<real_t> w(dim_);
+  for (std::size_t k = 0; k + 1 < sizes_.size(); ++k) {
+    const double scale = 1.0 / std::sqrt(static_cast<double>(sizes_[k]));
+    for (std::size_t i = 0; i < sizes_[k] * sizes_[k + 1]; ++i) {
+      w[w_off_[k] + i] = static_cast<real_t>(rng.normal(0.0, scale));
+    }
+    // biases start at zero
+  }
+  return w;
+}
+
+void Mlp::forward(const ExampleView& x, std::span<const real_t> w,
+                  std::vector<std::vector<double>>& acts) const {
+  const std::size_t L = num_layers();
+  acts.resize(L + 1);
+  // First layer: handles sparse input without densifying.
+  {
+    const std::size_t out = sizes_[1];
+    auto& z = acts[1];
+    z.assign(out, 0.0);
+    const real_t* W = w.data() + w_off_[0];
+    x.for_each([&](index_t i, real_t v) {
+      const real_t* row = W + static_cast<std::size_t>(i) * out;
+      for (std::size_t j = 0; j < out; ++j) z[j] += static_cast<double>(v) * row[j];
+    });
+    const real_t* b = w.data() + b_off_[0];
+    for (std::size_t j = 0; j < out; ++j) {
+      z[j] += b[j];
+      if (L > 1) z[j] = activate(activation_, z[j]);  // hidden layer
+    }
+  }
+  for (std::size_t k = 1; k < L; ++k) {
+    const std::size_t in = sizes_[k], out = sizes_[k + 1];
+    auto& z = acts[k + 1];
+    z.assign(out, 0.0);
+    const real_t* W = w.data() + w_off_[k];
+    const real_t* b = w.data() + b_off_[k];
+    for (std::size_t i = 0; i < in; ++i) {
+      const double a = acts[k][i];
+      const real_t* row = W + i * out;
+      for (std::size_t j = 0; j < out; ++j) z[j] += a * row[j];
+    }
+    for (std::size_t j = 0; j < out; ++j) {
+      z[j] += b[j];
+      if (k + 1 < L) z[j] = activate(activation_, z[j]);
+    }
+  }
+}
+
+double Mlp::example_backprop(const ExampleView& x, real_t y,
+                             std::span<const real_t> w,
+                             std::vector<double>* grad) const {
+  const std::size_t L = num_layers();
+  thread_local std::vector<std::vector<double>> acts;
+  forward(x, w, acts);
+
+  // Softmax cross-entropy on the 2 logits.
+  const double a = acts[L][0], b2 = acts[L][1];
+  const double mx = std::max(a, b2);
+  const double ea = std::exp(a - mx), eb = std::exp(b2 - mx);
+  const double p1 = eb / (ea + eb);
+  const int cls = y > 0 ? 1 : 0;
+  const double loss = -std::log(std::max(1e-12, cls == 1 ? p1 : 1.0 - p1));
+  if (grad == nullptr) return loss;
+
+  // delta at output: softmax - onehot
+  std::vector<double> delta = {(1.0 - p1) - (cls == 0), p1 - (cls == 1)};
+
+  for (std::size_t k = L; k-- > 0;) {
+    const std::size_t in = sizes_[k], out = sizes_[k + 1];
+    const real_t* W = w.data() + w_off_[k];
+    double* gW = grad->data() + w_off_[k];
+    double* gb = grad->data() + b_off_[k];
+    // Bias gradient.
+    for (std::size_t j = 0; j < out; ++j) gb[j] += delta[j];
+    if (k == 0) {
+      // Weight grad from the (possibly sparse) input; no further delta.
+      x.for_each([&](index_t i, real_t v) {
+        double* row = gW + static_cast<std::size_t>(i) * out;
+        for (std::size_t j = 0; j < out; ++j) row[j] += static_cast<double>(v) * delta[j];
+      });
+      break;
+    }
+    std::vector<double> next_delta(in, 0.0);
+    for (std::size_t i = 0; i < in; ++i) {
+      const double act = acts[k][i];
+      const real_t* row = W + i * out;
+      double* grow = gW + i * out;
+      double up = 0;
+      for (std::size_t j = 0; j < out; ++j) {
+        grow[j] += act * delta[j];
+        up += static_cast<double>(row[j]) * delta[j];
+      }
+      next_delta[i] = up * activate_grad(activation_, act);
+    }
+    delta = std::move(next_delta);
+  }
+  return loss;
+}
+
+double Mlp::example_loss(const ExampleView& x, real_t y,
+                         std::span<const real_t> w) const {
+  return example_backprop(x, y, w, nullptr);
+}
+
+void Mlp::example_step(const ExampleView& x, real_t y, real_t alpha,
+                       std::span<const real_t> w_read,
+                       std::span<real_t> w_write,
+                       std::vector<index_t>* touched) const {
+  thread_local std::vector<double> grad;
+  grad.assign(dim_, 0.0);
+  example_backprop(x, y, w_read, &grad);
+  for (std::size_t j = 0; j < dim_; ++j) {
+    if (grad[j] != 0.0) {
+      w_write[j] -= static_cast<real_t>(alpha * grad[j]);
+    }
+  }
+  if (touched != nullptr) touched->clear();  // dense update: "all"
+}
+
+void Mlp::batch_step(const TrainData& data, std::size_t begin,
+                     std::size_t end, bool prefer_dense, real_t alpha,
+                     std::span<const real_t> w_read,
+                     std::span<real_t> w_write) const {
+  thread_local std::vector<double> grad;
+  grad.assign(dim_, 0.0);
+  for (std::size_t i = begin; i < end; ++i) {
+    example_backprop(data.example(i, prefer_dense), data.y[i], w_read, &grad);
+  }
+  const double scale = alpha / static_cast<double>(end - begin);
+  for (std::size_t j = 0; j < dim_; ++j) {
+    if (grad[j] != 0.0) {
+      w_write[j] -= static_cast<real_t>(scale * grad[j]);
+    }
+  }
+}
+
+double Mlp::sync_epoch(linalg::Backend& backend, const TrainData& data,
+                       bool use_dense, real_t alpha,
+                       std::span<real_t> w) const {
+  const std::size_t L = num_layers();
+  const std::size_t n = data.n();
+  PARSGD_CHECK(data.d() == sizes_[0],
+               "input width " << data.d() << " != " << sizes_[0]);
+
+  // Forward: A_{k+1} = act(A_k W_k + b_k), A_0 = X.
+  std::vector<DenseMatrix> acts(L + 1);
+  for (std::size_t k = 1; k <= L; ++k) acts[k] = DenseMatrix(n, sizes_[k]);
+
+  for (std::size_t k = 0; k < L; ++k) {
+    DenseMatrix wk(sizes_[k], sizes_[k + 1]);
+    std::copy_n(w.data() + w_off_[k], wk.size(), wk.data().begin());
+    if (k == 0 && !(use_dense && data.has_dense())) {
+      backend.spmm(*data.sparse, wk, acts[1]);
+    } else {
+      const DenseMatrix& in = k == 0 ? *data.dense : acts[k];
+      backend.gemm(in, wk, acts[k + 1], false, false);
+    }
+    backend.add_bias_rows(
+        acts[k + 1],
+        std::span<const real_t>(w.data() + b_off_[k], sizes_[k + 1]));
+    if (k + 1 < L) {
+      switch (activation_) {
+        case Activation::kSigmoid:
+          backend.ew_sigmoid(acts[k + 1].data(), acts[k + 1].data());
+          break;
+        case Activation::kRelu:
+          backend.ew_relu(acts[k + 1].data(), acts[k + 1].data());
+          break;
+        case Activation::kTanh:
+          backend.ew_tanh(acts[k + 1].data(), acts[k + 1].data());
+          break;
+      }
+    }
+  }
+
+  // Loss + output delta.
+  DenseMatrix delta(n, 2);
+  const double loss = backend.softmax_xent(acts[L], data.y, delta);
+
+  // Backward.
+  const double scale = alpha / static_cast<double>(n);
+  for (std::size_t k = L; k-- > 0;) {
+    const std::size_t in_w = sizes_[k], out_w = sizes_[k + 1];
+    DenseMatrix gW(in_w, out_w);
+    if (k == 0 && !(use_dense && data.has_dense())) {
+      backend.spmm_at_b(*data.sparse, delta, gW);
+    } else {
+      const DenseMatrix& a_in = k == 0 ? *data.dense : acts[k];
+      backend.gemm(a_in, delta, gW, /*trans_a=*/true, /*trans_b=*/false);
+    }
+    std::vector<real_t> gb(out_w);
+    backend.col_sum(delta, gb);
+
+    if (k > 0) {
+      // delta_prev = (delta W_k^T) ⊙ sigmoid'(A_k)
+      DenseMatrix wk(in_w, out_w);
+      std::copy_n(w.data() + w_off_[k], wk.size(), wk.data().begin());
+      DenseMatrix dprev(n, in_w);
+      backend.gemm(delta, wk, dprev, false, /*trans_b=*/true);
+      switch (activation_) {
+        case Activation::kSigmoid:
+          backend.ew_sigmoid_grad(dprev.data(), acts[k].data(),
+                                  dprev.data());
+          break;
+        case Activation::kRelu:
+          backend.ew_relu_grad(dprev.data(), acts[k].data(), dprev.data());
+          break;
+        case Activation::kTanh:
+          backend.ew_tanh_grad(dprev.data(), acts[k].data(), dprev.data());
+          break;
+      }
+      delta = std::move(dprev);
+    }
+
+    // Apply updates.
+    backend.axpy(static_cast<real_t>(-scale), gW.data(),
+                 std::span<real_t>(w.data() + w_off_[k], gW.size()));
+    backend.axpy(static_cast<real_t>(-scale), gb,
+                 std::span<real_t>(w.data() + b_off_[k], out_w));
+  }
+  return loss;
+}
+
+double Mlp::step_flops(std::size_t touched_features) const {
+  // Forward ~2 flops/weight, backward ~4 flops/weight; first layer scales
+  // with the touched input features instead of the full input width.
+  const std::size_t L = num_layers();
+  double weights_rest = 0;
+  for (std::size_t k = 1; k < L; ++k) {
+    weights_rest += static_cast<double>(sizes_[k]) * sizes_[k + 1];
+  }
+  const double first =
+      static_cast<double>(touched_features) * sizes_[1];
+  return 6.0 * (first + weights_rest) +
+         3.0 * linalg::kTranscendentalFlops;
+}
+
+}  // namespace parsgd

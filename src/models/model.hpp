@@ -1,0 +1,99 @@
+// Model abstraction: LR, SVM and MLP implement three views of the same
+// objective (paper §III):
+//  * a full-batch epoch expressed in linalg primitives (Algorithm 2 —
+//    synchronous SGD; parallelism lives inside the primitives);
+//  * a per-example incremental step (Algorithm 3 — the Hogwild unit of
+//    work), with explicit read-model / write-model spans so asyncsim can
+//    interpose stale snapshots and count write conflicts;
+//  * a mini-batch step (the Hogbatch unit of work for MLP, §IV-B).
+//
+// Models are stateless with respect to parameters: the flat parameter
+// vector is always passed in, because asynchronous simulation needs
+// several concurrent copies (global model + per-worker snapshots).
+#pragma once
+
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "hwmodel/cost.hpp"
+#include "linalg/backend.hpp"
+#include "matrix/example_view.hpp"
+
+namespace parsgd {
+
+/// The training input handed to engines: sparse features always, dense
+/// when materialized, labels in {-1,+1}.
+struct TrainData {
+  const CsrMatrix* sparse = nullptr;
+  const DenseMatrix* dense = nullptr;  ///< may be null
+  std::span<const real_t> y;
+
+  std::size_t n() const { return sparse ? sparse->rows() : dense->rows(); }
+  std::size_t d() const { return sparse ? sparse->cols() : dense->cols(); }
+
+  bool has_dense() const { return dense != nullptr; }
+
+  ExampleView example(std::size_t i, bool prefer_dense) const {
+    if (prefer_dense && dense) return ExampleView::dense(dense->row(i));
+    PARSGD_DCHECK(sparse != nullptr);
+    return ExampleView::sparse(sparse->row(i));
+  }
+};
+
+class Model {
+ public:
+  virtual ~Model() = default;
+
+  virtual std::string name() const = 0;
+  /// Flat parameter count.
+  virtual std::size_t dim() const = 0;
+  /// Deterministic parameter initialization (same across configurations,
+  /// per the paper's methodology: identical initial model and loss).
+  virtual std::vector<real_t> init_params(std::uint64_t seed) const = 0;
+
+  /// Loss of one example under parameters w.
+  virtual double example_loss(const ExampleView& x, real_t y,
+                              std::span<const real_t> w) const = 0;
+
+  /// Total loss over the dataset (double accumulation; not timed —
+  /// the paper excludes loss evaluation from iteration time).
+  double dataset_loss(const TrainData& data, std::span<const real_t> w,
+                      bool prefer_dense) const;
+
+  /// Incremental SGD step: reads the model from `w_read`, writes the
+  /// updated entries into `w_write` (the two may alias for plain
+  /// sequential SGD). If `touched` is non-null it receives the indices of
+  /// written parameters; models that write everything leave it empty and
+  /// return false from sparse_updates().
+  virtual void example_step(const ExampleView& x, real_t y, real_t alpha,
+                            std::span<const real_t> w_read,
+                            std::span<real_t> w_write,
+                            std::vector<index_t>* touched) const = 0;
+
+  /// True when example_step writes only the example's non-zero coordinates
+  /// (linear models); false when it writes the whole vector (MLP).
+  virtual bool sparse_updates() const = 0;
+
+  /// Mini-batch gradient step over examples [begin, end) of `data`:
+  /// gradient from `w_read`, update applied to `w_write` (Hogbatch unit).
+  virtual void batch_step(const TrainData& data, std::size_t begin,
+                          std::size_t end, bool prefer_dense, real_t alpha,
+                          std::span<const real_t> w_read,
+                          std::span<real_t> w_write) const = 0;
+
+  /// One full-batch gradient-descent epoch (Algorithm 2) expressed in
+  /// linalg primitives on `backend`. Returns the loss evaluated *before*
+  /// the update (free by-product of the gradient computation). `layout`
+  /// chooses dense vs sparse primitives when the data allows both.
+  virtual double sync_epoch(linalg::Backend& backend, const TrainData& data,
+                            bool use_dense, real_t alpha,
+                            std::span<real_t> w) const = 0;
+
+  /// Approximate flops of one example_step (for async engine cost
+  /// accounting; nnz-dependent terms use the supplied count).
+  virtual double step_flops(std::size_t touched_features) const = 0;
+};
+
+}  // namespace parsgd

@@ -1,0 +1,118 @@
+#include "models/quantized.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace parsgd {
+
+const char* to_string(Precision p) {
+  switch (p) {
+    case Precision::kInt8: return "int8";
+    case Precision::kInt16: return "int16";
+    case Precision::kFloat32: return "float32";
+  }
+  return "?";
+}
+
+std::size_t bytes_per_weight(Precision p) {
+  switch (p) {
+    case Precision::kInt8: return 1;
+    case Precision::kInt16: return 2;
+    case Precision::kFloat32: return 4;
+  }
+  return 4;
+}
+
+QuantizedLinearModel::QuantizedLinearModel(const LinearModel& model,
+                                           Precision precision, double range)
+    : model_(model), precision_(precision), range_(range) {
+  PARSGD_CHECK(range > 0);
+  PARSGD_CHECK(precision != Precision::kFloat32,
+               "use the plain LinearModel for float32");
+  const double levels =
+      precision == Precision::kInt8 ? 127.0 : 32767.0;
+  step_ = range_ / levels;
+  if (precision == Precision::kInt8) {
+    q8_.assign(model.dim(), 0);
+  } else {
+    q16_.assign(model.dim(), 0);
+  }
+}
+
+double QuantizedLinearModel::clip(double v) const {
+  return std::clamp(v, -range_, range_);
+}
+
+std::int32_t QuantizedLinearModel::stochastic_round(double v,
+                                                    Rng& rng) const {
+  const double grid = clip(v) / step_;
+  const double lo = std::floor(grid);
+  const double frac = grid - lo;
+  return static_cast<std::int32_t>(lo) + (rng.uniform() < frac ? 1 : 0);
+}
+
+real_t QuantizedLinearModel::weight(std::size_t j) const {
+  PARSGD_DCHECK(j < dim());
+  const std::int32_t q = precision_ == Precision::kInt8 ? q8_[j] : q16_[j];
+  return static_cast<real_t>(q * step_);
+}
+
+void QuantizedLinearModel::dequantize(std::span<real_t> out) const {
+  PARSGD_CHECK(out.size() == dim());
+  for (std::size_t j = 0; j < out.size(); ++j) out[j] = weight(j);
+}
+
+void QuantizedLinearModel::load(std::span<const real_t> w) {
+  PARSGD_CHECK(w.size() == dim());
+  for (std::size_t j = 0; j < w.size(); ++j) {
+    const auto q = static_cast<std::int32_t>(
+        std::lround(clip(w[j]) / step_));
+    if (precision_ == Precision::kInt8) {
+      q8_[j] = static_cast<std::int8_t>(std::clamp(q, -127, 127));
+    } else {
+      q16_[j] = static_cast<std::int16_t>(std::clamp(q, -32767, 32767));
+    }
+  }
+}
+
+void QuantizedLinearModel::example_step(const ExampleView& x, real_t y,
+                                        real_t alpha, Rng& rng) {
+  // Dequantized dot product (only the touched coordinates).
+  double z = 0;
+  x.for_each([&](index_t j, real_t v) {
+    z += static_cast<double>(v) * weight(j);
+  });
+  const double coef = model_.margin_grad(z, y);
+
+  if (coef == 0.0) return;
+  x.for_each([&](index_t j, real_t v) {
+    const double updated = weight(j) - alpha * coef * v;
+    const std::int32_t q = stochastic_round(updated, rng);
+    if (precision_ == Precision::kInt8) {
+      q8_[j] = static_cast<std::int8_t>(std::clamp(q, -127, 127));
+    } else {
+      q16_[j] = static_cast<std::int16_t>(std::clamp(q, -32767, 32767));
+    }
+  });
+}
+
+void QuantizedLinearModel::epoch(const TrainData& data, bool prefer_dense,
+                                 real_t alpha, Rng& rng) {
+  std::vector<std::uint32_t> order(data.n());
+  for (std::uint32_t i = 0; i < data.n(); ++i) order[i] = i;
+  rng.shuffle(order);
+  for (const auto i : order) {
+    example_step(data.example(i, prefer_dense), data.y[i], alpha, rng);
+  }
+}
+
+double QuantizedLinearModel::loss(const TrainData& data,
+                                  bool prefer_dense) const {
+  std::vector<real_t> w(dim());
+  dequantize(w);
+  return model_.dataset_loss(data, w, prefer_dense);
+}
+
+}  // namespace parsgd

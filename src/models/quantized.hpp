@@ -1,0 +1,78 @@
+// Buckwild-style low-precision SGD (De Sa et al., ISCA'17) — the paper's
+// future-work direction ("we plan to consider low-precision formats in
+// data representation"), implemented as an extension.
+//
+// The model is stored as 8- or 16-bit integers with a single power-of-two
+// scale. Gradient steps are computed in float from the dequantized view
+// and written back with *stochastic rounding*, the unbiased quantizer that
+// makes low-precision SGD converge in expectation. Halving or quartering
+// the model bytes shrinks the Hogwild working set — fewer cache lines,
+// fewer coherency conflicts — which is exactly why Buckwild pairs with
+// Hogwild. The ablation bench (bench_ablation_lowprec) measures both the
+// statistical cost and the modeled hardware gain.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "models/linear.hpp"
+
+namespace parsgd {
+
+enum class Precision { kInt8, kInt16, kFloat32 };
+
+const char* to_string(Precision p);
+std::size_t bytes_per_weight(Precision p);
+
+/// A linear model stored in low precision with stochastic-rounding
+/// updates. Wraps the loss/gradient math of a LinearModel (LR or SVM).
+class QuantizedLinearModel {
+ public:
+  /// `range` is the representable weight magnitude: values are clipped to
+  /// [-range, range] and quantized uniformly over the integer grid.
+  QuantizedLinearModel(const LinearModel& model, Precision precision,
+                       double range = 4.0);
+
+  std::size_t dim() const { return q16_.size() ? q16_.size() : q8_.size(); }
+  Precision precision() const { return precision_; }
+  std::size_t model_bytes() const {
+    return dim() * bytes_per_weight(precision_);
+  }
+
+  /// Current weight value of coordinate j (dequantized).
+  real_t weight(std::size_t j) const;
+  /// Dequantizes the whole model into out.
+  void dequantize(std::span<real_t> out) const;
+  /// Loads float weights (quantizing with round-to-nearest).
+  void load(std::span<const real_t> w);
+
+  /// One incremental-SGD step on one example: gradient in float from the
+  /// dequantized view, update written back with stochastic rounding.
+  void example_step(const ExampleView& x, real_t y, real_t alpha, Rng& rng);
+
+  /// One epoch of sequential incremental SGD in shuffled order.
+  void epoch(const TrainData& data, bool prefer_dense, real_t alpha,
+             Rng& rng);
+
+  /// Dataset loss under the dequantized weights.
+  double loss(const TrainData& data, bool prefer_dense) const;
+
+  /// Quantization step size (one integer unit in weight space).
+  double resolution() const { return step_; }
+
+ private:
+  double clip(double v) const;
+  /// Stochastic rounding of v/step_ to the integer grid.
+  std::int32_t stochastic_round(double v, Rng& rng) const;
+
+  const LinearModel& model_;
+  Precision precision_;
+  double range_;
+  double step_;
+  std::vector<std::int8_t> q8_;
+  std::vector<std::int16_t> q16_;
+};
+
+}  // namespace parsgd

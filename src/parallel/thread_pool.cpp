@@ -1,0 +1,105 @@
+#include "parallel/thread_pool.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace parsgd {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) {
+    threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    Task task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (stop_ && queue_.empty()) return;
+      task = std::move(queue_.back());
+      queue_.pop_back();
+    }
+    try {
+      task.fn();
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (!first_error_) first_error_ = std::current_exception();
+    }
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (--inflight_ == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::parallel_for(
+    std::size_t n, const std::function<void(std::size_t, std::size_t)>& fn) {
+  if (n == 0) return;
+  const std::size_t chunks = std::min(n, workers_.size());
+  if (chunks <= 1) {
+    fn(0, n);
+    return;
+  }
+  const std::size_t base = n / chunks, extra = n % chunks;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    PARSGD_CHECK(inflight_ == 0, "parallel_for is not reentrant");
+    first_error_ = nullptr;
+    inflight_ = chunks;
+    std::size_t begin = 0;
+    for (std::size_t c = 0; c < chunks; ++c) {
+      const std::size_t len = base + (c < extra ? 1 : 0);
+      const std::size_t end = begin + len;
+      queue_.push_back(Task{[fn, begin, end] { fn(begin, end); }});
+      begin = end;
+    }
+  }
+  cv_.notify_all();
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_cv_.wait(lock, [this] { return inflight_ == 0; });
+    if (first_error_) std::rethrow_exception(first_error_);
+  }
+}
+
+void ThreadPool::run_on_all(const std::function<void(std::size_t)>& fn) {
+  const std::size_t n = workers_.size();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    PARSGD_CHECK(inflight_ == 0, "run_on_all is not reentrant");
+    first_error_ = nullptr;
+    inflight_ = n;
+    for (std::size_t i = 0; i < n; ++i) {
+      queue_.push_back(Task{[fn, i] { fn(i); }});
+    }
+  }
+  cv_.notify_all();
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_cv_.wait(lock, [this] { return inflight_ == 0; });
+    if (first_error_) std::rethrow_exception(first_error_);
+  }
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool;
+  return pool;
+}
+
+}  // namespace parsgd

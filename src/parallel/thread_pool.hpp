@@ -1,0 +1,62 @@
+// Fixed-size thread pool with a statically-partitioned parallel_for, the
+// execution substrate of the CPU linalg backend (the role OpenMP plays in
+// the paper's implementation).
+//
+// The pool is honest parallel code: it spawns real std::threads and uses a
+// condition-variable task queue, so on a many-core host it scales; on the
+// 1-core reproduction host it still runs correctly (hardware efficiency for
+// multi-threaded configurations is then *modeled* by hwmodel, see DESIGN.md
+// §5).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace parsgd {
+
+/// A fixed pool of worker threads executing closures.
+class ThreadPool {
+ public:
+  /// Creates `threads` workers. 0 means hardware_concurrency().
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  /// Runs fn(chunk_begin, chunk_end) over [0, n) split into size() static
+  /// contiguous chunks; blocks until all chunks finish. fn must be
+  /// thread-safe. Exceptions from fn propagate (first one wins).
+  void parallel_for(std::size_t n,
+                    const std::function<void(std::size_t, std::size_t)>& fn);
+
+  /// Runs fn(worker_index) once on each of size() workers and blocks.
+  void run_on_all(const std::function<void(std::size_t)>& fn);
+
+  /// Process-wide default pool (lazily constructed, hardware concurrency).
+  static ThreadPool& global();
+
+ private:
+  struct Task {
+    std::function<void()> fn;
+  };
+
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::vector<Task> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::condition_variable done_cv_;
+  std::size_t inflight_ = 0;
+  bool stop_ = false;
+  std::exception_ptr first_error_;
+};
+
+}  // namespace parsgd

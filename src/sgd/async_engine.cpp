@@ -1,0 +1,81 @@
+#include "sgd/async_engine.hpp"
+
+namespace parsgd {
+
+namespace {
+
+AsyncSimOptions to_sim_options(const AsyncCpuOptions& opts) {
+  AsyncSimOptions s;
+  s.workers = opts.arch == Arch::kCpuSeq ? 1 : opts.threads;
+  s.window_units = opts.window_units;
+  s.batch = opts.batch;
+  s.delay_units = opts.delay_units;
+  s.prefer_dense = opts.prefer_dense;
+  return s;
+}
+
+}  // namespace
+
+AsyncCpuEngine::AsyncCpuEngine(const Model& model, const TrainData& data,
+                               const ScaleContext& scale,
+                               const AsyncCpuOptions& opts)
+    : model_(model), scale_(scale), opts_(opts),
+      sim_(model, data, to_sim_options(opts)) {}
+
+std::string AsyncCpuEngine::name() const {
+  return std::string("async/") + to_string(opts_.arch) +
+         (opts_.batch > 1 ? "/hogbatch" : "/hogwild");
+}
+
+double AsyncCpuEngine::run_epoch(std::span<real_t> w, real_t alpha,
+                                 Rng& rng) {
+  const CostBreakdown cost = sim_.run_epoch(w, alpha, rng);
+  cost_paper_ = cost.scaled(scale_.n_scale);
+  const int threads = opts_.arch == Arch::kCpuSeq ? 1 : opts_.threads;
+  // Incremental SGD and per-example backprop are scalar pointer-chasing
+  // inner loops on narrow layers — they do not vectorize (this is also
+  // why the paper's Hogbatch parallel speedup tops out near 23x, not 56x).
+  const double dispatch_us =
+      threads > 1 ? opts_.dispatch_us_par : opts_.dispatch_us_seq;
+  return cpu_epoch_seconds(paper_cpu(), cost, scale_, threads,
+                           /*vectorized=*/false) +
+         dispatch_us * 1e-6 * scale_.paper_n;
+}
+
+AsyncGpuEngine::AsyncGpuEngine(const Model& model, const TrainData& data,
+                               const ScaleContext& scale,
+                               const AsyncGpuOptions& opts)
+    : model_(model), scale_(scale), opts_(opts),
+      device_(std::make_unique<gpusim::Device>(paper_gpu())) {
+  if (opts_.batch > 1 || !model.sparse_updates()) {
+    GpuHogbatchOptions h;
+    h.batch = std::max<std::size_t>(opts_.batch, 1);
+    h.prefer_dense = opts_.prefer_dense;
+    hogbatch_ = std::make_unique<GpuHogbatch>(model, data, *device_, h);
+  } else {
+    GpuHogwildOptions h;
+    h.prefer_dense = opts_.prefer_dense;
+    h.concurrency_warps = opts_.concurrency_warps;
+    hogwild_ = std::make_unique<GpuHogwild>(model, data, *device_, h);
+  }
+}
+
+AsyncGpuEngine::~AsyncGpuEngine() = default;
+
+std::string AsyncGpuEngine::name() const {
+  return hogwild_ ? "async/gpu/hogwild" : "async/gpu/hogbatch";
+}
+
+double AsyncGpuEngine::run_epoch(std::span<real_t> w, real_t alpha,
+                                 Rng& rng) {
+  const CostBreakdown cost = hogwild_ ? hogwild_->run_epoch(w, alpha, rng)
+                                      : hogbatch_->run_epoch(w, alpha, rng);
+  cost_paper_ = cost.scaled(scale_.n_scale);
+  cost_paper_.kernel_launches = cost.kernel_launches;
+  if (opts_.dispatch_us > 0) {
+    return opts_.dispatch_us * 1e-6 * scale_.paper_n;
+  }
+  return gpu_epoch_seconds(device_->spec(), cost, scale_);
+}
+
+}  // namespace parsgd

@@ -1,0 +1,36 @@
+#include "sgd/convergence.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace parsgd {
+
+ConvergencePoint convergence_point(const RunResult& run, double optimal,
+                                   double fraction) {
+  PARSGD_CHECK(fraction >= 0);
+  ConvergencePoint p;
+  p.fraction = fraction;
+  // Loss may be negative-free here (LR/SVM/xent are nonnegative), so the
+  // multiplicative threshold of the paper applies directly.
+  const double threshold = optimal * (1.0 + fraction) + 1e-12;
+  double elapsed = 0;
+  for (std::size_t e = 0; e < run.losses.size(); ++e) {
+    elapsed += run.epoch_seconds[e];
+    if (run.losses[e] <= threshold) {
+      p.epochs = e + 1;
+      p.seconds = elapsed;
+      p.reached = true;
+      return p;
+    }
+  }
+  return p;  // not reached: seconds = inf (the paper's "∞")
+}
+
+double optimal_loss(std::span<const RunResult> runs) {
+  double best = std::numeric_limits<double>::infinity();
+  for (const auto& r : runs) best = std::min(best, r.best_loss());
+  return best;
+}
+
+}  // namespace parsgd

@@ -1,0 +1,35 @@
+// Convergence analysis of training runs (paper §IV-A methodology): the
+// optimal loss is the lowest loss any configuration reaches; a run
+// "converges to x%" at the first epoch whose loss is within x% of that
+// optimum; time to convergence is the modeled time accumulated up to that
+// epoch.
+#pragma once
+
+#include <limits>
+#include <optional>
+
+#include "sgd/engine.hpp"
+
+namespace parsgd {
+
+inline constexpr double kInfTime = std::numeric_limits<double>::infinity();
+
+/// The paper's reporting thresholds: 10%, 5%, 2%, 1%.
+inline constexpr double kConvergenceLevels[] = {0.10, 0.05, 0.02, 0.01};
+
+struct ConvergencePoint {
+  double fraction = 0;      ///< e.g. 0.01 for "within 1%"
+  std::size_t epochs = 0;   ///< epochs to reach it (statistical efficiency)
+  double seconds = kInfTime;///< modeled time to reach it
+  bool reached = false;
+};
+
+/// First epoch (1-based) at which `run` reaches loss <= optimal * (1+frac),
+/// and the cumulative modeled seconds up to it.
+ConvergencePoint convergence_point(const RunResult& run, double optimal_loss,
+                                   double fraction);
+
+/// Lowest loss across a set of runs — the "optimal loss" reference.
+double optimal_loss(std::span<const RunResult> runs);
+
+}  // namespace parsgd

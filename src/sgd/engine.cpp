@@ -1,0 +1,67 @@
+#include "sgd/engine.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace parsgd {
+
+const char* to_string(Arch a) {
+  switch (a) {
+    case Arch::kCpuSeq: return "cpu-seq";
+    case Arch::kCpuPar: return "cpu-par";
+    case Arch::kGpu: return "gpu";
+  }
+  return "?";
+}
+
+const char* to_string(Update u) {
+  return u == Update::kSync ? "sync" : "async";
+}
+
+double RunResult::best_loss() const {
+  double best = initial_loss;
+  for (const double l : losses) best = std::min(best, l);
+  return best;
+}
+
+double RunResult::seconds_per_epoch() const {
+  if (epoch_seconds.empty()) return 0;
+  return total_seconds() / static_cast<double>(epoch_seconds.size());
+}
+
+RunResult run_training(Engine& engine, const Model& model,
+                       const TrainData& data, std::span<const real_t> w0,
+                       real_t alpha, const TrainOptions& opts) {
+  PARSGD_CHECK(w0.size() == model.dim());
+  std::vector<real_t> w(w0.begin(), w0.end());
+  Rng rng(opts.seed);
+
+  RunResult res;
+  res.initial_loss = model.dataset_loss(data, w, opts.prefer_dense);
+  res.losses.reserve(opts.max_epochs);
+  res.epoch_seconds.reserve(opts.max_epochs);
+
+  for (std::size_t e = 0; e < opts.max_epochs; ++e) {
+    const real_t epoch_alpha =
+        opts.schedule ? static_cast<real_t>(opts.schedule->at(e)) : alpha;
+    const double secs = engine.run_epoch(w, epoch_alpha, rng);
+    const double loss = model.dataset_loss(data, w, opts.prefer_dense);
+    res.losses.push_back(loss);
+    res.epoch_seconds.push_back(secs);
+    if (!std::isfinite(loss) ||
+        loss > opts.divergence_factor * std::max(res.initial_loss, 1e-12)) {
+      res.diverged = true;
+      break;
+    }
+    if (opts.plateau_window > 0 && res.losses.size() > opts.plateau_window) {
+      const double past =
+          res.losses[res.losses.size() - 1 - opts.plateau_window];
+      if (past - loss < opts.plateau_rtol * std::abs(past)) break;
+    }
+  }
+  return res;
+}
+
+}  // namespace parsgd

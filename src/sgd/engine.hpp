@@ -1,0 +1,83 @@
+// Engine abstraction: one (architecture x update-strategy x layout)
+// configuration of the paper's Fig. 1 cube, runnable epoch by epoch.
+//
+// run_epoch mutates the model parameters functionally (real algorithm,
+// real statistical efficiency) and returns the *modeled* wall time of that
+// epoch at paper scale (DESIGN.md §5): CostBreakdowns measured on the
+// scaled run are extrapolated by paper_N / actual_N and converted with the
+// CPU cost model or the GPU cycle model.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "models/model.hpp"
+#include "sgd/schedule.hpp"
+
+namespace parsgd {
+
+enum class Arch { kCpuSeq, kCpuPar, kGpu };
+enum class Update { kSync, kAsync };
+
+const char* to_string(Arch a);
+const char* to_string(Update u);
+
+class Engine {
+ public:
+  virtual ~Engine() = default;
+  virtual std::string name() const = 0;
+  virtual Arch arch() const = 0;
+  virtual Update update() const = 0;
+
+  /// Runs one optimization epoch in place on `w`; returns modeled seconds
+  /// for the epoch at paper scale.
+  virtual double run_epoch(std::span<real_t> w, real_t alpha, Rng& rng) = 0;
+
+  /// Work/conflict counters of the last epoch (paper-scale).
+  virtual const CostBreakdown& last_cost() const = 0;
+};
+
+/// A full training run: per-epoch losses and modeled times.
+struct RunResult {
+  std::vector<double> losses;         ///< loss after epoch e (sum over examples)
+  std::vector<double> epoch_seconds;  ///< modeled seconds of epoch e
+  double initial_loss = 0;
+  bool diverged = false;
+
+  std::size_t epochs() const { return losses.size(); }
+  double total_seconds() const {
+    double t = 0;
+    for (const double s : epoch_seconds) t += s;
+    return t;
+  }
+  double best_loss() const;
+  /// Mean modeled seconds per epoch (the paper's hardware efficiency).
+  double seconds_per_epoch() const;
+};
+
+struct TrainOptions {
+  std::size_t max_epochs = 200;
+  /// Abort when loss exceeds `divergence_factor` x initial (or is NaN).
+  double divergence_factor = 10.0;
+  /// Stop early when the loss has improved by less than `plateau_rtol`
+  /// (relative) over the last `plateau_window` epochs. 0 disables.
+  std::size_t plateau_window = 0;
+  double plateau_rtol = 1e-5;
+  std::uint64_t seed = 7;
+  bool prefer_dense = false;  ///< loss evaluation layout
+  /// Optional per-epoch step-size schedule; when set it overrides the
+  /// constant alpha passed to run_training (which then seeds nothing).
+  /// Must outlive the run. The paper's protocol is a constant step.
+  const StepSchedule* schedule = nullptr;
+};
+
+/// Runs `engine` from a copy of `w0`, recording the loss after every
+/// epoch. Loss evaluation is excluded from the modeled time (paper §IV-A).
+RunResult run_training(Engine& engine, const Model& model,
+                       const TrainData& data, std::span<const real_t> w0,
+                       real_t alpha, const TrainOptions& opts);
+
+}  // namespace parsgd

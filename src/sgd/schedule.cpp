@@ -1,0 +1,16 @@
+#include "sgd/schedule.hpp"
+
+#include <cmath>
+
+namespace parsgd {
+
+double StepDecaySchedule::at(std::size_t epoch) const {
+  const auto steps = static_cast<double>(epoch / period_);
+  return alpha0_ * std::pow(factor_, steps);
+}
+
+double SqrtSchedule::at(std::size_t epoch) const {
+  return alpha0_ / std::sqrt(1.0 + static_cast<double>(epoch));
+}
+
+}  // namespace parsgd

@@ -1,0 +1,83 @@
+// Step-size schedules. The paper tunes a *constant* step size by grid
+// search (§IV-A) — that remains the default everywhere — but a production
+// SGD library needs the standard decay schedules, and the ablation bench
+// uses them to show how much of the async/sync statistical gap a decaying
+// rate recovers.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+
+#include "common/check.hpp"
+
+namespace parsgd {
+
+/// Maps epoch index (0-based) to the step size used for that epoch.
+class StepSchedule {
+ public:
+  virtual ~StepSchedule() = default;
+  virtual double at(std::size_t epoch) const = 0;
+  virtual std::string name() const = 0;
+};
+
+/// alpha_t = alpha0 (the paper's setting).
+class ConstantSchedule final : public StepSchedule {
+ public:
+  explicit ConstantSchedule(double alpha) : alpha_(alpha) {
+    PARSGD_CHECK(alpha > 0);
+  }
+  double at(std::size_t) const override { return alpha_; }
+  std::string name() const override { return "constant"; }
+
+ private:
+  double alpha_;
+};
+
+/// alpha_t = alpha0 / (1 + decay * t) — the classic Robbins-Monro-style
+/// hyperbolic decay.
+class InverseTimeSchedule final : public StepSchedule {
+ public:
+  InverseTimeSchedule(double alpha0, double decay)
+      : alpha0_(alpha0), decay_(decay) {
+    PARSGD_CHECK(alpha0 > 0 && decay >= 0);
+  }
+  double at(std::size_t epoch) const override {
+    return alpha0_ / (1.0 + decay_ * static_cast<double>(epoch));
+  }
+  std::string name() const override { return "inverse-time"; }
+
+ private:
+  double alpha0_, decay_;
+};
+
+/// alpha_t = alpha0 * factor^(t / period) — step decay.
+class StepDecaySchedule final : public StepSchedule {
+ public:
+  StepDecaySchedule(double alpha0, double factor, std::size_t period)
+      : alpha0_(alpha0), factor_(factor), period_(period) {
+    PARSGD_CHECK(alpha0 > 0 && factor > 0 && factor <= 1 && period >= 1);
+  }
+  double at(std::size_t epoch) const override;
+  std::string name() const override { return "step-decay"; }
+
+ private:
+  double alpha0_, factor_;
+  std::size_t period_;
+};
+
+/// alpha_t = alpha0 / sqrt(1 + t) — the 1/sqrt(T) rate of convex SGD
+/// theory.
+class SqrtSchedule final : public StepSchedule {
+ public:
+  explicit SqrtSchedule(double alpha0) : alpha0_(alpha0) {
+    PARSGD_CHECK(alpha0 > 0);
+  }
+  double at(std::size_t epoch) const override;
+  std::string name() const override { return "sqrt"; }
+
+ private:
+  double alpha0_;
+};
+
+}  // namespace parsgd

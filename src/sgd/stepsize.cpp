@@ -1,0 +1,73 @@
+#include "sgd/stepsize.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace parsgd {
+
+StepSearchResult search_step_size(
+    const std::function<RunResult(double, std::size_t)>& make_run,
+    const StepSearchOptions& opts) {
+  PARSGD_CHECK(!opts.grid.empty());
+
+  // Phase 1: short probes; rank by best loss achieved.
+  struct Probe {
+    double alpha;
+    double best;
+  };
+  std::vector<Probe> probes;
+  StepSearchResult result;
+  for (const double alpha : opts.grid) {
+    const RunResult r = make_run(alpha, opts.probe_epochs);
+    result.probed.push_back(alpha);
+    if (r.diverged && r.losses.size() <= 2) continue;  // hopeless
+    probes.push_back({alpha, r.best_loss()});
+  }
+  PARSGD_CHECK(!probes.empty(), "all step sizes diverged immediately");
+  std::sort(probes.begin(), probes.end(),
+            [](const Probe& a, const Probe& b) { return a.best < b.best; });
+  probes.resize(std::min(probes.size(), opts.keep_candidates));
+
+  // Phase 2: full runs of the candidates.
+  struct Candidate {
+    double alpha;
+    RunResult run;
+  };
+  std::vector<Candidate> full;
+  for (const auto& p : probes) {
+    full.push_back({p.alpha, make_run(p.alpha, opts.full_epochs)});
+  }
+
+  std::vector<RunResult> runs;
+  runs.reserve(full.size());
+  for (auto& c : full) runs.push_back(c.run);
+  const double optimum = optimal_loss(runs);
+  result.optimum = optimum;
+
+  // Pick: fewest epochs to within target_fraction of the optimum; if none
+  // reach it, lowest final best loss.
+  std::size_t best_idx = 0;
+  std::size_t best_epochs = std::numeric_limits<std::size_t>::max();
+  double best_loss_val = std::numeric_limits<double>::infinity();
+  bool any_reached = false;
+  for (std::size_t i = 0; i < full.size(); ++i) {
+    const ConvergencePoint p =
+        convergence_point(full[i].run, optimum, opts.target_fraction);
+    if (p.reached) {
+      if (!any_reached || p.epochs < best_epochs) {
+        any_reached = true;
+        best_epochs = p.epochs;
+        best_idx = i;
+      }
+    } else if (!any_reached && full[i].run.best_loss() < best_loss_val) {
+      best_loss_val = full[i].run.best_loss();
+      best_idx = i;
+    }
+  }
+  result.alpha = full[best_idx].alpha;
+  result.run = std::move(full[best_idx].run);
+  return result;
+}
+
+}  // namespace parsgd

@@ -1,0 +1,43 @@
+// Step-size selection (paper §IV-A): grid the step size in powers of 10
+// and pick the value with the fastest time to convergence. Two-phase to
+// keep the search affordable: a short probe run prunes the grid to the
+// best few candidates, which are then run to full length.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "sgd/convergence.hpp"
+#include "sgd/engine.hpp"
+
+namespace parsgd {
+
+struct StepSearchOptions {
+  std::vector<double> grid = {1e-6, 1e-5, 1e-4, 1e-3,
+                              1e-2, 1e-1, 1.0,  10.0, 100.0};
+  std::size_t probe_epochs = 25;
+  std::size_t keep_candidates = 3;
+  std::size_t full_epochs = 200;
+  double target_fraction = 0.01;  ///< converge-to within this of optimum
+  TrainOptions train;             ///< base training options
+};
+
+struct StepSearchResult {
+  double alpha = 0;
+  RunResult run;                  ///< the winning full-length run
+  std::vector<double> probed;     ///< grid values actually probed
+  /// Lowest loss across *all* full-length candidate runs (the
+  /// family-level optimum used as the convergence reference).
+  double optimum = 0;
+};
+
+/// `make_run(alpha, epochs)` must execute a fresh training run. The search
+/// owns candidate selection: probe everything briefly, run the
+/// `keep_candidates` best losses fully, then pick the alpha reaching
+/// within target_fraction of the best observed loss in the fewest epochs
+/// (ties broken by lower final loss).
+StepSearchResult search_step_size(
+    const std::function<RunResult(double alpha, std::size_t epochs)>& make_run,
+    const StepSearchOptions& opts = {});
+
+}  // namespace parsgd

@@ -1,0 +1,42 @@
+#include "sgd/timing.hpp"
+
+namespace parsgd {
+
+ScaleContext make_scale_context(const Dataset& ds, const Model& model,
+                                bool use_dense) {
+  ScaleContext ctx;
+  ctx.n_scale = ds.profile.n_scale();
+  ctx.paper_n = static_cast<double>(ds.profile.paper_n());
+  ctx.model_bytes = static_cast<double>(model.dim()) * sizeof(real_t);
+  const double data_bytes =
+      use_dense && ds.x_dense
+          ? static_cast<double>(ds.x.dense_bytes())
+          : static_cast<double>(ds.x.bytes());
+  ctx.working_set_bytes = data_bytes * ctx.n_scale + ctx.model_bytes;
+  return ctx;
+}
+
+double cpu_epoch_seconds(const CpuSpec& spec, const CostBreakdown& cost,
+                         const ScaleContext& ctx, int threads,
+                         bool vectorized) {
+  CpuModel cpu(spec);
+  CpuWorkload w;
+  w.per_epoch = cost.scaled(ctx.n_scale);
+  w.working_set_bytes = ctx.working_set_bytes;
+  w.model_bytes = ctx.model_bytes;
+  w.threads = threads;
+  w.vectorized = vectorized;
+  // Primitive-invocation (OpenMP fork/join) overhead is a per-epoch
+  // constant: use the unscaled count.
+  return cpu.epoch_time(w).seconds +
+         cost.kernel_launches * cpu.fork_join_seconds(threads);
+}
+
+double gpu_epoch_seconds(const GpuSpec& spec, const CostBreakdown& cost,
+                         const ScaleContext& ctx) {
+  const double cycles = cost.gpu_cycles * ctx.n_scale +
+                        cost.kernel_launches * spec.cycles_kernel_launch;
+  return cycles / (spec.clock_ghz * 1e9);
+}
+
+}  // namespace parsgd

@@ -1,0 +1,36 @@
+// Cost-to-seconds conversion shared by the engines (DESIGN.md §5).
+#pragma once
+
+#include "data/dataset.hpp"
+#include "hwmodel/cost.hpp"
+#include "hwmodel/cpu_model.hpp"
+#include "hwmodel/spec.hpp"
+#include "models/model.hpp"
+
+namespace parsgd {
+
+/// Paper-scale extrapolation context for one (dataset, model, layout).
+struct ScaleContext {
+  double n_scale = 1.0;           ///< paper_N / actual_N
+  double working_set_bytes = 0;   ///< paper-scale data + model bytes
+  double model_bytes = 0;
+  double paper_n = 0;             ///< example count at paper scale
+};
+
+/// Builds the context from a generated dataset: data bytes are the actual
+/// storage extrapolated to paper N; the model is the flat parameter vector.
+ScaleContext make_scale_context(const Dataset& ds, const Model& model,
+                                bool use_dense);
+
+/// Seconds for one epoch on the NUMA CPU with `threads` threads. `cost` is
+/// the breakdown measured on the scaled run (it is extrapolated here).
+double cpu_epoch_seconds(const CpuSpec& spec, const CostBreakdown& cost,
+                         const ScaleContext& ctx, int threads,
+                         bool vectorized);
+
+/// Seconds for one epoch on the GPU: data-proportional cycles extrapolate
+/// with N, per-epoch kernel-launch overhead does not.
+double gpu_epoch_seconds(const GpuSpec& spec, const CostBreakdown& cost,
+                         const ScaleContext& ctx);
+
+}  // namespace parsgd

@@ -1,0 +1,150 @@
+// Activation-function extension: gradient checks per activation, backend
+// primitive correctness, and sync/per-example path agreement.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "data/generator.hpp"
+#include "linalg/cpu_backend.hpp"
+#include "linalg/gpu_backend.hpp"
+#include "models/gradcheck.hpp"
+#include "models/mlp.hpp"
+
+namespace parsgd {
+namespace {
+
+TEST(Activations, Names) {
+  EXPECT_STREQ(to_string(Activation::kSigmoid), "sigmoid");
+  EXPECT_STREQ(to_string(Activation::kRelu), "relu");
+  EXPECT_STREQ(to_string(Activation::kTanh), "tanh");
+}
+
+class BackendUnaryCase : public testing::TestWithParam<bool> {
+ protected:
+  BackendUnaryCase() {
+    if (GetParam()) {
+      device_ = std::make_unique<gpusim::Device>(paper_gpu());
+      backend_ = std::make_unique<linalg::GpuBackend>(*device_);
+    } else {
+      backend_ = std::make_unique<linalg::CpuBackend>();
+    }
+    backend_->set_sink(&cost_);
+  }
+  std::unique_ptr<gpusim::Device> device_;
+  std::unique_ptr<linalg::Backend> backend_;
+  CostBreakdown cost_;
+};
+
+TEST_P(BackendUnaryCase, Relu) {
+  const std::vector<real_t> x = {-2, -0.5, 0, 0.5, 2};
+  std::vector<real_t> y(5);
+  backend_->ew_relu(x, y);
+  EXPECT_EQ(y, (std::vector<real_t>{0, 0, 0, 0.5, 2}));
+  std::vector<real_t> g(5);
+  const std::vector<real_t> up(5, 3);
+  backend_->ew_relu_grad(up, y, g);
+  EXPECT_EQ(g, (std::vector<real_t>{0, 0, 0, 3, 3}));
+}
+
+TEST_P(BackendUnaryCase, Tanh) {
+  const std::vector<real_t> x = {-10, 0, 1};
+  std::vector<real_t> y(3);
+  backend_->ew_tanh(x, y);
+  EXPECT_NEAR(y[0], -1.0, 1e-4);
+  EXPECT_NEAR(y[1], 0.0, 1e-6);
+  EXPECT_NEAR(y[2], std::tanh(1.0), 1e-6);
+  std::vector<real_t> g(3);
+  const std::vector<real_t> up = {2, 2, 2};
+  backend_->ew_tanh_grad(up, y, g);
+  EXPECT_NEAR(g[1], 2.0, 1e-6);
+  EXPECT_NEAR(g[2], 2.0 * (1 - std::pow(std::tanh(1.0), 2)), 1e-5);
+}
+
+INSTANTIATE_TEST_SUITE_P(CpuAndGpu, BackendUnaryCase,
+                         testing::Values(false, true),
+                         [](const testing::TestParamInfo<bool>& pinfo) {
+                           return pinfo.param ? "Gpu" : "Cpu";
+                         });
+
+class MlpActivationCase : public testing::TestWithParam<Activation> {};
+
+TEST_P(MlpActivationCase, GradCheck) {
+  // ReLU's kink makes finite differences unreliable exactly at 0; random
+  // inputs keep pre-activations away from it with overwhelming odds.
+  GeneratorOptions g;
+  g.scale = 500;
+  g.seed = 77;
+  const Dataset ds = generate_dataset("covtype", g);
+  Mlp mlp({54, 10, 5, 2}, GetParam());
+  auto w = mlp.init_params(5);
+  if (GetParam() == Activation::kRelu) {
+    // Keep every pre-activation strictly positive (positive weights on
+    // covtype's nonnegative features): finite differences would otherwise
+    // step across the ReLU kink and disagree with the subgradient.
+    for (auto& v : w) v = std::abs(v) + real_t(0.05);
+  }
+  const auto res =
+      gradient_check(mlp, ds.example(2, true), ds.y[2], w, 1e-3);
+  EXPECT_LT(res.max_rel_err, 0.1) << to_string(GetParam());
+}
+
+TEST_P(MlpActivationCase, SyncEpochMatchesBatchStep) {
+  GeneratorOptions g;
+  g.scale = 500;
+  g.seed = 78;
+  const Dataset ds = generate_dataset("covtype", g);
+  TrainData data;
+  data.sparse = &ds.x;
+  data.dense = &*ds.x_dense;
+  data.y = ds.y;
+  Mlp mlp({54, 10, 5, 2}, GetParam());
+  const auto w0 = mlp.init_params(6);
+
+  std::vector<real_t> w_sync(w0);
+  linalg::CpuBackend be;
+  CostBreakdown cost;
+  be.set_sink(&cost);
+  mlp.sync_epoch(be, data, true, real_t(0.2), w_sync);
+
+  std::vector<real_t> w_ref(w0);
+  mlp.batch_step(data, 0, data.n(), true, real_t(0.2), w0, w_ref);
+  double max_err = 0;
+  for (std::size_t j = 0; j < mlp.dim(); ++j) {
+    max_err = std::max(max_err, std::abs(double(w_sync[j]) - w_ref[j]));
+  }
+  EXPECT_LT(max_err, 1e-3) << to_string(GetParam());
+}
+
+TEST_P(MlpActivationCase, Learns) {
+  GeneratorOptions g;
+  g.scale = 500;
+  g.seed = 79;
+  const Dataset ds = generate_dataset("covtype", g);
+  TrainData data;
+  data.sparse = &ds.x;
+  data.dense = &*ds.x_dense;
+  data.y = ds.y;
+  Mlp mlp({54, 10, 5, 2}, GetParam());
+  auto w = mlp.init_params(7);
+  const double initial = mlp.dataset_loss(data, w, true);
+  Rng rng(3);
+  for (int e = 0; e < 25; ++e) {
+    for (std::size_t b = 0; b + 32 <= data.n(); b += 32) {
+      mlp.batch_step(data, b, b + 32, true, real_t(0.5), w, w);
+    }
+  }
+  EXPECT_LT(mlp.dataset_loss(data, w, true), 0.95 * initial)
+      << to_string(GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(All, MlpActivationCase,
+                         testing::Values(Activation::kSigmoid,
+                                         Activation::kRelu,
+                                         Activation::kTanh),
+                         [](const testing::TestParamInfo<Activation>& p) {
+                           return to_string(p.param);
+                         });
+
+}  // namespace
+}  // namespace parsgd

@@ -1,0 +1,56 @@
+#include "common/cli.hpp"
+
+#include <gtest/gtest.h>
+
+namespace parsgd {
+namespace {
+
+Cli make(std::vector<std::string> args) {
+  static std::vector<std::string> storage;
+  storage = std::move(args);
+  static std::vector<char*> ptrs;
+  ptrs.clear();
+  for (auto& s : storage) ptrs.push_back(s.data());
+  return Cli(static_cast<int>(ptrs.size()), ptrs.data());
+}
+
+TEST(Cli, EqualsForm) {
+  const Cli cli = make({"prog", "--scale=25", "--name=covtype"});
+  EXPECT_EQ(cli.get_int("scale", 0), 25);
+  EXPECT_EQ(cli.get("name", ""), "covtype");
+}
+
+TEST(Cli, SpaceForm) {
+  const Cli cli = make({"prog", "--epochs", "40"});
+  EXPECT_EQ(cli.get_int("epochs", 0), 40);
+}
+
+TEST(Cli, BooleanFlag) {
+  const Cli cli = make({"prog", "--quick"});
+  EXPECT_TRUE(cli.get_bool("quick", false));
+  EXPECT_FALSE(cli.get_bool("other", false));
+  EXPECT_TRUE(cli.get_bool("missing", true));
+}
+
+TEST(Cli, Doubles) {
+  const Cli cli = make({"prog", "--alpha=0.01"});
+  EXPECT_DOUBLE_EQ(cli.get_double("alpha", 0), 0.01);
+  EXPECT_DOUBLE_EQ(cli.get_double("beta", 2.5), 2.5);
+}
+
+TEST(Cli, Positional) {
+  const Cli cli = make({"prog", "pos1", "--k=1", "pos2"});
+  ASSERT_EQ(cli.positional().size(), 2u);
+  EXPECT_EQ(cli.positional()[0], "pos1");
+  EXPECT_EQ(cli.positional()[1], "pos2");
+  EXPECT_EQ(cli.program(), "prog");
+}
+
+TEST(Cli, Has) {
+  const Cli cli = make({"prog", "--x=1"});
+  EXPECT_TRUE(cli.has("x"));
+  EXPECT_FALSE(cli.has("y"));
+}
+
+}  // namespace
+}  // namespace parsgd

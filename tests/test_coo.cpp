@@ -1,0 +1,130 @@
+#include "matrix/coo.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+
+namespace parsgd {
+namespace {
+
+TEST(Coo, AddAndConvert) {
+  CooMatrix m(3, 4);
+  m.add(0, 1, 2.0f);
+  m.add(2, 3, 5.0f);
+  m.add(1, 0, -1.0f);
+  const CsrMatrix csr = m.to_csr();
+  EXPECT_EQ(csr.rows(), 3u);
+  EXPECT_EQ(csr.cols(), 4u);
+  EXPECT_EQ(csr.nnz(), 3u);
+  EXPECT_EQ(csr.to_dense().at(2, 3), 5.0f);
+  EXPECT_EQ(csr.to_dense().at(1, 0), -1.0f);
+}
+
+TEST(Coo, DuplicatesAreSummed) {
+  CooMatrix m(2, 2);
+  m.add(0, 0, 1.5f);
+  m.add(0, 0, 2.5f);
+  m.add(1, 1, 3.0f);
+  const CsrMatrix csr = m.to_csr();
+  EXPECT_EQ(csr.nnz(), 2u);
+  EXPECT_FLOAT_EQ(csr.to_dense().at(0, 0), 4.0f);
+}
+
+TEST(Coo, CancellingDuplicatesDrop) {
+  CooMatrix m(1, 2);
+  m.add(0, 0, 1.0f);
+  m.add(0, 0, -1.0f);
+  m.add(0, 1, 7.0f);
+  const CsrMatrix csr = m.to_csr();
+  EXPECT_EQ(csr.nnz(), 1u);
+  EXPECT_EQ(csr.row(0).idx[0], 1u);
+}
+
+TEST(Coo, UnsortedInputSortsInCsr) {
+  CooMatrix m(2, 5);
+  m.add(1, 4, 1);
+  m.add(0, 3, 2);
+  m.add(0, 1, 3);
+  m.add(1, 0, 4);
+  const CsrMatrix csr = m.to_csr();
+  EXPECT_EQ(csr.row(0).idx[0], 1u);
+  EXPECT_EQ(csr.row(0).idx[1], 3u);
+  EXPECT_EQ(csr.row(1).idx[0], 0u);
+}
+
+TEST(Coo, OutOfRangeRejected) {
+  CooMatrix m(2, 2);
+  EXPECT_THROW(m.add(2, 0, 1), CheckError);
+  EXPECT_THROW(m.add(0, 2, 1), CheckError);
+}
+
+TEST(Coo, CsrRoundTrip) {
+  Rng rng(5);
+  CsrMatrix::Builder b(30);
+  for (int r = 0; r < 20; ++r) {
+    std::vector<index_t> idx;
+    std::vector<real_t> val;
+    for (index_t c = 0; c < 30; ++c) {
+      if (rng.bernoulli(0.2)) {
+        idx.push_back(c);
+        val.push_back(static_cast<real_t>(rng.normal()));
+      }
+    }
+    b.add_row(idx, val);
+  }
+  const CsrMatrix original = std::move(b).build();
+  EXPECT_TRUE(CooMatrix::from_csr(original).to_csr() == original);
+}
+
+TEST(MatrixMarket, RoundTrip) {
+  CooMatrix m(4, 3);
+  m.add(0, 0, 1.5f);
+  m.add(3, 2, -2.25f);
+  m.add(1, 1, 7.0f);
+  std::ostringstream os;
+  write_matrix_market(os, m);
+  std::istringstream is(os.str());
+  const CooMatrix back = read_matrix_market(is);
+  EXPECT_EQ(back.rows(), 4u);
+  EXPECT_EQ(back.cols(), 3u);
+  EXPECT_EQ(back.nnz(), 3u);
+  EXPECT_TRUE(back.to_csr() == m.to_csr());
+}
+
+TEST(MatrixMarket, ParsesCommentsAndBanner) {
+  std::istringstream is(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "% a comment\n"
+      "% another\n"
+      "2 2 1\n"
+      "2 1 3.5\n");
+  const CooMatrix m = read_matrix_market(is);
+  EXPECT_EQ(m.nnz(), 1u);
+  EXPECT_FLOAT_EQ(m.to_csr().to_dense().at(1, 0), 3.5f);
+}
+
+TEST(MatrixMarket, RejectsGarbage) {
+  std::istringstream a("not a banner\n1 1 0\n");
+  EXPECT_THROW(read_matrix_market(a), CheckError);
+  std::istringstream b("%%MatrixMarket matrix array real general\n1 1\n");
+  EXPECT_THROW(read_matrix_market(b), CheckError);
+  std::istringstream c(
+      "%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 5\n");
+  EXPECT_THROW(read_matrix_market(c), CheckError);  // truncated body
+}
+
+TEST(MatrixMarket, FileRoundTrip) {
+  const std::string path = testing::TempDir() + "/parsgd_mm_test.mtx";
+  CooMatrix m(2, 2);
+  m.add(0, 1, 9.0f);
+  write_matrix_market_file(path, m);
+  const CooMatrix back = read_matrix_market_file(path);
+  EXPECT_TRUE(back.to_csr() == m.to_csr());
+  EXPECT_THROW(read_matrix_market_file("/no/such/file.mtx"), CheckError);
+}
+
+}  // namespace
+}  // namespace parsgd

@@ -1,0 +1,172 @@
+#include "hwmodel/cpu_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "hwmodel/spec.hpp"
+
+namespace parsgd {
+namespace {
+
+CpuWorkload flops_only(double flops, int threads, bool vectorized = true) {
+  CpuWorkload w;
+  w.per_epoch.flops = flops;
+  w.working_set_bytes = 1 << 20;
+  w.model_bytes = 1024;
+  w.threads = threads;
+  w.vectorized = vectorized;
+  return w;
+}
+
+TEST(CpuModel, SpecMatchesPaperFigure5) {
+  const CpuSpec& s = paper_cpu();
+  EXPECT_EQ(s.sockets * s.cores_per_socket, 28);
+  EXPECT_EQ(s.total_threads(), 56);
+  EXPECT_EQ(s.l1_per_core, 32u * 1024);
+  EXPECT_EQ(s.l2_per_core, 256u * 1024);
+  EXPECT_EQ(s.l3_per_socket, 35ull * 1024 * 1024);
+  EXPECT_EQ(s.dram_bytes, 256ull << 30);
+}
+
+TEST(CpuModel, OneThreadBaseline) {
+  const CpuModel m(paper_cpu());
+  EXPECT_DOUBLE_EQ(m.effective_cores(1), 1.0);
+  EXPECT_EQ(m.physical_cores_used(1), 1);
+  EXPECT_EQ(m.sockets_used(1), 1);
+}
+
+TEST(CpuModel, HyperThreadYield) {
+  const CpuModel m(paper_cpu());
+  // 56 threads = 28 cores + 28 HT siblings at fractional yield.
+  EXPECT_NEAR(m.effective_cores(56), 28 + 28 * paper_cpu().ht_yield, 1e-9);
+  EXPECT_EQ(m.physical_cores_used(56), 28);
+  EXPECT_EQ(m.sockets_used(56), 2);
+}
+
+TEST(CpuModel, ComputeScalesWithThreads) {
+  const CpuModel m(paper_cpu());
+  const double t1 = m.epoch_time(flops_only(1e9, 1)).seconds;
+  const double t28 = m.epoch_time(flops_only(1e9, 28)).seconds;
+  EXPECT_NEAR(t1 / t28, 28.0, 0.5);
+}
+
+TEST(CpuModel, ScalarSlowerThanVectorized) {
+  const CpuModel m(paper_cpu());
+  const double tv = m.epoch_time(flops_only(1e9, 1, true)).seconds;
+  const double ts = m.epoch_time(flops_only(1e9, 1, false)).seconds;
+  EXPECT_GT(ts, tv * 4);
+}
+
+TEST(CpuModel, ResidencyLevels) {
+  const CpuModel m(paper_cpu());
+  EXPECT_EQ(m.residency(16 << 10, 1), CacheLevel::kL1);
+  EXPECT_EQ(m.residency(200 << 10, 1), CacheLevel::kL2);
+  EXPECT_EQ(m.residency(30ull << 20, 1), CacheLevel::kL3);
+  EXPECT_EQ(m.residency(1ull << 30, 1), CacheLevel::kDram);
+  // Aggregate capacity grows with threads: 1 GB fits in nothing for one
+  // core but a 100 MB set fits the two sockets' L3s.
+  EXPECT_EQ(m.residency(60ull << 20, 56), CacheLevel::kL3);
+}
+
+TEST(CpuModel, SuperLinearSpeedupWhenCacheResident) {
+  // The Table II effect: an LR-like scan (flops ~ bytes) over a working
+  // set that spills to DRAM for one core but fits the aggregate caches of
+  // 28 cores — sequential scalar and memory-crippled, parallel vectorized
+  // and cache-resident — speeds up beyond the 56-thread count.
+  const CpuModel m(paper_cpu());
+  CpuWorkload w;
+  w.per_epoch.flops = 7e6;
+  w.per_epoch.bytes_streamed = 7e6;
+  w.working_set_bytes = 7e6;  // w8a-like: fits the aggregate L2 of 28
+                              // cores, but no single core's private caches
+  w.model_bytes = 1024;
+  w.threads = 1;
+  w.vectorized = false;  // sequential ViennaCL reference kernels
+  const double t1 = m.epoch_time(w).seconds;
+  w.threads = 56;
+  w.vectorized = true;
+  const double t56 = m.epoch_time(w).seconds;
+  EXPECT_GT(t1 / t56, 56.0);
+  EXPECT_LT(t1 / t56, 600.0);
+}
+
+TEST(CpuModel, CoherencyPenaltyOnlyWhenParallel) {
+  const CpuModel m(paper_cpu());
+  CpuWorkload w = flops_only(1e6, 1);
+  w.per_epoch.write_conflicts = 1e6;
+  EXPECT_DOUBLE_EQ(m.epoch_time(w).coherency_seconds, 0.0);
+  w.threads = 2;
+  EXPECT_GT(m.epoch_time(w).coherency_seconds, 0.0);
+}
+
+TEST(CpuModel, ConflictsCanEraseParallelGains) {
+  // Dense Hogwild on a tiny model (covtype: 54 floats = 4 cache lines):
+  // conflicting writes globally serialize on so few lines that 56 threads
+  // end up slower per epoch than one (Table III: 251 ms vs 150 ms).
+  const CpuModel m(paper_cpu());
+  CpuWorkload w = flops_only(1e9, 1, false);
+  w.model_bytes = 54 * sizeof(float);
+  const double seq = m.epoch_time(w).seconds;
+  w.threads = 56;
+  w.per_epoch.write_conflicts = 3e7;
+  EXPECT_GT(m.epoch_time(w).seconds, seq);
+}
+
+TEST(CpuModel, WideModelsTolerateConflicts) {
+  // The same conflict count on a model spanning thousands of lines is
+  // absorbed: transfers of distinct lines proceed concurrently.
+  const CpuModel m(paper_cpu());
+  CpuWorkload w = flops_only(1e9, 56, false);
+  w.per_epoch.write_conflicts = 1e7;
+  w.model_bytes = 54 * sizeof(float);
+  const double narrow = m.epoch_time(w).coherency_seconds;
+  w.model_bytes = 1u << 20;
+  const double wide = m.epoch_time(w).coherency_seconds;
+  EXPECT_GT(narrow, wide * 5);
+}
+
+TEST(CpuModel, RandomAccessLatencyBound) {
+  // Random model access is far slower than streaming the same bytes.
+  const CpuModel m(paper_cpu());
+  CpuWorkload stream;
+  stream.per_epoch.bytes_streamed = 1e9;
+  stream.working_set_bytes = 2e9;  // DRAM resident
+  stream.model_bytes = 64e6;       // DRAM-resident model
+  stream.threads = 1;
+  CpuWorkload rnd = stream;
+  rnd.per_epoch.bytes_streamed = 0;
+  rnd.per_epoch.bytes_random = 1e9;
+  EXPECT_GT(m.epoch_time(rnd).seconds, m.epoch_time(stream).seconds * 2);
+}
+
+TEST(CpuModel, SparseHogwildSpeedupSaturates) {
+  // Random-access-bound parallel speedup is capped by the DRAM random
+  // throughput ceiling — well below the 36x effective-core ratio.
+  const CpuModel m(paper_cpu());
+  CpuWorkload w;
+  w.per_epoch.bytes_random = 2e9;
+  w.working_set_bytes = 2e9;
+  w.model_bytes = 200e6;  // DRAM-resident model at any thread count
+  w.vectorized = false;
+  w.threads = 1;
+  const double t1 = m.epoch_time(w).seconds;
+  w.threads = 56;
+  const double t56 = m.epoch_time(w).seconds;
+  const double speedup = t1 / t56;
+  EXPECT_GT(speedup, 2.0);
+  EXPECT_LT(speedup, m.effective_cores(56));
+}
+
+TEST(CpuModel, InvalidThreadsRejected) {
+  const CpuModel m(paper_cpu());
+  EXPECT_THROW(m.epoch_time(flops_only(1, 0)), CheckError);
+  EXPECT_THROW(m.epoch_time(flops_only(1, 57)), CheckError);
+}
+
+TEST(CpuModel, CacheLevelNames) {
+  EXPECT_STREQ(to_string(CacheLevel::kL1), "L1");
+  EXPECT_STREQ(to_string(CacheLevel::kDram), "DRAM");
+}
+
+}  // namespace
+}  // namespace parsgd

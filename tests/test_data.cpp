@@ -1,0 +1,152 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/check.hpp"
+#include "data/generator.hpp"
+#include "data/mlp_view.hpp"
+#include "data/profile.hpp"
+
+namespace parsgd {
+namespace {
+
+TEST(Profiles, TableOneInventory) {
+  const auto& ps = paper_profiles();
+  ASSERT_EQ(ps.size(), 5u);
+  EXPECT_EQ(ps[0].name, "covtype");
+  EXPECT_EQ(ps[0].n_examples, 581012u);
+  EXPECT_EQ(ps[0].n_features, 54u);
+  EXPECT_TRUE(ps[0].dense);
+  EXPECT_EQ(profile_by_name("news").n_features, 1355191u);
+  EXPECT_EQ(profile_by_name("rcv1").n_examples, 677399u);
+  EXPECT_THROW(profile_by_name("mnist"), CheckError);
+}
+
+TEST(Profiles, SparsityMatchesTableOne) {
+  // Table I sparsity column: avg nnz / d as a percentage.
+  EXPECT_NEAR(profile_by_name("covtype").sparsity_percent(), 100.0, 1e-9);
+  EXPECT_NEAR(profile_by_name("w8a").sparsity_percent(), 3.88, 0.05);
+  EXPECT_NEAR(profile_by_name("real-sim").sparsity_percent(), 0.25, 0.02);
+  EXPECT_NEAR(profile_by_name("rcv1").sparsity_percent(), 0.16, 0.01);
+  EXPECT_NEAR(profile_by_name("news").sparsity_percent(), 0.034, 0.005);
+}
+
+TEST(Profiles, MlpArchitectures) {
+  EXPECT_EQ(profile_by_name("covtype").mlp_architecture(),
+            (std::vector<std::size_t>{54, 10, 5, 2}));
+  EXPECT_EQ(profile_by_name("real-sim").mlp_architecture(),
+            (std::vector<std::size_t>{50, 10, 5, 2}));
+  EXPECT_EQ(profile_by_name("news").mlp_architecture(),
+            (std::vector<std::size_t>{300, 10, 5, 2}));
+}
+
+TEST(Profiles, ScaledKeepsPaperN) {
+  const DatasetProfile s = scaled(profile_by_name("rcv1"), 50.0);
+  EXPECT_EQ(s.paper_n(), 677399u);
+  EXPECT_NEAR(s.n_scale(), 50.0, 1.0);
+  EXPECT_EQ(s.n_features, 47236u);  // d unchanged
+}
+
+TEST(Profiles, ScaledFloorsAtMinimum) {
+  const DatasetProfile s = scaled(profile_by_name("news"), 1e9);
+  EXPECT_EQ(s.n_examples, 512u);
+}
+
+class GeneratorShape : public testing::TestWithParam<const char*> {};
+
+TEST_P(GeneratorShape, MatchesProfileStatistics) {
+  GeneratorOptions opts;
+  opts.scale = 200.0;
+  opts.seed = 1234;
+  const Dataset ds = generate_dataset(GetParam(), opts);
+  const DatasetProfile& p = ds.profile;
+  EXPECT_EQ(ds.n(), p.n_examples);
+  EXPECT_EQ(ds.d(), p.n_features);
+  const NnzStats s = ds.nnz_stats();
+  EXPECT_GE(s.min, p.nnz_min);
+  EXPECT_LE(s.max, p.nnz_max);
+  // Mean nnz within 15% of Table I (calibrated log-normal).
+  EXPECT_NEAR(s.avg, p.nnz_avg, 0.15 * p.nnz_avg + 1.0);
+  // Labels not degenerate.
+  const double pos = ds.positive_fraction();
+  EXPECT_GT(pos, 0.15);
+  EXPECT_LT(pos, 0.85);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDatasets, GeneratorShape,
+                         testing::Values("covtype", "w8a", "real-sim",
+                                         "rcv1", "news"));
+
+TEST(Generator, Deterministic) {
+  GeneratorOptions opts;
+  opts.scale = 500.0;
+  const Dataset a = generate_dataset("w8a", opts);
+  const Dataset b = generate_dataset("w8a", opts);
+  EXPECT_TRUE(a.x == b.x);
+  EXPECT_EQ(a.y, b.y);
+}
+
+TEST(Generator, SeedChangesData) {
+  GeneratorOptions a, b;
+  a.scale = b.scale = 500.0;
+  a.seed = 1;
+  b.seed = 2;
+  EXPECT_FALSE(generate_dataset("w8a", a).x == generate_dataset("w8a", b).x);
+}
+
+TEST(Generator, CovtypeIsFullyDense) {
+  GeneratorOptions opts;
+  opts.scale = 500.0;
+  const Dataset ds = generate_dataset("covtype", opts);
+  const NnzStats s = ds.nnz_stats();
+  EXPECT_EQ(s.min, 54u);
+  EXPECT_EQ(s.max, 54u);
+  ASSERT_TRUE(ds.x_dense.has_value());
+}
+
+TEST(Generator, LabelsCorrelateWithGroundTruth) {
+  // The labels must be learnable: the ground-truth margin should predict
+  // the label far better than chance.
+  GeneratorOptions opts;
+  opts.scale = 200.0;
+  const Dataset ds = generate_dataset("real-sim", opts);
+  std::size_t agree = 0;
+  for (std::size_t i = 0; i < ds.n(); ++i) {
+    const double margin =
+        ds.example(i, false).dot(ds.ground_truth);
+    agree += (margin >= 0) == (ds.y[i] > 0);
+  }
+  EXPECT_GT(static_cast<double>(agree) / static_cast<double>(ds.n()), 0.8);
+}
+
+TEST(Generator, DenseBudgetRespected) {
+  GeneratorOptions opts;
+  opts.scale = 200.0;
+  opts.dense_budget_bytes = 1;  // forbid densification
+  const Dataset ds = generate_dataset("w8a", opts);
+  EXPECT_FALSE(ds.x_dense.has_value());
+}
+
+TEST(MlpView, GroupsToInputWidth) {
+  GeneratorOptions opts;
+  opts.scale = 200.0;
+  const Dataset base = generate_dataset("real-sim", opts);
+  const Dataset mlp = make_mlp_dataset(base);
+  EXPECT_EQ(mlp.d(), 50u);
+  EXPECT_EQ(mlp.n(), base.n());
+  ASSERT_TRUE(mlp.x_dense.has_value());
+  // Grouping raises density (Table I: real-sim 0.25% -> 42.64%).
+  EXPECT_GT(mlp.x.density(), base.x.density() * 10);
+}
+
+TEST(MlpView, IdentityWidthKeepsFeatures) {
+  GeneratorOptions opts;
+  opts.scale = 500.0;
+  const Dataset base = generate_dataset("covtype", opts);
+  const Dataset mlp = make_mlp_dataset(base);
+  EXPECT_EQ(mlp.d(), base.d());
+  EXPECT_TRUE(mlp.x == base.x);
+}
+
+}  // namespace
+}  // namespace parsgd

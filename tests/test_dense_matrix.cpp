@@ -1,0 +1,56 @@
+#include "matrix/dense_matrix.hpp"
+
+#include <gtest/gtest.h>
+
+namespace parsgd {
+namespace {
+
+TEST(DenseMatrix, ConstructAndFill) {
+  DenseMatrix m(3, 4, real_t(2));
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 4u);
+  EXPECT_EQ(m.size(), 12u);
+  EXPECT_EQ(m.bytes(), 12 * sizeof(real_t));
+  for (std::size_t r = 0; r < 3; ++r) {
+    for (std::size_t c = 0; c < 4; ++c) EXPECT_EQ(m.at(r, c), real_t(2));
+  }
+}
+
+TEST(DenseMatrix, RowMajorLayout) {
+  DenseMatrix m(2, 3);
+  m.at(0, 0) = 1;
+  m.at(0, 2) = 3;
+  m.at(1, 1) = 5;
+  const auto flat = m.data();
+  EXPECT_EQ(flat[0], 1);
+  EXPECT_EQ(flat[2], 3);
+  EXPECT_EQ(flat[4], 5);
+}
+
+TEST(DenseMatrix, RowSpanWritesThrough) {
+  DenseMatrix m(2, 2);
+  auto row = m.row(1);
+  row[0] = 7;
+  EXPECT_EQ(m.at(1, 0), real_t(7));
+}
+
+TEST(DenseMatrix, FillOverwrites) {
+  DenseMatrix m(2, 2, 1);
+  m.fill(9);
+  EXPECT_EQ(m.at(1, 1), real_t(9));
+}
+
+TEST(DenseMatrix, Equality) {
+  DenseMatrix a(2, 2, 1), b(2, 2, 1), c(2, 2, 2);
+  EXPECT_TRUE(a == b);
+  EXPECT_FALSE(a == c);
+}
+
+TEST(DenseMatrix, EmptyDefault) {
+  DenseMatrix m;
+  EXPECT_TRUE(m.empty());
+  EXPECT_EQ(m.rows(), 0u);
+}
+
+}  // namespace
+}  // namespace parsgd

@@ -1,0 +1,75 @@
+#include "matrix/example_view.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace parsgd {
+namespace {
+
+TEST(ExampleView, DenseDot) {
+  const std::vector<real_t> x = {1, 2, 3};
+  const std::vector<real_t> w = {0.5, 0.5, 1};
+  const auto v = ExampleView::dense(x);
+  EXPECT_TRUE(v.is_dense());
+  EXPECT_DOUBLE_EQ(v.dot(w), 0.5 + 1.0 + 3.0);
+  EXPECT_EQ(v.touched(), 3u);
+}
+
+TEST(ExampleView, SparseDot) {
+  const std::vector<index_t> idx = {0, 2};
+  const std::vector<real_t> val = {1, 3};
+  const std::vector<real_t> w = {0.5, 99, 1};
+  SparseRowView row{idx, val};
+  const auto v = ExampleView::sparse(row);
+  EXPECT_FALSE(v.is_dense());
+  EXPECT_DOUBLE_EQ(v.dot(w), 0.5 + 3.0);
+  EXPECT_EQ(v.touched(), 2u);
+}
+
+TEST(ExampleView, DenseSparseEquivalence) {
+  // The same vector viewed densely and sparsely gives identical results.
+  const std::vector<real_t> dense = {0, 2, 0, 4};
+  const std::vector<index_t> idx = {1, 3};
+  const std::vector<real_t> val = {2, 4};
+  const std::vector<real_t> w = {1, 2, 3, 4};
+  const auto dv = ExampleView::dense(dense);
+  const auto sv = ExampleView::sparse({idx, val});
+  EXPECT_DOUBLE_EQ(dv.dot(w), sv.dot(w));
+
+  std::vector<real_t> wd(w), ws(w);
+  dv.axpy_into(0.5, wd);
+  sv.axpy_into(0.5, ws);
+  EXPECT_EQ(wd, ws);
+}
+
+TEST(ExampleView, AxpyInto) {
+  const std::vector<index_t> idx = {1};
+  const std::vector<real_t> val = {4};
+  std::vector<real_t> w = {0, 1, 0};
+  ExampleView::sparse({idx, val}).axpy_into(-0.25, w);
+  EXPECT_FLOAT_EQ(w[1], 0.0f);
+}
+
+TEST(ExampleView, ForEachVisitsStored) {
+  const std::vector<index_t> idx = {0, 5};
+  const std::vector<real_t> val = {1, 2};
+  int count = 0;
+  double sum = 0;
+  ExampleView::sparse({idx, val}).for_each([&](index_t j, real_t v) {
+    ++count;
+    sum += j + v;
+  });
+  EXPECT_EQ(count, 2);
+  EXPECT_DOUBLE_EQ(sum, 0 + 1 + 5 + 2);
+}
+
+TEST(ExampleView, EmptySparseRow) {
+  const auto v = ExampleView::sparse({{}, {}});
+  const std::vector<real_t> w = {1, 2};
+  EXPECT_DOUBLE_EQ(v.dot(w), 0.0);
+  EXPECT_EQ(v.touched(), 0u);
+}
+
+}  // namespace
+}  // namespace parsgd

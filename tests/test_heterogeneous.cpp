@@ -1,0 +1,103 @@
+#include "sgd/heterogeneous.hpp"
+
+#include <gtest/gtest.h>
+
+#include "data/generator.hpp"
+#include "models/linear.hpp"
+
+namespace parsgd {
+namespace {
+
+struct Fixture {
+  Dataset ds;
+  TrainData data;
+  LogisticRegression lr;
+  ScaleContext ctx;
+  std::vector<real_t> w0;
+
+  explicit Fixture(const char* name)
+      : ds(generate_dataset(name,
+                            GeneratorOptions{.seed = 23, .scale = 300})),
+        lr(ds.d()) {
+    data.sparse = &ds.x;
+    data.dense = ds.x_dense ? &*ds.x_dense : nullptr;
+    data.y = ds.y;
+    ctx = make_scale_context(ds, lr, ds.profile.dense);
+    w0 = lr.init_params(1);
+  }
+};
+
+TEST(Heterogeneous, BeatsBothSingleDevices) {
+  Fixture f("rcv1");
+  HeterogeneousOptions opts;
+  HeterogeneousEngine engine(f.lr, f.data, f.ctx, opts);
+  auto w = f.w0;
+  Rng rng(1);
+  const double combined = engine.run_epoch(w, real_t(0.1), rng);
+  EXPECT_LT(combined, engine.gpu_epoch_seconds_full());
+  EXPECT_LT(combined, engine.cpu_epoch_seconds_full());
+}
+
+TEST(Heterogeneous, AutoSplitEqualizesDeviceTimes) {
+  Fixture f("rcv1");
+  HeterogeneousOptions opts;
+  HeterogeneousEngine engine(f.lr, f.data, f.ctx, opts);
+  auto w = f.w0;
+  Rng rng(2);
+  engine.run_epoch(w, real_t(0.1), rng);
+  const double phi = engine.gpu_fraction();
+  EXPECT_GT(phi, 0.0);
+  EXPECT_LT(phi, 1.0);
+  EXPECT_NEAR(phi * engine.gpu_epoch_seconds_full(),
+              (1.0 - phi) * engine.cpu_epoch_seconds_full(),
+              1e-9 * engine.gpu_epoch_seconds_full());
+  // The faster device gets the larger share.
+  if (engine.gpu_epoch_seconds_full() < engine.cpu_epoch_seconds_full()) {
+    EXPECT_GT(phi, 0.5);
+  } else {
+    EXPECT_LT(phi, 0.5);
+  }
+}
+
+TEST(Heterogeneous, FixedSplitRespected) {
+  Fixture f("w8a");
+  HeterogeneousOptions opts;
+  opts.gpu_fraction = 0.25;
+  HeterogeneousEngine engine(f.lr, f.data, f.ctx, opts);
+  auto w = f.w0;
+  Rng rng(3);
+  engine.run_epoch(w, real_t(0.1), rng);
+  EXPECT_DOUBLE_EQ(engine.gpu_fraction(), 0.25);
+}
+
+TEST(Heterogeneous, TrajectoryMatchesPlainSync) {
+  // Statistical efficiency must be identical to single-device sync.
+  Fixture f("w8a");
+  HeterogeneousOptions hopts;
+  HeterogeneousEngine het(f.lr, f.data, f.ctx, hopts);
+  SyncEngineOptions sopts;
+  SyncEngine plain(f.lr, f.data, f.ctx, sopts);
+  TrainOptions t;
+  t.max_epochs = 6;
+  const RunResult a = run_training(het, f.lr, f.data, f.w0, real_t(1), t);
+  const RunResult b = run_training(plain, f.lr, f.data, f.w0, real_t(1), t);
+  EXPECT_EQ(a.losses, b.losses);
+}
+
+TEST(Heterogeneous, CombineOverheadCharged) {
+  Fixture f("w8a");
+  HeterogeneousOptions cheap;
+  cheap.combine_seconds_per_byte = 0;
+  HeterogeneousOptions costly;
+  costly.combine_seconds_per_byte = 1.0;  // absurd PCIe: 1 s/byte
+  HeterogeneousEngine a(f.lr, f.data, f.ctx, cheap);
+  HeterogeneousEngine b(f.lr, f.data, f.ctx, costly);
+  auto w1 = f.w0, w2 = f.w0;
+  Rng rng(4);
+  const double ta = a.run_epoch(w1, real_t(0.1), rng);
+  const double tb = b.run_epoch(w2, real_t(0.1), rng);
+  EXPECT_NEAR(tb - ta, f.ctx.model_bytes, 1e-6 * f.ctx.model_bytes);
+}
+
+}  // namespace
+}  // namespace parsgd

@@ -1,0 +1,96 @@
+#include "matrix/io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace parsgd {
+namespace {
+
+TEST(LibsvmIo, ParsesBasicFile) {
+  std::istringstream in("+1 1:0.5 3:2\n-1 2:1\n");
+  const LabeledCsr data = read_libsvm(in);
+  EXPECT_EQ(data.x.rows(), 2u);
+  EXPECT_EQ(data.x.cols(), 3u);
+  EXPECT_EQ(data.y[0], real_t(1));
+  EXPECT_EQ(data.y[1], real_t(-1));
+  EXPECT_EQ(data.x.row(0).idx[0], 0u);  // 1-based -> 0-based
+  EXPECT_EQ(data.x.row(0).val[1], real_t(2));
+}
+
+TEST(LibsvmIo, NormalizesZeroOneLabels) {
+  std::istringstream in("0 1:1\n1 1:1\n");
+  const LabeledCsr data = read_libsvm(in);
+  EXPECT_EQ(data.y[0], real_t(-1));
+  EXPECT_EQ(data.y[1], real_t(1));
+}
+
+TEST(LibsvmIo, NormalizesOneTwoLabels) {
+  std::istringstream in("2 1:1\n1 1:1\n");
+  const LabeledCsr data = read_libsvm(in);
+  EXPECT_EQ(data.y[0], real_t(-1));
+  EXPECT_EQ(data.y[1], real_t(1));
+}
+
+TEST(LibsvmIo, SkipsCommentsAndBlankLines) {
+  std::istringstream in("# header\n\n+1 1:1\n");
+  const LabeledCsr data = read_libsvm(in);
+  EXPECT_EQ(data.x.rows(), 1u);
+}
+
+TEST(LibsvmIo, ExplicitColsOverridesInference) {
+  std::istringstream in("+1 1:1\n");
+  const LabeledCsr data = read_libsvm(in, 10);
+  EXPECT_EQ(data.x.cols(), 10u);
+}
+
+TEST(LibsvmIo, ColsTooSmallThrows) {
+  std::istringstream in("+1 5:1\n");
+  EXPECT_THROW(read_libsvm(in, 2), CheckError);
+}
+
+TEST(LibsvmIo, BadTokenThrows) {
+  std::istringstream in("+1 nocolon\n");
+  EXPECT_THROW(read_libsvm(in), CheckError);
+}
+
+TEST(LibsvmIo, ZeroIndexThrows) {
+  std::istringstream in("+1 0:1\n");
+  EXPECT_THROW(read_libsvm(in), CheckError);
+}
+
+TEST(LibsvmIo, EmptyRowAllowed) {
+  std::istringstream in("+1\n-1 1:1\n");
+  const LabeledCsr data = read_libsvm(in);
+  EXPECT_EQ(data.x.row_nnz(0), 0u);
+}
+
+TEST(LibsvmIo, RoundTrip) {
+  std::istringstream in("+1 1:0.5 3:2\n-1 2:1.25\n+1\n");
+  const LabeledCsr data = read_libsvm(in);
+  std::ostringstream out;
+  write_libsvm(out, data);
+  std::istringstream in2(out.str());
+  const LabeledCsr again = read_libsvm(in2, data.x.cols());
+  EXPECT_TRUE(again.x == data.x);
+  EXPECT_EQ(again.y, data.y);
+}
+
+TEST(LibsvmIo, FileRoundTrip) {
+  const std::string path = testing::TempDir() + "/parsgd_io_test.svm";
+  std::istringstream in("+1 2:4\n-1 1:1\n");
+  const LabeledCsr data = read_libsvm(in);
+  write_libsvm_file(path, data);
+  const LabeledCsr again = read_libsvm_file(path, data.x.cols());
+  EXPECT_TRUE(again.x == data.x);
+}
+
+TEST(LibsvmIo, MissingFileThrows) {
+  EXPECT_THROW(read_libsvm_file("/nonexistent/definitely/missing.svm"),
+               CheckError);
+}
+
+}  // namespace
+}  // namespace parsgd

@@ -1,0 +1,367 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "gpusim/device.hpp"
+#include "linalg/cpu_backend.hpp"
+#include "linalg/gpu_backend.hpp"
+
+namespace parsgd::linalg {
+namespace {
+
+DenseMatrix random_dense(std::size_t r, std::size_t c, Rng& rng) {
+  DenseMatrix m(r, c);
+  for (auto& v : m.data()) v = static_cast<real_t>(rng.normal());
+  return m;
+}
+
+CsrMatrix random_csr(std::size_t r, std::size_t c, double density,
+                     Rng& rng) {
+  CsrMatrix::Builder b(c);
+  for (std::size_t i = 0; i < r; ++i) {
+    std::vector<index_t> idx;
+    std::vector<real_t> val;
+    for (index_t j = 0; j < c; ++j) {
+      if (rng.bernoulli(density)) {
+        idx.push_back(j);
+        val.push_back(static_cast<real_t>(rng.normal()));
+      }
+    }
+    b.add_row(idx, val);
+  }
+  return std::move(b).build();
+}
+
+std::vector<real_t> random_vec(std::size_t n, Rng& rng) {
+  std::vector<real_t> v(n);
+  for (auto& x : v) x = static_cast<real_t>(rng.normal());
+  return v;
+}
+
+// Reference (naive double-precision) implementations.
+std::vector<real_t> ref_gemv(const DenseMatrix& a,
+                             std::span<const real_t> x, bool t) {
+  std::vector<real_t> y(t ? a.cols() : a.rows(), 0);
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t j = 0; j < a.cols(); ++j) {
+      if (t)
+        y[j] += a.at(i, j) * x[i];
+      else
+        y[i] += a.at(i, j) * x[j];
+    }
+  }
+  return y;
+}
+
+class BackendCase : public testing::TestWithParam<bool> {
+ protected:
+  BackendCase() {
+    if (gpu()) {
+      device_ = std::make_unique<gpusim::Device>(paper_gpu());
+      backend_ = std::make_unique<GpuBackend>(*device_);
+    } else {
+      CpuBackendOptions opts;
+      opts.threads = 4;
+      backend_ = std::make_unique<CpuBackend>(opts);
+    }
+    backend_->set_sink(&cost_);
+  }
+  bool gpu() const { return GetParam(); }
+  Backend& be() { return *backend_; }
+
+  std::unique_ptr<gpusim::Device> device_;
+  std::unique_ptr<Backend> backend_;
+  CostBreakdown cost_;
+};
+
+TEST_P(BackendCase, GemvMatchesReference) {
+  Rng rng(1);
+  const DenseMatrix a = random_dense(17, 9, rng);
+  const auto x = random_vec(9, rng);
+  std::vector<real_t> y(17);
+  be().gemv(a, x, y, false);
+  const auto ref = ref_gemv(a, x, false);
+  for (std::size_t i = 0; i < y.size(); ++i) EXPECT_NEAR(y[i], ref[i], 1e-4);
+  EXPECT_GT(cost_.flops, 0);
+}
+
+TEST_P(BackendCase, GemvTransposeMatchesReference) {
+  Rng rng(2);
+  const DenseMatrix a = random_dense(8, 12, rng);
+  const auto x = random_vec(8, rng);
+  std::vector<real_t> y(12);
+  be().gemv(a, x, y, true);
+  const auto ref = ref_gemv(a, x, true);
+  for (std::size_t i = 0; i < y.size(); ++i) EXPECT_NEAR(y[i], ref[i], 1e-4);
+}
+
+TEST_P(BackendCase, SpmvMatchesDenseGemv) {
+  Rng rng(3);
+  const CsrMatrix a = random_csr(25, 40, 0.2, rng);
+  const DenseMatrix ad = a.to_dense();
+  const auto x = random_vec(40, rng);
+  std::vector<real_t> y(25);
+  be().spmv(a, x, y, false);
+  const auto ref = ref_gemv(ad, x, false);
+  for (std::size_t i = 0; i < y.size(); ++i) EXPECT_NEAR(y[i], ref[i], 1e-4);
+}
+
+TEST_P(BackendCase, SpmvTransposeMatchesDense) {
+  Rng rng(4);
+  const CsrMatrix a = random_csr(30, 20, 0.15, rng);
+  const DenseMatrix ad = a.to_dense();
+  const auto x = random_vec(30, rng);
+  std::vector<real_t> y(20);
+  be().spmv(a, x, y, true);
+  const auto ref = ref_gemv(ad, x, true);
+  for (std::size_t i = 0; i < y.size(); ++i) EXPECT_NEAR(y[i], ref[i], 1e-4);
+}
+
+TEST_P(BackendCase, GemmMatchesReference) {
+  Rng rng(5);
+  const DenseMatrix a = random_dense(7, 5, rng);
+  const DenseMatrix b = random_dense(5, 6, rng);
+  DenseMatrix c(7, 6);
+  be().gemm(a, b, c, false, false);
+  for (std::size_t i = 0; i < 7; ++i) {
+    for (std::size_t j = 0; j < 6; ++j) {
+      double ref = 0;
+      for (std::size_t k = 0; k < 5; ++k) ref += double(a.at(i, k)) * b.at(k, j);
+      EXPECT_NEAR(c.at(i, j), ref, 1e-4);
+    }
+  }
+}
+
+TEST_P(BackendCase, GemmTransposedOperands) {
+  Rng rng(6);
+  const DenseMatrix a = random_dense(5, 7, rng);  // used as A^T: 7x5
+  const DenseMatrix b = random_dense(6, 5, rng);  // used as B^T: 5x6
+  DenseMatrix c(7, 6);
+  be().gemm(a, b, c, true, true);
+  for (std::size_t i = 0; i < 7; ++i) {
+    for (std::size_t j = 0; j < 6; ++j) {
+      double ref = 0;
+      for (std::size_t k = 0; k < 5; ++k) ref += double(a.at(k, i)) * b.at(j, k);
+      EXPECT_NEAR(c.at(i, j), ref, 1e-4);
+    }
+  }
+}
+
+TEST_P(BackendCase, SpmmMatchesGemm) {
+  Rng rng(7);
+  const CsrMatrix a = random_csr(12, 10, 0.3, rng);
+  const DenseMatrix b = random_dense(10, 4, rng);
+  DenseMatrix c(12, 4), ref(12, 4);
+  be().spmm(a, b, c);
+  CostBreakdown scratch;
+  CpuBackend host;
+  host.set_sink(&scratch);
+  host.gemm(a.to_dense(), b, ref, false, false);
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    EXPECT_NEAR(c.data()[i], ref.data()[i], 1e-4);
+  }
+}
+
+TEST_P(BackendCase, SpmmAtBMatchesGemm) {
+  Rng rng(8);
+  const CsrMatrix a = random_csr(15, 9, 0.25, rng);
+  const DenseMatrix b = random_dense(15, 3, rng);
+  DenseMatrix c(9, 3), ref(9, 3);
+  be().spmm_at_b(a, b, c);
+  CostBreakdown scratch;
+  CpuBackend host;
+  host.set_sink(&scratch);
+  host.gemm(a.to_dense(), b, ref, /*trans_a=*/true, false);
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    EXPECT_NEAR(c.data()[i], ref.data()[i], 1e-4);
+  }
+}
+
+TEST_P(BackendCase, VectorOps) {
+  Rng rng(9);
+  auto x = random_vec(33, rng);
+  auto y = random_vec(33, rng);
+  const auto y0 = y;
+  be().axpy(real_t(0.5), x, y);
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    EXPECT_NEAR(y[i], y0[i] + 0.5f * x[i], 1e-5);
+  }
+  const double d = be().dot(x, y);
+  double ref = 0;
+  for (std::size_t i = 0; i < x.size(); ++i) ref += double(x[i]) * y[i];
+  EXPECT_NEAR(d, ref, 1e-3);
+  be().scale(x, real_t(2));
+  EXPECT_NEAR(be().dot(x, y), 2 * ref, 2e-3);
+}
+
+TEST_P(BackendCase, Sigmoid) {
+  const std::vector<real_t> x = {-100, -1, 0, 1, 100};
+  std::vector<real_t> y(5);
+  be().ew_sigmoid(x, y);
+  EXPECT_NEAR(y[0], 0.0, 1e-6);
+  EXPECT_NEAR(y[1], 1.0 / (1.0 + std::exp(1.0)), 1e-5);
+  EXPECT_NEAR(y[2], 0.5, 1e-6);
+  EXPECT_NEAR(y[4], 1.0, 1e-6);
+}
+
+TEST_P(BackendCase, SigmoidGrad) {
+  const std::vector<real_t> up = {2, 2};
+  const std::vector<real_t> s = {0.5, 0.25};
+  std::vector<real_t> out(2);
+  be().ew_sigmoid_grad(up, s, out);
+  EXPECT_NEAR(out[0], 2 * 0.25, 1e-6);
+  EXPECT_NEAR(out[1], 2 * 0.1875, 1e-6);
+}
+
+TEST_P(BackendCase, BiasAndColSum) {
+  DenseMatrix c(3, 2, 1);
+  const std::vector<real_t> bias = {10, 20};
+  be().add_bias_rows(c, bias);
+  EXPECT_EQ(c.at(2, 1), real_t(21));
+  std::vector<real_t> sums(2);
+  be().col_sum(c, sums);
+  EXPECT_EQ(sums[0], real_t(33));
+  EXPECT_EQ(sums[1], real_t(63));
+}
+
+TEST_P(BackendCase, LrCoefficients) {
+  const std::vector<real_t> z = {0, 2, -2};
+  const std::vector<real_t> y = {1, 1, -1};
+  std::vector<real_t> coef(3);
+  const double loss = be().lr_loss_coefficients(z, y, coef);
+  // loss = log2 + log(1+e^-2) + log(1+e^-2)
+  EXPECT_NEAR(loss, std::log(2.0) + 2 * std::log1p(std::exp(-2.0)), 1e-5);
+  EXPECT_NEAR(coef[0], -0.5, 1e-6);
+  EXPECT_NEAR(coef[1], -1.0 / (1.0 + std::exp(2.0)), 1e-6);
+  EXPECT_NEAR(coef[2], 1.0 / (1.0 + std::exp(2.0)), 1e-6);
+}
+
+TEST_P(BackendCase, SvmCoefficients) {
+  const std::vector<real_t> z = {0.5, 2, -0.5};
+  const std::vector<real_t> y = {1, 1, -1};
+  std::vector<real_t> coef(3);
+  const double loss = be().svm_loss_coefficients(z, y, coef);
+  EXPECT_NEAR(loss, 0.5 + 0 + 0.5, 1e-6);
+  EXPECT_EQ(coef[0], real_t(-1));  // margin 0.5 < 1
+  EXPECT_EQ(coef[1], real_t(0));   // margin 2 >= 1
+  EXPECT_EQ(coef[2], real_t(1));   // margin 0.5 < 1, label -1
+}
+
+TEST_P(BackendCase, SoftmaxXent) {
+  DenseMatrix logits(2, 2);
+  logits.at(0, 0) = 0;
+  logits.at(0, 1) = 0;  // uniform -> loss log 2
+  logits.at(1, 0) = -10;
+  logits.at(1, 1) = 10;  // confident class 1
+  const std::vector<real_t> y = {1, 1};
+  DenseMatrix dl(2, 2);
+  const double loss = be().softmax_xent(logits, y, dl);
+  EXPECT_NEAR(loss, std::log(2.0), 1e-4);
+  EXPECT_NEAR(dl.at(0, 0), 0.5, 1e-5);   // softmax - onehot
+  EXPECT_NEAR(dl.at(0, 1), -0.5, 1e-5);
+  EXPECT_NEAR(dl.at(1, 1), 0.0, 1e-4);
+}
+
+INSTANTIATE_TEST_SUITE_P(CpuAndGpu, BackendCase, testing::Values(false, true),
+                         [](const testing::TestParamInfo<bool>& pinfo) {
+                           return pinfo.param ? "Gpu" : "Cpu";
+                         });
+
+TEST(CpuBackendQuirks, GemmThresholdControlsParallelism) {
+  Rng rng(11);
+  CpuBackendOptions opts;
+  opts.threads = 8;
+  opts.gemm_parallel_threshold = 5000;
+  CpuBackend be(opts);
+  CostBreakdown cost;
+  be.set_sink(&cost);
+  // 300x10 result = 3000 < 5000: serial (the paper's MLP case).
+  DenseMatrix a = random_dense(300, 64, rng), b = random_dense(64, 10, rng);
+  DenseMatrix c(300, 10);
+  be.gemm(a, b, c, false, false);
+  EXPECT_FALSE(be.last_gemm_parallel());
+  EXPECT_GT(be.gemm_serial_flops(), 0);
+  // 1000x10 = 10000 >= 5000: parallel.
+  DenseMatrix a2 = random_dense(1000, 16, rng), b2 = random_dense(16, 10, rng);
+  DenseMatrix c2(1000, 10);
+  be.gemm(a2, b2, c2, false, false);
+  EXPECT_TRUE(be.last_gemm_parallel());
+}
+
+TEST(CpuBackendQuirks, SingleThreadNeverCountsSerialGemm) {
+  Rng rng(12);
+  CpuBackend be;  // threads = 1
+  CostBreakdown cost;
+  be.set_sink(&cost);
+  DenseMatrix a = random_dense(10, 10, rng), b = random_dense(10, 10, rng);
+  DenseMatrix c(10, 10);
+  be.gemm(a, b, c, false, false);
+  EXPECT_EQ(be.gemm_serial_flops(), 0);
+}
+
+TEST(GpuBackendCost, SpmvChargesCycles) {
+  Rng rng(13);
+  gpusim::Device dev(paper_gpu());
+  GpuBackend be(dev);
+  CostBreakdown cost;
+  be.set_sink(&cost);
+  const CsrMatrix a = random_csr(100, 200, 0.1, rng);
+  const auto x = random_vec(200, rng);
+  std::vector<real_t> y(100);
+  be.spmv(a, x, y, false);
+  EXPECT_GT(cost.gpu_cycles, 0);
+  EXPECT_GT(cost.kernel_launches, 0);
+}
+
+TEST(GpuBackendCost, ScatterAtomicsCountConflicts) {
+  // spmv-transpose scatters with atomics; colliding columns conflict.
+  gpusim::Device dev(paper_gpu());
+  GpuBackend be(dev);
+  CostBreakdown cost;
+  be.set_sink(&cost);
+  // All rows share column 0 -> heavy atomic conflicts.
+  CsrMatrix::Builder b(4);
+  for (int r = 0; r < 64; ++r) {
+    const index_t idx[] = {0};
+    const real_t val[] = {1};
+    b.add_row(idx, val);
+  }
+  const CsrMatrix a = std::move(b).build();
+  std::vector<real_t> x(64, 1), y(4);
+  be.spmv(a, x, y, true);
+  EXPECT_GT(cost.write_conflicts, 0);
+  EXPECT_NEAR(y[0], 64.0, 1e-4);  // atomics lose nothing
+}
+
+TEST(GpuBackendCost, DenseGemvCheaperPerByteThanScatteredSpmv) {
+  // Equal bytes moved: the dense streaming kernel should finish in fewer
+  // cycles than a scatter-heavy sparse one (coalescing).
+  Rng rng(14);
+  gpusim::Device dev(paper_gpu());
+  GpuBackend be(dev);
+  CostBreakdown dense_cost, sparse_cost;
+
+  const std::size_t n = 256, d = 512;
+  const DenseMatrix a = random_dense(n, d, rng);
+  const auto x = random_vec(d, rng);
+  std::vector<real_t> y(n);
+  be.set_sink(&dense_cost);
+  be.gemv(a, x, y, false);
+
+  // Sparse with same nnz as the dense element count, scattered columns.
+  const CsrMatrix s = random_csr(n, 100000, d / 100000.0, rng);
+  std::vector<real_t> xs(100000, 1), ys(n);
+  be.set_sink(&sparse_cost);
+  be.spmv(s, xs, ys, false);
+
+  const double dense_cycles_per_nnz =
+      dense_cost.gpu_cycles / static_cast<double>(n * d);
+  const double sparse_cycles_per_nnz =
+      sparse_cost.gpu_cycles / std::max<double>(1, s.nnz());
+  EXPECT_LT(dense_cycles_per_nnz, sparse_cycles_per_nnz);
+}
+
+}  // namespace
+}  // namespace parsgd::linalg

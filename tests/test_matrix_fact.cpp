@@ -1,0 +1,112 @@
+#include "models/matrix_fact.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+
+namespace parsgd {
+namespace {
+
+Ratings small_ratings() {
+  return generate_ratings(/*users=*/60, /*items=*/40, /*true_rank=*/4,
+                          /*density=*/0.3, /*noise=*/0.05, /*seed=*/7);
+}
+
+TEST(RatingsGenerator, ShapeAndDensity) {
+  const Ratings r = small_ratings();
+  EXPECT_EQ(r.users, 60u);
+  EXPECT_EQ(r.items, 40u);
+  const double density =
+      static_cast<double>(r.size()) / (60.0 * 40.0);
+  EXPECT_NEAR(density, 0.3, 0.05);
+  for (const auto& e : r.entries) {
+    EXPECT_LT(e.user, 60u);
+    EXPECT_LT(e.item, 40u);
+  }
+}
+
+TEST(RatingsGenerator, DeterministicBySeed) {
+  const Ratings a = small_ratings();
+  const Ratings b = small_ratings();
+  ASSERT_EQ(a.size(), b.size());
+  EXPECT_EQ(a.entries[0].value, b.entries[0].value);
+  const Ratings c = generate_ratings(60, 40, 4, 0.3, 0.05, 8);
+  EXPECT_NE(a.size() == c.size() &&
+                a.entries[0].value == c.entries[0].value,
+            true);
+}
+
+TEST(MatrixFactorizationTest, SgdReducesRmse) {
+  const Ratings data = small_ratings();
+  MatrixFactorizationOptions opts;
+  opts.rank = 8;
+  MatrixFactorization mf(data.users, data.items, opts);
+  Rng rng(3);
+  const double before = mf.rmse(data);
+  for (int e = 0; e < 40; ++e) {
+    mf.hogwild_epoch(data, real_t(0.05), 1, rng);
+  }
+  const double after = mf.rmse(data);
+  EXPECT_LT(after, 0.5 * before);
+  // With rank >= true rank and low noise, the fit should approach the
+  // noise floor.
+  EXPECT_LT(after, 0.2);
+}
+
+TEST(MatrixFactorizationTest, HogwildWorkersStillConverge) {
+  const Ratings data = small_ratings();
+  MatrixFactorizationOptions opts;
+  opts.rank = 8;
+  MatrixFactorization mf(data.users, data.items, opts);
+  Rng rng(5);
+  const double before = mf.rmse(data);
+  CostBreakdown cost;
+  for (int e = 0; e < 40; ++e) {
+    cost = mf.hogwild_epoch(data, real_t(0.05), 56, rng);
+  }
+  EXPECT_LT(mf.rmse(data), 0.5 * before);
+  // Bipartite conflict structure: with 700+ rows and 56 in flight,
+  // conflicts happen but are far rarer than one per update.
+  EXPECT_GT(cost.write_conflicts, 0.0);
+  EXPECT_LT(cost.write_conflicts, static_cast<double>(data.size()));
+}
+
+TEST(MatrixFactorizationTest, RegularizationShrinksFactors) {
+  const Ratings data = small_ratings();
+  auto norm_after = [&](double lambda) {
+    MatrixFactorizationOptions opts;
+    opts.rank = 8;
+    opts.lambda = lambda;
+    MatrixFactorization mf(data.users, data.items, opts);
+    Rng rng(9);
+    for (int e = 0; e < 25; ++e) {
+      mf.hogwild_epoch(data, real_t(0.05), 1, rng);
+    }
+    double sq = 0;
+    for (const real_t v : mf.user_factors()) sq += double(v) * v;
+    for (const real_t v : mf.item_factors()) sq += double(v) * v;
+    return sq;
+  };
+  EXPECT_LT(norm_after(0.5), norm_after(0.0));
+}
+
+TEST(MatrixFactorizationTest, PredictConsistentWithFactors) {
+  MatrixFactorizationOptions opts;
+  opts.rank = 2;
+  MatrixFactorization mf(3, 3, opts);
+  const auto p = mf.user_factors();
+  const auto q = mf.item_factors();
+  const double expect = double(p[2]) * q[4] + double(p[3]) * q[5];
+  EXPECT_NEAR(mf.predict(1, 2), expect, 1e-6);
+}
+
+TEST(MatrixFactorizationTest, InvalidOptionsRejected) {
+  EXPECT_THROW(generate_ratings(0, 10, 2, 0.5, 0, 1), CheckError);
+  EXPECT_THROW(generate_ratings(10, 10, 2, 0.0, 0, 1), CheckError);
+  MatrixFactorizationOptions bad;
+  bad.rank = 0;
+  EXPECT_THROW(MatrixFactorization(5, 5, bad), CheckError);
+}
+
+}  // namespace
+}  // namespace parsgd

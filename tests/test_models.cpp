@@ -1,0 +1,255 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "data/generator.hpp"
+#include "linalg/cpu_backend.hpp"
+#include "models/gradcheck.hpp"
+#include "models/linear.hpp"
+#include "models/mlp.hpp"
+
+namespace parsgd {
+namespace {
+
+Dataset tiny(const char* name, double scale = 500.0) {
+  GeneratorOptions opts;
+  opts.scale = scale;
+  opts.seed = 77;
+  return generate_dataset(name, opts);
+}
+
+TrainData train_of(const Dataset& ds) {
+  TrainData t;
+  t.sparse = &ds.x;
+  t.dense = ds.x_dense ? &*ds.x_dense : nullptr;
+  t.y = ds.y;
+  return t;
+}
+
+// ---- gradient checks ----
+
+TEST(LinearModels, LrGradCheckSparse) {
+  const Dataset ds = tiny("w8a");
+  LogisticRegression lr(ds.d());
+  const auto w = lr.init_params(3);
+  for (std::size_t i : {0u, 5u, 17u}) {
+    const auto res =
+        gradient_check(lr, ds.example(i, false), ds.y[i], w);
+    EXPECT_LT(res.max_rel_err, 5e-2) << "example " << i;
+  }
+}
+
+TEST(LinearModels, LrGradCheckDense) {
+  const Dataset ds = tiny("covtype");
+  LogisticRegression lr(ds.d());
+  const auto w = lr.init_params(4);
+  const auto res = gradient_check(lr, ds.example(0, true), ds.y[0], w);
+  EXPECT_LT(res.max_rel_err, 5e-2);
+}
+
+TEST(LinearModels, SvmGradCheckAwayFromHinge) {
+  // The hinge kink breaks finite differences at margin 1; init near zero
+  // keeps margins tiny (active side) where the subgradient is exact.
+  const Dataset ds = tiny("w8a");
+  LinearSvm svm(ds.d());
+  std::vector<real_t> w(ds.d(), 0);  // margins all 0 < 1: active branch
+  const auto res = gradient_check(svm, ds.example(2, false), ds.y[2], w);
+  EXPECT_LT(res.max_rel_err, 5e-2);
+}
+
+TEST(Mlp, GradCheckSmallNet) {
+  const Dataset base = tiny("covtype");
+  Mlp mlp({54, 10, 5, 2});
+  const auto w = mlp.init_params(5);
+  const auto res =
+      gradient_check(mlp, base.example(1, true), base.y[1], w, 1e-2);
+  EXPECT_LT(res.max_rel_err, 8e-2);
+}
+
+// ---- loss/step consistency ----
+
+TEST(LinearModels, StepReducesExampleLoss) {
+  const Dataset ds = tiny("real-sim");
+  LogisticRegression lr(ds.d());
+  auto w = lr.init_params(6);
+  const auto x = ds.example(3, false);
+  const double before = lr.example_loss(x, ds.y[3], w);
+  std::vector<real_t> w2(w);
+  lr.example_step(x, ds.y[3], real_t(0.5), w, w2, nullptr);
+  EXPECT_LT(lr.example_loss(x, ds.y[3], w2), before);
+}
+
+TEST(LinearModels, TouchedMatchesSparsity) {
+  const Dataset ds = tiny("w8a");
+  LogisticRegression lr(ds.d());
+  auto w = lr.init_params(7);
+  std::vector<index_t> touched;
+  std::vector<real_t> w2(w);
+  // Find an example with nonzero features.
+  for (std::size_t i = 0; i < ds.n(); ++i) {
+    const auto x = ds.example(i, false);
+    if (x.touched() == 0) continue;
+    lr.example_step(x, ds.y[i], real_t(0.1), w, w2, &touched);
+    EXPECT_EQ(touched.size(), x.touched());
+    break;
+  }
+  EXPECT_TRUE(lr.sparse_updates());
+}
+
+TEST(LinearModels, EmptyExampleIsNoop) {
+  LogisticRegression lr(10);
+  std::vector<real_t> w(10, 1), w2(w);
+  const auto x = ExampleView::sparse({{}, {}});
+  lr.example_step(x, real_t(1), real_t(1), w, w2, nullptr);
+  EXPECT_EQ(w, w2);
+}
+
+TEST(Mlp, DenseUpdates) {
+  Mlp mlp({10, 5, 2});
+  EXPECT_FALSE(mlp.sparse_updates());
+  EXPECT_EQ(mlp.dim(), 10u * 5 + 5 + 5 * 2 + 2);
+  EXPECT_EQ(mlp.weight_offset(0), 0u);
+  EXPECT_EQ(mlp.bias_offset(0), 50u);
+}
+
+TEST(Mlp, RejectsBadArchitectures) {
+  EXPECT_THROW(Mlp({10}), CheckError);
+  EXPECT_THROW(Mlp({10, 5, 3}), CheckError);  // output must be 2
+}
+
+TEST(Models, BatchStepEqualsMeanOfExampleSteps) {
+  // One batch_step over [0, B) from frozen w must equal the average of
+  // the individual example updates computed from the same w.
+  const Dataset ds = tiny("w8a");
+  const TrainData data = train_of(ds);
+  LogisticRegression lr(ds.d());
+  const auto w = lr.init_params(8);
+  const std::size_t B = 6;
+
+  std::vector<real_t> w_batch(w);
+  lr.batch_step(data, 0, B, false, real_t(1.0), w, w_batch);
+
+  std::vector<double> mean_update(ds.d(), 0);
+  for (std::size_t i = 0; i < B; ++i) {
+    std::vector<real_t> wi(w);
+    lr.example_step(data.example(i, false), ds.y[i], real_t(1.0), w, wi,
+                    nullptr);
+    for (std::size_t j = 0; j < ds.d(); ++j) {
+      mean_update[j] += (wi[j] - w[j]) / static_cast<double>(B);
+    }
+  }
+  for (std::size_t j = 0; j < ds.d(); ++j) {
+    EXPECT_NEAR(w_batch[j] - w[j], mean_update[j], 1e-5);
+  }
+}
+
+// ---- sync epoch (linalg path) vs per-example path ----
+
+class SyncEpochMatches : public testing::TestWithParam<const char*> {};
+
+TEST_P(SyncEpochMatches, LinalgEpochEqualsBatchStep) {
+  const Dataset ds = tiny(GetParam());
+  const TrainData data = train_of(ds);
+  const bool dense = ds.profile.dense && ds.x_dense.has_value();
+  LogisticRegression lr(ds.d());
+  const auto w0 = lr.init_params(9);
+
+  std::vector<real_t> w_sync(w0);
+  linalg::CpuBackend be;
+  CostBreakdown cost;
+  be.set_sink(&cost);
+  const double loss_sync = lr.sync_epoch(be, data, dense, real_t(0.1), w_sync);
+
+  std::vector<real_t> w_ref(w0);
+  lr.batch_step(data, 0, data.n(), dense, real_t(0.1), w0, w_ref);
+  const double loss_ref = lr.dataset_loss(data, w0, dense);
+
+  EXPECT_NEAR(loss_sync, loss_ref, 1e-3 * std::abs(loss_ref));
+  for (std::size_t j = 0; j < ds.d(); ++j) {
+    EXPECT_NEAR(w_sync[j], w_ref[j], 2e-4) << "coord " << j;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Datasets, SyncEpochMatches,
+                         testing::Values("covtype", "w8a", "real-sim"));
+
+TEST(Mlp, SyncEpochMatchesBatchStep) {
+  const Dataset base = tiny("covtype");
+  const TrainData data = train_of(base);
+  Mlp mlp({54, 10, 5, 2});
+  const auto w0 = mlp.init_params(10);
+
+  std::vector<real_t> w_sync(w0);
+  linalg::CpuBackend be;
+  CostBreakdown cost;
+  be.set_sink(&cost);
+  mlp.sync_epoch(be, data, true, real_t(0.2), w_sync);
+
+  std::vector<real_t> w_ref(w0);
+  mlp.batch_step(data, 0, data.n(), true, real_t(0.2), w0, w_ref);
+
+  double max_err = 0;
+  for (std::size_t j = 0; j < mlp.dim(); ++j) {
+    max_err = std::max(max_err, std::abs(double(w_sync[j]) - w_ref[j]));
+  }
+  EXPECT_LT(max_err, 1e-3);
+}
+
+TEST(Mlp, SyncEpochSparseInputMatchesDense) {
+  const Dataset base = tiny("covtype");
+  const TrainData data = train_of(base);
+  Mlp mlp({54, 10, 5, 2});
+  const auto w0 = mlp.init_params(11);
+  linalg::CpuBackend be;
+  CostBreakdown cost;
+  be.set_sink(&cost);
+  std::vector<real_t> wd(w0), ws(w0);
+  mlp.sync_epoch(be, data, true, real_t(0.1), wd);
+  mlp.sync_epoch(be, data, false, real_t(0.1), ws);
+  for (std::size_t j = 0; j < mlp.dim(); ++j) {
+    EXPECT_NEAR(wd[j], ws[j], 5e-4);
+  }
+}
+
+// ---- training sanity: loss decreases over epochs ----
+
+TEST(Models, GradientDescentConvergesOnAllTasks) {
+  const Dataset ds = tiny("w8a");
+  const TrainData data = train_of(ds);
+  linalg::CpuBackend be;
+  CostBreakdown cost;
+  be.set_sink(&cost);
+
+  LogisticRegression lr(ds.d());
+  LinearSvm svm(ds.d());
+  for (Model* m : std::initializer_list<Model*>{&lr, &svm}) {
+    auto w = m->init_params(12);
+    const double initial = m->dataset_loss(data, w, false);
+    for (int e = 0; e < 30; ++e) {
+      m->sync_epoch(be, data, false, real_t(10.0), w);
+    }
+    EXPECT_LT(m->dataset_loss(data, w, false), 0.9 * initial)
+        << m->name();
+  }
+}
+
+TEST(Models, StepFlopsScalesWithTouched) {
+  LogisticRegression lr(1000);
+  EXPECT_GT(lr.step_flops(100), lr.step_flops(10));
+  Mlp mlp({300, 10, 5, 2});
+  EXPECT_GT(mlp.step_flops(300), mlp.step_flops(12));
+  // MLP per-example work is far larger than linear-model work.
+  EXPECT_GT(mlp.step_flops(50), lr.step_flops(50) * 10);
+}
+
+TEST(Models, InitParamsDeterministic) {
+  LogisticRegression lr(64);
+  EXPECT_EQ(lr.init_params(1), lr.init_params(1));
+  EXPECT_NE(lr.init_params(1), lr.init_params(2));
+  Mlp mlp({8, 4, 2});
+  EXPECT_EQ(mlp.init_params(3), mlp.init_params(3));
+}
+
+}  // namespace
+}  // namespace parsgd

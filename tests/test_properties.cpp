@@ -1,0 +1,331 @@
+// Property-based sweeps (parameterized gtest): invariants checked across
+// sizes, strides, sparsities, thread counts, and worker counts.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+#include <tuple>
+
+#include "asyncsim/async_sim.hpp"
+#include "common/rng.hpp"
+#include "data/generator.hpp"
+#include "gpusim/device.hpp"
+#include "gpusim/warp.hpp"
+#include "hwmodel/cpu_model.hpp"
+#include "linalg/cpu_backend.hpp"
+#include "models/linear.hpp"
+#include "sgd/convergence.hpp"
+
+namespace parsgd {
+namespace {
+
+// ---- gpusim: coalescing bounds over strides ----
+
+class CoalescingSweep : public testing::TestWithParam<int> {};
+
+TEST_P(CoalescingSweep, TransactionCountIsBoundedAndMonotone) {
+  const int stride = GetParam();
+  gpusim::Device dev(paper_gpu());
+  gpusim::DeviceBuffer<float> buf(dev, 32 * 128);
+  gpusim::WarpCtx warp(dev.spec(), 0, 0, gpusim::kWarpSize);
+  gpusim::Lanes<std::uint32_t> idx{};
+  for (int l = 0; l < gpusim::kWarpSize; ++l) {
+    idx[l] = static_cast<std::uint32_t>(l * stride);
+  }
+  (void)warp.load(buf, idx, gpusim::kFullMask);
+  const double trans = warp.cost().l2_transactions +
+                       warp.cost().global_transactions;
+  // At least one transaction, at most one per lane; exactly one when the
+  // whole warp fits a 128 B segment (stride 1, 4 B elements).
+  EXPECT_GE(trans, 1.0);
+  EXPECT_LE(trans, 32.0);
+  const double expected =
+      std::min(32.0, std::ceil(stride * 32.0 * 4.0 / 128.0));
+  if (stride >= 1) {
+    EXPECT_NEAR(trans, std::max(1.0, expected), 1.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Strides, CoalescingSweep,
+                         testing::Values(1, 2, 4, 8, 16, 32, 64, 100));
+
+// ---- gpusim: atomic serialization grows with collision multiplicity ----
+
+class AtomicSweep : public testing::TestWithParam<int> {};
+
+TEST_P(AtomicSweep, SerializationMatchesMultiplicity) {
+  const int distinct = GetParam();  // lanes spread over `distinct` addrs
+  gpusim::Device dev(paper_gpu());
+  gpusim::DeviceBuffer<float> buf(dev, 64);
+  buf.fill(0);
+  gpusim::WarpCtx warp(dev.spec(), 0, 0, gpusim::kWarpSize);
+  gpusim::Lanes<std::uint32_t> idx{};
+  gpusim::Lanes<float> val{};
+  for (int l = 0; l < gpusim::kWarpSize; ++l) {
+    idx[l] = static_cast<std::uint32_t>(l % distinct);
+    val[l] = 1.0f;
+  }
+  warp.atomic_add(buf, idx, val, gpusim::kFullMask);
+  const int max_mult = (32 + distinct - 1) / distinct;
+  EXPECT_DOUBLE_EQ(warp.cost().atomic_cycles,
+                   paper_gpu().cycles_atomic * max_mult);
+  EXPECT_DOUBLE_EQ(warp.cost().atomic_conflicts, 32.0 - distinct);
+  // No updates lost, ever.
+  double total = 0;
+  for (int a = 0; a < distinct; ++a) total += buf.host_at(a);
+  EXPECT_DOUBLE_EQ(total, 32.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Distinct, AtomicSweep,
+                         testing::Values(1, 2, 4, 8, 16, 32));
+
+// ---- CSR round trip over random shapes ----
+
+class CsrRoundTrip
+    : public testing::TestWithParam<std::tuple<int, int, double>> {};
+
+TEST_P(CsrRoundTrip, DenseCsrDenseIsIdentity) {
+  const auto [rows, cols, density] = GetParam();
+  Rng rng(rows * 1000 + cols);
+  DenseMatrix m(rows, cols);
+  for (auto& v : m.data()) {
+    v = rng.bernoulli(density) ? static_cast<real_t>(rng.normal()) : 0;
+  }
+  const CsrMatrix sparse = CsrMatrix::from_dense(m);
+  EXPECT_TRUE(sparse.to_dense() == m);
+  EXPECT_TRUE(CsrMatrix::from_dense(sparse.to_dense()) == sparse);
+  EXPECT_NEAR(sparse.density(),
+              static_cast<double>(sparse.nnz()) / (rows * cols), 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, CsrRoundTrip,
+    testing::Values(std::make_tuple(1, 1, 1.0), std::make_tuple(5, 40, 0.1),
+                    std::make_tuple(64, 3, 0.5), std::make_tuple(17, 17, 0.0),
+                    std::make_tuple(100, 7, 0.9)));
+
+// ---- CPU model: monotonicity over thread counts ----
+
+class ThreadSweep : public testing::TestWithParam<int> {};
+
+TEST_P(ThreadSweep, ComputeTimeNonIncreasingInThreads) {
+  const int threads = GetParam();
+  const CpuModel m(paper_cpu());
+  CpuWorkload w;
+  w.per_epoch.flops = 1e9;
+  w.working_set_bytes = 1 << 20;
+  w.model_bytes = 1024;
+  w.vectorized = true;
+  w.threads = threads;
+  const double t = m.epoch_time(w).seconds;
+  if (threads > 1) {
+    w.threads = threads - 1;
+    EXPECT_LE(t, m.epoch_time(w).seconds + 1e-12);
+  }
+  EXPECT_GT(t, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, ThreadSweep,
+                         testing::Values(1, 2, 4, 8, 14, 28, 29, 56));
+
+TEST(ThreadSweepExtra, EffectiveCoresMonotone) {
+  const CpuModel m(paper_cpu());
+  double prev = 0;
+  for (int t = 1; t <= 56; ++t) {
+    const double e = m.effective_cores(t);
+    EXPECT_GT(e, prev);
+    prev = e;
+  }
+  EXPECT_DOUBLE_EQ(m.effective_cores(56), 36.4);
+}
+
+// ---- CPU model: streaming time decreases as caches grow with threads ----
+
+class WorkingSetSweep : public testing::TestWithParam<double> {};
+
+TEST_P(WorkingSetSweep, StreamBandwidthOrdering) {
+  const CpuModel m(paper_cpu());
+  // More threads never stream slower at any level.
+  for (const CacheLevel level : {CacheLevel::kL1, CacheLevel::kL2,
+                                 CacheLevel::kL3, CacheLevel::kDram}) {
+    EXPECT_LE(m.stream_bandwidth(level, 1),
+              m.stream_bandwidth(level, 56) + 1e-9);
+  }
+  // Higher levels are never faster than lower ones at fixed threads.
+  const int threads = static_cast<int>(GetParam());
+  EXPECT_GE(m.stream_bandwidth(CacheLevel::kL1, threads),
+            m.stream_bandwidth(CacheLevel::kL2, threads));
+  EXPECT_GE(m.stream_bandwidth(CacheLevel::kL2, threads),
+            m.stream_bandwidth(CacheLevel::kL3, threads));
+  EXPECT_GE(m.stream_bandwidth(CacheLevel::kL3, threads),
+            m.stream_bandwidth(CacheLevel::kDram, threads));
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, WorkingSetSweep,
+                         testing::Values(1.0, 8.0, 28.0, 56.0));
+
+// ---- asyncsim: every worker count visits each example exactly once ----
+
+class WorkerSweep : public testing::TestWithParam<int> {};
+
+TEST_P(WorkerSweep, EpochTouchesAllExamplesOnce) {
+  const int workers = GetParam();
+  GeneratorOptions g;
+  g.scale = 500;
+  g.seed = 3;
+  const Dataset ds = generate_dataset("w8a", g);
+  TrainData data;
+  data.sparse = &ds.x;
+  data.y = ds.y;
+  LogisticRegression lr(ds.d());
+  AsyncSimOptions opts;
+  opts.workers = workers;
+  AsyncSim sim(lr, data, opts);
+  auto w = lr.init_params(1);
+  Rng rng(7);
+  const CostBreakdown c = sim.run_epoch(w, real_t(1e-4), rng);
+  double expected = 0;
+  for (std::size_t i = 0; i < ds.n(); ++i) {
+    expected += static_cast<double>(ds.x.row_nnz(i));
+  }
+  EXPECT_DOUBLE_EQ(c.model_reads, expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Workers, WorkerSweep,
+                         testing::Values(1, 2, 3, 7, 16, 56));
+
+// ---- asyncsim: conflicts never negative, zero for one worker ----
+
+TEST_P(WorkerSweep, ConflictAccountingSane) {
+  const int workers = GetParam();
+  GeneratorOptions g;
+  g.scale = 500;
+  g.seed = 4;
+  const Dataset ds = generate_dataset("covtype", g);
+  TrainData data;
+  data.sparse = &ds.x;
+  data.dense = ds.x_dense ? &*ds.x_dense : nullptr;
+  data.y = ds.y;
+  LogisticRegression lr(ds.d());
+  AsyncSimOptions opts;
+  opts.workers = workers;
+  AsyncSim sim(lr, data, opts);
+  auto w = lr.init_params(2);
+  Rng rng(9);
+  const CostBreakdown c = sim.run_epoch(w, real_t(1e-3), rng);
+  if (workers == 1) {
+    EXPECT_EQ(c.write_conflicts, 0.0);
+  } else {
+    EXPECT_GE(c.write_conflicts, 0.0);
+    // Dense covtype: every unit's lines collide; conflicts bounded by
+    // total line-write events.
+    EXPECT_LE(c.write_conflicts, c.model_writes);
+  }
+}
+
+// ---- linear models: gradient-step direction over random examples ----
+
+class StepSweep : public testing::TestWithParam<int> {};
+
+TEST_P(StepSweep, SmallStepNeverIncreasesExampleLossMuch) {
+  Rng rng(GetParam());
+  const std::size_t d = 20;
+  LogisticRegression lr(d);
+  LinearSvm svm(d);
+  std::vector<real_t> x(d), w(d);
+  for (auto& v : x) v = static_cast<real_t>(rng.normal());
+  for (auto& v : w) v = static_cast<real_t>(rng.normal(0, 0.3));
+  const real_t y = rng.bernoulli(0.5) ? 1 : -1;
+  const ExampleView xv = ExampleView::dense(x);
+  for (const Model* m : {static_cast<Model*>(&lr),
+                         static_cast<Model*>(&svm)}) {
+    std::vector<real_t> w2(w);
+    const double before = m->example_loss(xv, y, w);
+    m->example_step(xv, y, real_t(1e-3), w, w2, nullptr);
+    const double after = m->example_loss(xv, y, w2);
+    EXPECT_LE(after, before + 1e-6) << m->name();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StepSweep, testing::Range(1, 9));
+
+// ---- convergence: thresholds are nested ----
+
+class FractionSweep : public testing::TestWithParam<double> {};
+
+TEST_P(FractionSweep, CoarserThresholdNeverLater) {
+  const double frac = GetParam();
+  RunResult run;
+  run.initial_loss = 100;
+  Rng rng(11);
+  double loss = 100;
+  for (int e = 0; e < 60; ++e) {
+    loss *= 0.9;
+    run.losses.push_back(loss + 0.01 * rng.uniform());
+    run.epoch_seconds.push_back(0.5);
+  }
+  const ConvergencePoint fine = convergence_point(run, loss, frac);
+  const ConvergencePoint coarse = convergence_point(run, loss, frac * 2);
+  if (fine.reached) {
+    ASSERT_TRUE(coarse.reached);
+    EXPECT_LE(coarse.epochs, fine.epochs);
+    EXPECT_LE(coarse.seconds, fine.seconds);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Fractions, FractionSweep,
+                         testing::Values(0.01, 0.02, 0.05, 0.10));
+
+// ---- generator: scale invariance of shape statistics ----
+
+class ScaleSweep : public testing::TestWithParam<double> {};
+
+TEST_P(ScaleSweep, NnzShapeIsScaleInvariant) {
+  GeneratorOptions g;
+  g.scale = GetParam();
+  g.seed = 99;
+  const Dataset ds = generate_dataset("rcv1", g);
+  const NnzStats s = ds.nnz_stats();
+  EXPECT_NEAR(s.avg, ds.profile.nnz_avg, 0.2 * ds.profile.nnz_avg);
+  EXPECT_GE(s.min, ds.profile.nnz_min);
+  EXPECT_LE(s.max, ds.profile.nnz_max);
+}
+
+INSTANTIATE_TEST_SUITE_P(Scales, ScaleSweep,
+                         testing::Values(100.0, 300.0, 1000.0));
+
+// ---- linalg: spmv == gemv on the densified matrix across sparsities ----
+
+class SparsitySweep : public testing::TestWithParam<double> {};
+
+TEST_P(SparsitySweep, SpmvMatchesDensePath) {
+  Rng rng(static_cast<std::uint64_t>(GetParam() * 1000));
+  const std::size_t rows = 40, cols = 60;
+  CsrMatrix::Builder b(cols);
+  for (std::size_t r = 0; r < rows; ++r) {
+    std::vector<index_t> idx;
+    std::vector<real_t> val;
+    for (index_t c = 0; c < cols; ++c) {
+      if (rng.bernoulli(GetParam())) {
+        idx.push_back(c);
+        val.push_back(static_cast<real_t>(rng.normal()));
+      }
+    }
+    b.add_row(idx, val);
+  }
+  const CsrMatrix a = std::move(b).build();
+  std::vector<real_t> x(cols), ys(rows), yd(rows);
+  for (auto& v : x) v = static_cast<real_t>(rng.normal());
+  linalg::CpuBackend be;
+  CostBreakdown cost;
+  be.set_sink(&cost);
+  be.spmv(a, x, ys, false);
+  be.gemv(a.to_dense(), x, yd, false);
+  for (std::size_t r = 0; r < rows; ++r) EXPECT_NEAR(ys[r], yd[r], 1e-4);
+}
+
+INSTANTIATE_TEST_SUITE_P(Densities, SparsitySweep,
+                         testing::Values(0.0, 0.05, 0.3, 0.7, 1.0));
+
+}  // namespace
+}  // namespace parsgd

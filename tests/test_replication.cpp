@@ -1,0 +1,138 @@
+#include "asyncsim/replication.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "data/generator.hpp"
+#include "models/linear.hpp"
+#include "models/mlp.hpp"
+
+namespace parsgd {
+namespace {
+
+struct Fixture {
+  Dataset ds;
+  TrainData data;
+  explicit Fixture(const char* name)
+      : ds(generate_dataset(name,
+                            GeneratorOptions{.seed = 17, .scale = 400})) {
+    data.sparse = &ds.x;
+    data.dense = ds.x_dense ? &*ds.x_dense : nullptr;
+    data.y = ds.y;
+  }
+};
+
+TEST(Replication, Names) {
+  EXPECT_STREQ(to_string(Replication::kPerMachine), "PerMachine");
+  EXPECT_STREQ(to_string(Replication::kPerNode), "PerNode");
+  EXPECT_STREQ(to_string(Replication::kPerCore), "PerCore");
+}
+
+TEST(Replication, ReplicaCountsAndBytes) {
+  Fixture f("w8a");
+  LogisticRegression lr(f.ds.d());
+  ReplicationOptions o;
+  o.workers = 56;
+  o.sockets = 2;
+  o.strategy = Replication::kPerMachine;
+  EXPECT_EQ(ReplicatedHogwild(lr, f.data, o).replica_count(), 1u);
+  o.strategy = Replication::kPerNode;
+  ReplicatedHogwild per_node(lr, f.data, o);
+  EXPECT_EQ(per_node.replica_count(), 2u);
+  EXPECT_EQ(per_node.replica_bytes(), f.ds.d() * sizeof(real_t));
+  o.strategy = Replication::kPerCore;
+  EXPECT_EQ(ReplicatedHogwild(lr, f.data, o).replica_count(), 56u);
+}
+
+TEST(Replication, RejectsDenseUpdateModels) {
+  Fixture f("covtype");
+  Mlp mlp(f.ds.profile.mlp_architecture());
+  EXPECT_THROW(ReplicatedHogwild(mlp, f.data, {}), CheckError);
+}
+
+class StrategyCase : public testing::TestWithParam<Replication> {};
+
+TEST_P(StrategyCase, AllStrategiesLearn) {
+  Fixture f("w8a");
+  LogisticRegression lr(f.ds.d());
+  ReplicationOptions o;
+  o.strategy = GetParam();
+  o.workers = 8;
+  ReplicatedHogwild hog(lr, f.data, o);
+  auto w = lr.init_params(1);
+  Rng rng(5);
+  const double initial = lr.dataset_loss(f.data, w, false);
+  for (int e = 0; e < 10; ++e) hog.run_epoch(w, real_t(0.3), rng);
+  EXPECT_LT(lr.dataset_loss(f.data, w, false), 0.8 * initial)
+      << to_string(GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(Strategies, StrategyCase,
+                         testing::Values(Replication::kPerMachine,
+                                         Replication::kPerNode,
+                                         Replication::kPerCore),
+                         [](const testing::TestParamInfo<Replication>& p) {
+                           return to_string(p.param);
+                         });
+
+TEST(Replication, PerNodeHalvesConflictsOnDenseData) {
+  // The DimmWitted trade: with replicas per socket, only same-socket
+  // workers contend for a replica's cache lines.
+  Fixture f("covtype");
+  LogisticRegression lr(f.ds.d());
+  auto conflicts = [&](Replication strategy) {
+    ReplicationOptions o;
+    o.strategy = strategy;
+    o.workers = 56;
+    o.sockets = 2;
+    ReplicatedHogwild hog(lr, f.data, o);
+    auto w = lr.init_params(2);
+    Rng rng(7);
+    return hog.run_epoch(w, real_t(0.01), rng).write_conflicts;
+  };
+  const double machine = conflicts(Replication::kPerMachine);
+  const double node = conflicts(Replication::kPerNode);
+  const double core = conflicts(Replication::kPerCore);
+  EXPECT_GT(machine, 0);
+  EXPECT_LT(node, machine);
+  EXPECT_EQ(core, 0.0);  // private replicas never conflict
+}
+
+TEST(Replication, PerCoreStatisticallyWeakest) {
+  // Model averaging pays statistically: after equal epochs at equal
+  // alpha, PerCore's loss should be no better than PerMachine's.
+  Fixture f("w8a");
+  LogisticRegression lr(f.ds.d());
+  auto loss_after = [&](Replication strategy) {
+    ReplicationOptions o;
+    o.strategy = strategy;
+    o.workers = 16;
+    o.sync_interval = 64;
+    ReplicatedHogwild hog(lr, f.data, o);
+    auto w = lr.init_params(3);
+    Rng rng(9);
+    for (int e = 0; e < 6; ++e) hog.run_epoch(w, real_t(0.3), rng);
+    return lr.dataset_loss(f.data, w, false);
+  };
+  EXPECT_LE(loss_after(Replication::kPerMachine),
+            loss_after(Replication::kPerCore) * 1.02);
+}
+
+TEST(Replication, DeterministicGivenSeed) {
+  Fixture f("real-sim");
+  LogisticRegression lr(f.ds.d());
+  auto run = [&] {
+    ReplicationOptions o;
+    o.strategy = Replication::kPerNode;
+    o.workers = 8;
+    ReplicatedHogwild hog(lr, f.data, o);
+    auto w = lr.init_params(4);
+    Rng rng(13);
+    hog.run_epoch(w, real_t(0.1), rng);
+    return w;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+}  // namespace
+}  // namespace parsgd

@@ -1,0 +1,183 @@
+// Integration tests of the engine layer's newer behaviours: mini-batch
+// synchronous updates, GPU Hogwild round spill, and run determinism.
+#include <gtest/gtest.h>
+
+#include "asyncsim/gpu_hogwild.hpp"
+#include "data/generator.hpp"
+#include "data/mlp_view.hpp"
+#include "models/linear.hpp"
+#include "models/mlp.hpp"
+#include "sgd/async_engine.hpp"
+#include "sgd/sync_engine.hpp"
+
+namespace parsgd {
+namespace {
+
+struct Fixture {
+  Dataset ds;
+  TrainData data;
+
+  explicit Fixture(const char* name, double scale = 400,
+                   bool mlp_view = false)
+      : ds(mlp_view
+               ? make_mlp_dataset(generate_dataset(
+                     name, GeneratorOptions{.seed = 6, .scale = scale}))
+               : generate_dataset(name, GeneratorOptions{.seed = 6,
+                                                         .scale = scale})) {
+    data.sparse = &ds.x;
+    data.dense = ds.x_dense ? &*ds.x_dense : nullptr;
+    data.y = ds.y;
+  }
+};
+
+TEST(SyncMinibatch, UpdatesPerBatchBeatFullBatchOnMlp) {
+  Fixture f("covtype", 400, true);
+  Mlp mlp(f.ds.profile.mlp_architecture());
+  const ScaleContext ctx = make_scale_context(f.ds, mlp, true);
+  const auto w0 = mlp.init_params(2);
+  TrainOptions t;
+  t.max_epochs = 30;
+  t.prefer_dense = true;
+
+  auto run = [&](std::size_t minibatch) {
+    SyncEngineOptions o;
+    o.use_dense = true;
+    o.calibration = SyncCalibration::mlp();
+    o.minibatch = minibatch;
+    SyncEngine e(mlp, f.data, ctx, o);
+    return run_training(e, mlp, f.data, w0, real_t(0.5), t);
+  };
+  const RunResult full = run(0);
+  const RunResult mini = run(64);
+  // Mini-batch makes many updates per epoch: far faster statistically.
+  EXPECT_LT(mini.best_loss(), full.best_loss());
+  // Hardware efficiency is instrumented from the same full pass: equal.
+  EXPECT_NEAR(mini.seconds_per_epoch(), full.seconds_per_epoch(), 1e-12);
+}
+
+TEST(SyncMinibatch, TrajectoryDeterministicGivenSeed) {
+  Fixture f("w8a");
+  LogisticRegression lr(f.ds.d());
+  const ScaleContext ctx = make_scale_context(f.ds, lr, false);
+  const auto w0 = lr.init_params(3);
+  TrainOptions t;
+  t.max_epochs = 8;
+  t.seed = 99;
+  auto run = [&] {
+    SyncEngineOptions o;
+    o.minibatch = 16;
+    SyncEngine e(lr, f.data, ctx, o);
+    return run_training(e, lr, f.data, w0, real_t(0.5), t).losses;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(GpuHogwildRounds, SpillAcrossEpochs) {
+  // With the device's absolute round (6656 examples) larger than the
+  // dataset, no update lands within the first epoch; after enough epochs
+  // the accumulated round applies and the loss finally moves.
+  Fixture f("w8a", 400);
+  LogisticRegression lr(f.ds.d());
+  gpusim::Device dev(paper_gpu());
+  GpuHogwildOptions opts;
+  opts.instrument_warps = 8;
+  GpuHogwild hog(lr, f.data, dev, opts);
+  auto w = lr.init_params(4);
+  const auto w0 = w;
+  Rng rng(1);
+  hog.run_epoch(w, real_t(0.5), rng);
+  EXPECT_EQ(w, w0) << "round should not have applied yet";
+  const std::size_t round = 13 * 16 * 32;
+  const std::size_t epochs_to_fill = round / f.ds.n() + 1;
+  for (std::size_t e = 0; e < epochs_to_fill; ++e) {
+    hog.run_epoch(w, real_t(0.5), rng);
+  }
+  EXPECT_NE(w, w0) << "accumulated round must have applied";
+}
+
+TEST(AsyncEngines, NamesAndAxes) {
+  Fixture f("w8a");
+  LogisticRegression lr(f.ds.d());
+  const ScaleContext ctx = make_scale_context(f.ds, lr, false);
+  AsyncCpuOptions seq;
+  seq.arch = Arch::kCpuSeq;
+  AsyncCpuEngine e1(lr, f.data, ctx, seq);
+  EXPECT_EQ(e1.name(), "async/cpu-seq/hogwild");
+  AsyncCpuOptions par;
+  par.arch = Arch::kCpuPar;
+  par.batch = 8;
+  AsyncCpuEngine e2(lr, f.data, ctx, par);
+  EXPECT_EQ(e2.name(), "async/cpu-par/hogbatch");
+  SyncEngineOptions so;
+  so.arch = Arch::kGpu;
+  SyncEngine e3(lr, f.data, ctx, so);
+  EXPECT_EQ(e3.name(), "sync/gpu/sparse");
+  EXPECT_EQ(e3.update(), Update::kSync);
+}
+
+TEST(AsyncEngines, MlpDispatchFeeAppliesPerArch) {
+  Fixture f("covtype", 400, true);
+  Mlp mlp(f.ds.profile.mlp_architecture());
+  const ScaleContext ctx = make_scale_context(f.ds, mlp, true);
+  const auto w0 = mlp.init_params(7);
+  TrainOptions t;
+  t.max_epochs = 2;
+  t.prefer_dense = true;
+
+  auto tpi = [&](Arch arch, double d_seq, double d_par) {
+    AsyncCpuOptions o;
+    o.arch = arch;
+    o.batch = 64;
+    o.prefer_dense = true;
+    o.window_units = 1;
+    o.dispatch_us_seq = d_seq;
+    o.dispatch_us_par = d_par;
+    AsyncCpuEngine e(mlp, f.data, ctx, o);
+    return run_training(e, mlp, f.data, w0, real_t(0.1), t)
+        .seconds_per_epoch();
+  };
+  // Adding a dispatch fee must raise the epoch time by fee * paper_N.
+  const double base = tpi(Arch::kCpuSeq, 0, 0);
+  const double taxed = tpi(Arch::kCpuSeq, 21.0, 0);
+  EXPECT_NEAR(taxed - base, 21.0e-6 * ctx.paper_n, 1e-3);
+  // The parallel fee is the parallel knob, not the sequential one.
+  const double par_base = tpi(Arch::kCpuPar, 0, 0);
+  const double par_taxed = tpi(Arch::kCpuPar, 21.0, 1.3);
+  EXPECT_NEAR(par_taxed - par_base, 1.3e-6 * ctx.paper_n, 1e-3);
+}
+
+TEST(SyncCalibrationTest, PresetsDiffer) {
+  const SyncCalibration def{};
+  const SyncCalibration mlp = SyncCalibration::mlp();
+  const SyncCalibration none = SyncCalibration::none();
+  EXPECT_LT(def.cpu_kernel_efficiency, 1.0);
+  EXPECT_GT(def.seq_epoch_overhead_s, 0.0);
+  EXPECT_FALSE(def.vectorized_seq);
+  EXPECT_EQ(mlp.cpu_kernel_efficiency, 1.0);
+  EXPECT_GT(mlp.dispatch_us_seq, mlp.dispatch_us_par);
+  EXPECT_GT(mlp.dispatch_us_par, mlp.dispatch_us_gpu);
+  EXPECT_EQ(none.seq_epoch_overhead_s, 0.0);
+  EXPECT_EQ(none.dispatch_us_seq, 0.0);
+}
+
+TEST(SyncEngineCalibrated, CalibrationMonotone) {
+  // Turning calibration off can only make epochs cheaper (it removes
+  // overhead terms and raises efficiencies to 1).
+  Fixture f("rcv1");
+  LogisticRegression lr(f.ds.d());
+  const ScaleContext ctx = make_scale_context(f.ds, lr, false);
+  const auto w0 = lr.init_params(8);
+  for (const Arch arch : {Arch::kCpuSeq, Arch::kCpuPar, Arch::kGpu}) {
+    SyncEngineOptions on;
+    on.arch = arch;
+    SyncEngine e_on(lr, f.data, ctx, on);
+    SyncEngineOptions off = on;
+    off.calibration = SyncCalibration::none();
+    SyncEngine e_off(lr, f.data, ctx, off);
+    EXPECT_LE(e_off.epoch_seconds(w0), e_on.epoch_seconds(w0))
+        << to_string(arch);
+  }
+}
+
+}  // namespace
+}  // namespace parsgd

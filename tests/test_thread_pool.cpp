@@ -1,0 +1,105 @@
+#include "parallel/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace parsgd {
+namespace {
+
+TEST(ThreadPool, CoversWholeRange) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for(1000, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) hits[i].fetch_add(1);
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, EmptyRangeIsNoop) {
+  ThreadPool pool(2);
+  bool called = false;
+  pool.parallel_for(0, [&](std::size_t, std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPool, SingleElement) {
+  ThreadPool pool(8);
+  std::atomic<int> count{0};
+  pool.parallel_for(1, [&](std::size_t lo, std::size_t hi) {
+    EXPECT_EQ(lo, 0u);
+    EXPECT_EQ(hi, 1u);
+    count.fetch_add(1);
+  });
+  EXPECT_EQ(count.load(), 1);
+}
+
+TEST(ThreadPool, SumMatchesSequential) {
+  ThreadPool pool(3);
+  std::vector<long> data(5000);
+  std::iota(data.begin(), data.end(), 0);
+  std::atomic<long> total{0};
+  pool.parallel_for(data.size(), [&](std::size_t lo, std::size_t hi) {
+    long local = 0;
+    for (std::size_t i = lo; i < hi; ++i) local += data[i];
+    total.fetch_add(local);
+  });
+  EXPECT_EQ(total.load(), 5000L * 4999 / 2);
+}
+
+TEST(ThreadPool, ExceptionsPropagate) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.parallel_for(100,
+                        [&](std::size_t lo, std::size_t) {
+                          if (lo == 0) throw std::runtime_error("boom");
+                        }),
+      std::runtime_error);
+  // Pool remains usable after an exception.
+  std::atomic<int> ok{0};
+  pool.parallel_for(10, [&](std::size_t lo, std::size_t hi) {
+    ok.fetch_add(static_cast<int>(hi - lo));
+  });
+  EXPECT_EQ(ok.load(), 10);
+}
+
+TEST(ThreadPool, RunOnAllVisitsEveryWorker) {
+  ThreadPool pool(5);
+  std::vector<std::atomic<int>> visits(5);
+  pool.run_on_all([&](std::size_t i) { visits[i].fetch_add(1); });
+  for (const auto& v : visits) EXPECT_EQ(v.load(), 1);
+}
+
+TEST(ThreadPool, SizeReflectsConstruction) {
+  ThreadPool pool(6);
+  EXPECT_EQ(pool.size(), 6u);
+}
+
+TEST(ThreadPool, GlobalPoolExists) {
+  EXPECT_GE(ThreadPool::global().size(), 1u);
+}
+
+TEST(ThreadPool, ChunksAreDisjointAndOrdered) {
+  ThreadPool pool(4);
+  std::mutex m;
+  std::vector<std::pair<std::size_t, std::size_t>> chunks;
+  pool.parallel_for(103, [&](std::size_t lo, std::size_t hi) {
+    std::lock_guard<std::mutex> lock(m);
+    chunks.emplace_back(lo, hi);
+  });
+  std::sort(chunks.begin(), chunks.end());
+  std::size_t expect = 0;
+  for (const auto& [lo, hi] : chunks) {
+    EXPECT_EQ(lo, expect);
+    EXPECT_GT(hi, lo);
+    expect = hi;
+  }
+  EXPECT_EQ(expect, 103u);
+}
+
+}  // namespace
+}  // namespace parsgd

@@ -1,0 +1,117 @@
+#include "sgd/timing.hpp"
+
+#include <gtest/gtest.h>
+
+#include "data/generator.hpp"
+#include "models/linear.hpp"
+
+namespace parsgd {
+namespace {
+
+Dataset tiny() {
+  GeneratorOptions g;
+  g.scale = 400;
+  g.seed = 12;
+  return generate_dataset("rcv1", g);
+}
+
+TEST(ScaleContextTest, ExtrapolatesToPaperN) {
+  const Dataset ds = tiny();
+  LogisticRegression lr(ds.d());
+  const ScaleContext ctx = make_scale_context(ds, lr, false);
+  EXPECT_DOUBLE_EQ(ctx.paper_n, 677399.0);
+  EXPECT_NEAR(ctx.n_scale,
+              677399.0 / static_cast<double>(ds.n()), 1e-9);
+  EXPECT_DOUBLE_EQ(ctx.model_bytes,
+                   static_cast<double>(ds.d()) * sizeof(real_t));
+  // Working set: the CSR bytes scaled to paper N plus the model.
+  EXPECT_NEAR(ctx.working_set_bytes,
+              static_cast<double>(ds.x.bytes()) * ctx.n_scale +
+                  ctx.model_bytes,
+              1.0);
+}
+
+TEST(ScaleContextTest, DenseLayoutUsesDenseBytes) {
+  GeneratorOptions g;
+  g.scale = 400;
+  const Dataset ds = generate_dataset("covtype", g);
+  LogisticRegression lr(ds.d());
+  const ScaleContext sparse_ctx = make_scale_context(ds, lr, false);
+  const ScaleContext dense_ctx = make_scale_context(ds, lr, true);
+  // covtype is fully dense, so CSR storage (values + indices + row
+  // pointers) is larger than the plain dense array.
+  EXPECT_GT(sparse_ctx.working_set_bytes, dense_ctx.working_set_bytes);
+}
+
+TEST(CpuEpochSeconds, ScalesLinearlyWithPaperN) {
+  CostBreakdown cost;
+  cost.flops = 1e7;
+  ScaleContext a;
+  a.n_scale = 10;
+  a.working_set_bytes = 1 << 20;
+  a.model_bytes = 1024;
+  ScaleContext b = a;
+  b.n_scale = 20;
+  const double ta = cpu_epoch_seconds(paper_cpu(), cost, a, 1, true);
+  const double tb = cpu_epoch_seconds(paper_cpu(), cost, b, 1, true);
+  EXPECT_NEAR(tb / ta, 2.0, 1e-9);
+}
+
+TEST(CpuEpochSeconds, ForkJoinIsPerEpochConstant) {
+  // kernel_launches must NOT be multiplied by n_scale.
+  CostBreakdown cost;
+  cost.flops = 1;  // negligible compute
+  cost.kernel_launches = 6;
+  ScaleContext a;
+  a.n_scale = 10;
+  a.working_set_bytes = 1024;
+  a.model_bytes = 64;
+  ScaleContext b = a;
+  b.n_scale = 1000;
+  const double ta = cpu_epoch_seconds(paper_cpu(), cost, a, 56, true);
+  const double tb = cpu_epoch_seconds(paper_cpu(), cost, b, 56, true);
+  // Fork/join dominates and is scale-independent.
+  EXPECT_NEAR(ta, tb, 1e-6);
+  const CpuModel m(paper_cpu());
+  EXPECT_NEAR(ta, 6 * m.fork_join_seconds(56), 1e-6);
+}
+
+TEST(CpuEpochSeconds, NoForkJoinSequential) {
+  CostBreakdown cost;
+  cost.flops = 1;
+  cost.kernel_launches = 100;
+  ScaleContext ctx;
+  ctx.n_scale = 1;
+  ctx.working_set_bytes = 1024;
+  ctx.model_bytes = 64;
+  EXPECT_LT(cpu_epoch_seconds(paper_cpu(), cost, ctx, 1, true), 1e-6);
+}
+
+TEST(GpuEpochSeconds, SeparatesKernelAndLaunchScaling) {
+  CostBreakdown cost;
+  cost.gpu_cycles = 1e6;
+  cost.kernel_launches = 4;
+  ScaleContext ctx;
+  ctx.n_scale = 100;
+  const GpuSpec& spec = paper_gpu();
+  const double t = gpu_epoch_seconds(spec, cost, ctx);
+  const double expected =
+      (1e6 * 100 + 4 * spec.cycles_kernel_launch) / (spec.clock_ghz * 1e9);
+  EXPECT_NEAR(t, expected, 1e-12);
+}
+
+TEST(GpuEpochSeconds, LaunchFloorDominatesTinyKernels) {
+  CostBreakdown cost;
+  cost.gpu_cycles = 10;
+  cost.kernel_launches = 6;
+  ScaleContext ctx;
+  ctx.n_scale = 1;
+  const GpuSpec& spec = paper_gpu();
+  const double t = gpu_epoch_seconds(spec, cost, ctx);
+  // ~6 x 0.57 ms: the Table II small-dataset GPU floor.
+  EXPECT_GT(t, 3e-3);
+  EXPECT_LT(t, 5e-3);
+}
+
+}  // namespace
+}  // namespace parsgd

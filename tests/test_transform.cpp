@@ -1,0 +1,103 @@
+#include "matrix/transform.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+
+namespace parsgd {
+namespace {
+
+CsrMatrix make_row(std::size_t cols, std::vector<index_t> idx,
+                   std::vector<real_t> val) {
+  CsrMatrix::Builder b(cols);
+  b.add_row(idx, val);
+  return std::move(b).build();
+}
+
+TEST(GroupFeatures, AveragesWithinBuckets) {
+  // 6 cols -> 2 groups of width 3. Row: [3 3 0 | 0 0 6].
+  const CsrMatrix m = make_row(6, {0, 1, 5}, {3, 3, 6});
+  const DenseMatrix g = group_features_dense(m, 2);
+  EXPECT_EQ(g.cols(), 2u);
+  EXPECT_FLOAT_EQ(g.at(0, 0), 2.0f);  // (3+3+0)/3
+  EXPECT_FLOAT_EQ(g.at(0, 1), 2.0f);  // (0+0+6)/3
+}
+
+TEST(GroupFeatures, UnevenBucketsSplitFirstWider) {
+  // 5 cols -> 2 groups: widths 3 and 2.
+  const CsrMatrix m = make_row(5, {0, 3}, {3, 4});
+  const DenseMatrix g = group_features_dense(m, 2);
+  EXPECT_FLOAT_EQ(g.at(0, 0), 1.0f);  // 3/3
+  EXPECT_FLOAT_EQ(g.at(0, 1), 2.0f);  // 4/2
+}
+
+TEST(GroupFeatures, IdentityWhenGroupsEqualCols) {
+  const CsrMatrix m = make_row(3, {1}, {5});
+  const DenseMatrix g = group_features_dense(m, 3);
+  EXPECT_FLOAT_EQ(g.at(0, 1), 5.0f);
+  EXPECT_FLOAT_EQ(g.at(0, 0), 0.0f);
+}
+
+TEST(GroupFeatures, SparseMatchesDense) {
+  Rng rng(99);
+  CsrMatrix::Builder b(100);
+  for (int r = 0; r < 20; ++r) {
+    std::vector<index_t> idx;
+    std::vector<real_t> val;
+    for (index_t c = 0; c < 100; ++c) {
+      if (rng.bernoulli(0.1)) {
+        idx.push_back(c);
+        val.push_back(static_cast<real_t>(rng.normal()));
+      }
+    }
+    b.add_row(idx, val);
+  }
+  const CsrMatrix m = std::move(b).build();
+  const DenseMatrix gd = group_features_dense(m, 7);
+  const CsrMatrix gs = group_features_sparse(m, 7);
+  const DenseMatrix gs_dense = gs.to_dense();
+  ASSERT_EQ(gs_dense.rows(), gd.rows());
+  for (std::size_t r = 0; r < gd.rows(); ++r) {
+    for (std::size_t c = 0; c < gd.cols(); ++c) {
+      EXPECT_NEAR(gs_dense.at(r, c), gd.at(r, c), 1e-5) << r << "," << c;
+    }
+  }
+}
+
+TEST(GroupFeatures, DensityIncreases) {
+  // Text-like sparse row grouped into few buckets gets denser.
+  const CsrMatrix m = make_row(1000, {5, 500, 900}, {1, 1, 1});
+  const CsrMatrix g = group_features_sparse(m, 10);
+  EXPECT_GT(g.density(), m.density());
+}
+
+TEST(GroupFeatures, InvalidGroupsRejected) {
+  const CsrMatrix m = make_row(4, {0}, {1});
+  EXPECT_THROW(group_features_dense(m, 0), CheckError);
+  EXPECT_THROW(group_features_dense(m, 5), CheckError);
+}
+
+TEST(GroupFeatures, EveryInputColumnMapsToExactlyOneBucket) {
+  // Property: grouping a row of all-ones by any group count preserves the
+  // total mass (sum of bucket_value * bucket_width == #cols).
+  for (const std::size_t groups : {1u, 2u, 3u, 7u, 13u}) {
+    CsrMatrix::Builder b(13);
+    std::vector<index_t> idx(13);
+    std::vector<real_t> val(13, 1);
+    for (index_t c = 0; c < 13; ++c) idx[c] = c;
+    b.add_row(idx, val);
+    const CsrMatrix m = std::move(b).build();
+    const DenseMatrix g = group_features_dense(m, groups);
+    double mass = 0;
+    const std::size_t base = 13 / groups, extra = 13 % groups;
+    for (std::size_t k = 0; k < groups; ++k) {
+      const std::size_t width = base + (k < extra ? 1 : 0);
+      mass += static_cast<double>(g.at(0, k)) * static_cast<double>(width);
+    }
+    EXPECT_NEAR(mass, 13.0, 1e-4) << "groups=" << groups;
+  }
+}
+
+}  // namespace
+}  // namespace parsgd
