@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_hwspec.dir/bench_fig5_hwspec.cpp.o"
+  "CMakeFiles/bench_fig5_hwspec.dir/bench_fig5_hwspec.cpp.o.d"
+  "bench_fig5_hwspec"
+  "bench_fig5_hwspec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_hwspec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

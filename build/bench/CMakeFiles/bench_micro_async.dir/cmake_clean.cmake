@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_async.dir/bench_micro_async.cpp.o"
+  "CMakeFiles/bench_micro_async.dir/bench_micro_async.cpp.o.d"
+  "bench_micro_async"
+  "bench_micro_async.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_async.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_async.dir/bench_table3_async.cpp.o"
+  "CMakeFiles/bench_table3_async.dir/bench_table3_async.cpp.o.d"
+  "bench_table3_async"
+  "bench_table3_async.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_async.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpu_kernel_lab.dir/gpu_kernel_lab.cpp.o"
+  "CMakeFiles/gpu_kernel_lab.dir/gpu_kernel_lab.cpp.o.d"
+  "gpu_kernel_lab"
+  "gpu_kernel_lab.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpu_kernel_lab.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

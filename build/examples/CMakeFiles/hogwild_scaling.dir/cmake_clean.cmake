@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hogwild_scaling.dir/hogwild_scaling.cpp.o"
+  "CMakeFiles/hogwild_scaling.dir/hogwild_scaling.cpp.o.d"
+  "hogwild_scaling"
+  "hogwild_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hogwild_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parsgd_cli.dir/parsgd_cli.cpp.o"
+  "CMakeFiles/parsgd_cli.dir/parsgd_cli.cpp.o.d"
+  "parsgd_cli"
+  "parsgd_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parsgd_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

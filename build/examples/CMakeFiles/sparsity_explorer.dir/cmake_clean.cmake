@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sparsity_explorer.dir/sparsity_explorer.cpp.o"
+  "CMakeFiles/sparsity_explorer.dir/sparsity_explorer.cpp.o.d"
+  "sparsity_explorer"
+  "sparsity_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sparsity_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/text_classifier.dir/text_classifier.cpp.o"
+  "CMakeFiles/text_classifier.dir/text_classifier.cpp.o.d"
+  "text_classifier"
+  "text_classifier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/text_classifier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

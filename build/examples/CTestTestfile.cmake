@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build/examples/quickstart" "--epochs=3" "--dataset=w8a")
+set_tests_properties(example_quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;22;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_text_classifier "/root/repo/build/examples/text_classifier" "--epochs=3")
+set_tests_properties(example_text_classifier PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;23;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_gpu_kernel_lab "/root/repo/build/examples/gpu_kernel_lab" "--elements=4096")
+set_tests_properties(example_gpu_kernel_lab PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;24;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_hogwild_scaling "/root/repo/build/examples/hogwild_scaling" "--dataset=w8a" "--epochs=2")
+set_tests_properties(example_hogwild_scaling PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;25;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_sparsity_explorer "/root/repo/build/examples/sparsity_explorer" "--n=400" "--d=1024")
+set_tests_properties(example_sparsity_explorer PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;27;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_export_results "/root/repo/build/examples/export_results" "--scale=600" "--dataset=w8a")
+set_tests_properties(example_export_results PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;29;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_parsgd_cli "/root/repo/build/examples/parsgd_cli" "--task=SVM" "--dataset=w8a" "--update=async" "--arch=cpu-par" "--epochs=5" "--scale=500")
+set_tests_properties(example_parsgd_cli PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;31;add_test;/root/repo/examples/CMakeLists.txt;0;")

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("parallel")
+subdirs("matrix")
+subdirs("data")
+subdirs("hwmodel")
+subdirs("gpusim")
+subdirs("linalg")
+subdirs("models")
+subdirs("asyncsim")
+subdirs("sgd")
+subdirs("baselines")
+subdirs("core")

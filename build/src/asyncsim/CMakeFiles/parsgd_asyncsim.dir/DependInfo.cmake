@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/asyncsim/async_sim.cpp" "src/asyncsim/CMakeFiles/parsgd_asyncsim.dir/async_sim.cpp.o" "gcc" "src/asyncsim/CMakeFiles/parsgd_asyncsim.dir/async_sim.cpp.o.d"
+  "/root/repo/src/asyncsim/gpu_hogwild.cpp" "src/asyncsim/CMakeFiles/parsgd_asyncsim.dir/gpu_hogwild.cpp.o" "gcc" "src/asyncsim/CMakeFiles/parsgd_asyncsim.dir/gpu_hogwild.cpp.o.d"
+  "/root/repo/src/asyncsim/replication.cpp" "src/asyncsim/CMakeFiles/parsgd_asyncsim.dir/replication.cpp.o" "gcc" "src/asyncsim/CMakeFiles/parsgd_asyncsim.dir/replication.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/parsgd_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/models/CMakeFiles/parsgd_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpusim/CMakeFiles/parsgd_gpusim.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/parsgd_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/hwmodel/CMakeFiles/parsgd_hwmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/parsgd_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/matrix/CMakeFiles/parsgd_matrix.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

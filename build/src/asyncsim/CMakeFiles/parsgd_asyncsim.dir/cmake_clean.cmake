@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parsgd_asyncsim.dir/async_sim.cpp.o"
+  "CMakeFiles/parsgd_asyncsim.dir/async_sim.cpp.o.d"
+  "CMakeFiles/parsgd_asyncsim.dir/gpu_hogwild.cpp.o"
+  "CMakeFiles/parsgd_asyncsim.dir/gpu_hogwild.cpp.o.d"
+  "CMakeFiles/parsgd_asyncsim.dir/replication.cpp.o"
+  "CMakeFiles/parsgd_asyncsim.dir/replication.cpp.o.d"
+  "libparsgd_asyncsim.a"
+  "libparsgd_asyncsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parsgd_asyncsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parsgd_baselines.dir/baseline.cpp.o"
+  "CMakeFiles/parsgd_baselines.dir/baseline.cpp.o.d"
+  "libparsgd_baselines.a"
+  "libparsgd_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parsgd_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

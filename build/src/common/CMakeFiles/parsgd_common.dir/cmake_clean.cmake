@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parsgd_common.dir/cli.cpp.o"
+  "CMakeFiles/parsgd_common.dir/cli.cpp.o.d"
+  "CMakeFiles/parsgd_common.dir/format.cpp.o"
+  "CMakeFiles/parsgd_common.dir/format.cpp.o.d"
+  "CMakeFiles/parsgd_common.dir/log.cpp.o"
+  "CMakeFiles/parsgd_common.dir/log.cpp.o.d"
+  "CMakeFiles/parsgd_common.dir/rng.cpp.o"
+  "CMakeFiles/parsgd_common.dir/rng.cpp.o.d"
+  "CMakeFiles/parsgd_common.dir/stats.cpp.o"
+  "CMakeFiles/parsgd_common.dir/stats.cpp.o.d"
+  "libparsgd_common.a"
+  "libparsgd_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parsgd_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parsgd_core.dir/export.cpp.o"
+  "CMakeFiles/parsgd_core.dir/export.cpp.o.d"
+  "CMakeFiles/parsgd_core.dir/report.cpp.o"
+  "CMakeFiles/parsgd_core.dir/report.cpp.o.d"
+  "CMakeFiles/parsgd_core.dir/study.cpp.o"
+  "CMakeFiles/parsgd_core.dir/study.cpp.o.d"
+  "libparsgd_core.a"
+  "libparsgd_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parsgd_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/dataset.cpp" "src/data/CMakeFiles/parsgd_data.dir/dataset.cpp.o" "gcc" "src/data/CMakeFiles/parsgd_data.dir/dataset.cpp.o.d"
+  "/root/repo/src/data/generator.cpp" "src/data/CMakeFiles/parsgd_data.dir/generator.cpp.o" "gcc" "src/data/CMakeFiles/parsgd_data.dir/generator.cpp.o.d"
+  "/root/repo/src/data/mlp_view.cpp" "src/data/CMakeFiles/parsgd_data.dir/mlp_view.cpp.o" "gcc" "src/data/CMakeFiles/parsgd_data.dir/mlp_view.cpp.o.d"
+  "/root/repo/src/data/profile.cpp" "src/data/CMakeFiles/parsgd_data.dir/profile.cpp.o" "gcc" "src/data/CMakeFiles/parsgd_data.dir/profile.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/parsgd_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/matrix/CMakeFiles/parsgd_matrix.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

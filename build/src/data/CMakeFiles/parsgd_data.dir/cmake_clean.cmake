@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parsgd_data.dir/dataset.cpp.o"
+  "CMakeFiles/parsgd_data.dir/dataset.cpp.o.d"
+  "CMakeFiles/parsgd_data.dir/generator.cpp.o"
+  "CMakeFiles/parsgd_data.dir/generator.cpp.o.d"
+  "CMakeFiles/parsgd_data.dir/mlp_view.cpp.o"
+  "CMakeFiles/parsgd_data.dir/mlp_view.cpp.o.d"
+  "CMakeFiles/parsgd_data.dir/profile.cpp.o"
+  "CMakeFiles/parsgd_data.dir/profile.cpp.o.d"
+  "libparsgd_data.a"
+  "libparsgd_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parsgd_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gpusim/kernels.cpp" "src/gpusim/CMakeFiles/parsgd_gpusim.dir/kernels.cpp.o" "gcc" "src/gpusim/CMakeFiles/parsgd_gpusim.dir/kernels.cpp.o.d"
+  "/root/repo/src/gpusim/launch.cpp" "src/gpusim/CMakeFiles/parsgd_gpusim.dir/launch.cpp.o" "gcc" "src/gpusim/CMakeFiles/parsgd_gpusim.dir/launch.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/parsgd_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/hwmodel/CMakeFiles/parsgd_hwmodel.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parsgd_gpusim.dir/kernels.cpp.o"
+  "CMakeFiles/parsgd_gpusim.dir/kernels.cpp.o.d"
+  "CMakeFiles/parsgd_gpusim.dir/launch.cpp.o"
+  "CMakeFiles/parsgd_gpusim.dir/launch.cpp.o.d"
+  "libparsgd_gpusim.a"
+  "libparsgd_gpusim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parsgd_gpusim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parsgd_hwmodel.dir/cpu_model.cpp.o"
+  "CMakeFiles/parsgd_hwmodel.dir/cpu_model.cpp.o.d"
+  "CMakeFiles/parsgd_hwmodel.dir/spec.cpp.o"
+  "CMakeFiles/parsgd_hwmodel.dir/spec.cpp.o.d"
+  "libparsgd_hwmodel.a"
+  "libparsgd_hwmodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parsgd_hwmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

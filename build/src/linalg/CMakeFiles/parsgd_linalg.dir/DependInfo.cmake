@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/linalg/cpu_backend.cpp" "src/linalg/CMakeFiles/parsgd_linalg.dir/cpu_backend.cpp.o" "gcc" "src/linalg/CMakeFiles/parsgd_linalg.dir/cpu_backend.cpp.o.d"
+  "/root/repo/src/linalg/gpu_backend.cpp" "src/linalg/CMakeFiles/parsgd_linalg.dir/gpu_backend.cpp.o" "gcc" "src/linalg/CMakeFiles/parsgd_linalg.dir/gpu_backend.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/parsgd_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/matrix/CMakeFiles/parsgd_matrix.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/parsgd_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/hwmodel/CMakeFiles/parsgd_hwmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpusim/CMakeFiles/parsgd_gpusim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parsgd_linalg.dir/cpu_backend.cpp.o"
+  "CMakeFiles/parsgd_linalg.dir/cpu_backend.cpp.o.d"
+  "CMakeFiles/parsgd_linalg.dir/gpu_backend.cpp.o"
+  "CMakeFiles/parsgd_linalg.dir/gpu_backend.cpp.o.d"
+  "libparsgd_linalg.a"
+  "libparsgd_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parsgd_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

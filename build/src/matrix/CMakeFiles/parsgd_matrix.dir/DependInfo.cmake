@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/matrix/coo.cpp" "src/matrix/CMakeFiles/parsgd_matrix.dir/coo.cpp.o" "gcc" "src/matrix/CMakeFiles/parsgd_matrix.dir/coo.cpp.o.d"
+  "/root/repo/src/matrix/csr_matrix.cpp" "src/matrix/CMakeFiles/parsgd_matrix.dir/csr_matrix.cpp.o" "gcc" "src/matrix/CMakeFiles/parsgd_matrix.dir/csr_matrix.cpp.o.d"
+  "/root/repo/src/matrix/io.cpp" "src/matrix/CMakeFiles/parsgd_matrix.dir/io.cpp.o" "gcc" "src/matrix/CMakeFiles/parsgd_matrix.dir/io.cpp.o.d"
+  "/root/repo/src/matrix/transform.cpp" "src/matrix/CMakeFiles/parsgd_matrix.dir/transform.cpp.o" "gcc" "src/matrix/CMakeFiles/parsgd_matrix.dir/transform.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/parsgd_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parsgd_matrix.dir/coo.cpp.o"
+  "CMakeFiles/parsgd_matrix.dir/coo.cpp.o.d"
+  "CMakeFiles/parsgd_matrix.dir/csr_matrix.cpp.o"
+  "CMakeFiles/parsgd_matrix.dir/csr_matrix.cpp.o.d"
+  "CMakeFiles/parsgd_matrix.dir/io.cpp.o"
+  "CMakeFiles/parsgd_matrix.dir/io.cpp.o.d"
+  "CMakeFiles/parsgd_matrix.dir/transform.cpp.o"
+  "CMakeFiles/parsgd_matrix.dir/transform.cpp.o.d"
+  "libparsgd_matrix.a"
+  "libparsgd_matrix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parsgd_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/models/gradcheck.cpp" "src/models/CMakeFiles/parsgd_models.dir/gradcheck.cpp.o" "gcc" "src/models/CMakeFiles/parsgd_models.dir/gradcheck.cpp.o.d"
+  "/root/repo/src/models/linear.cpp" "src/models/CMakeFiles/parsgd_models.dir/linear.cpp.o" "gcc" "src/models/CMakeFiles/parsgd_models.dir/linear.cpp.o.d"
+  "/root/repo/src/models/matrix_fact.cpp" "src/models/CMakeFiles/parsgd_models.dir/matrix_fact.cpp.o" "gcc" "src/models/CMakeFiles/parsgd_models.dir/matrix_fact.cpp.o.d"
+  "/root/repo/src/models/mlp.cpp" "src/models/CMakeFiles/parsgd_models.dir/mlp.cpp.o" "gcc" "src/models/CMakeFiles/parsgd_models.dir/mlp.cpp.o.d"
+  "/root/repo/src/models/model.cpp" "src/models/CMakeFiles/parsgd_models.dir/model.cpp.o" "gcc" "src/models/CMakeFiles/parsgd_models.dir/model.cpp.o.d"
+  "/root/repo/src/models/quantized.cpp" "src/models/CMakeFiles/parsgd_models.dir/quantized.cpp.o" "gcc" "src/models/CMakeFiles/parsgd_models.dir/quantized.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/parsgd_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/matrix/CMakeFiles/parsgd_matrix.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/parsgd_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/parsgd_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpusim/CMakeFiles/parsgd_gpusim.dir/DependInfo.cmake"
+  "/root/repo/build/src/hwmodel/CMakeFiles/parsgd_hwmodel.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parsgd_models.dir/gradcheck.cpp.o"
+  "CMakeFiles/parsgd_models.dir/gradcheck.cpp.o.d"
+  "CMakeFiles/parsgd_models.dir/linear.cpp.o"
+  "CMakeFiles/parsgd_models.dir/linear.cpp.o.d"
+  "CMakeFiles/parsgd_models.dir/matrix_fact.cpp.o"
+  "CMakeFiles/parsgd_models.dir/matrix_fact.cpp.o.d"
+  "CMakeFiles/parsgd_models.dir/mlp.cpp.o"
+  "CMakeFiles/parsgd_models.dir/mlp.cpp.o.d"
+  "CMakeFiles/parsgd_models.dir/model.cpp.o"
+  "CMakeFiles/parsgd_models.dir/model.cpp.o.d"
+  "CMakeFiles/parsgd_models.dir/quantized.cpp.o"
+  "CMakeFiles/parsgd_models.dir/quantized.cpp.o.d"
+  "libparsgd_models.a"
+  "libparsgd_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parsgd_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parsgd_parallel.dir/thread_pool.cpp.o"
+  "CMakeFiles/parsgd_parallel.dir/thread_pool.cpp.o.d"
+  "libparsgd_parallel.a"
+  "libparsgd_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parsgd_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

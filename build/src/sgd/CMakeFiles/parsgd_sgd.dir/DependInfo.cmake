@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sgd/async_engine.cpp" "src/sgd/CMakeFiles/parsgd_sgd.dir/async_engine.cpp.o" "gcc" "src/sgd/CMakeFiles/parsgd_sgd.dir/async_engine.cpp.o.d"
+  "/root/repo/src/sgd/convergence.cpp" "src/sgd/CMakeFiles/parsgd_sgd.dir/convergence.cpp.o" "gcc" "src/sgd/CMakeFiles/parsgd_sgd.dir/convergence.cpp.o.d"
+  "/root/repo/src/sgd/engine.cpp" "src/sgd/CMakeFiles/parsgd_sgd.dir/engine.cpp.o" "gcc" "src/sgd/CMakeFiles/parsgd_sgd.dir/engine.cpp.o.d"
+  "/root/repo/src/sgd/heterogeneous.cpp" "src/sgd/CMakeFiles/parsgd_sgd.dir/heterogeneous.cpp.o" "gcc" "src/sgd/CMakeFiles/parsgd_sgd.dir/heterogeneous.cpp.o.d"
+  "/root/repo/src/sgd/schedule.cpp" "src/sgd/CMakeFiles/parsgd_sgd.dir/schedule.cpp.o" "gcc" "src/sgd/CMakeFiles/parsgd_sgd.dir/schedule.cpp.o.d"
+  "/root/repo/src/sgd/stepsize.cpp" "src/sgd/CMakeFiles/parsgd_sgd.dir/stepsize.cpp.o" "gcc" "src/sgd/CMakeFiles/parsgd_sgd.dir/stepsize.cpp.o.d"
+  "/root/repo/src/sgd/sync_engine.cpp" "src/sgd/CMakeFiles/parsgd_sgd.dir/sync_engine.cpp.o" "gcc" "src/sgd/CMakeFiles/parsgd_sgd.dir/sync_engine.cpp.o.d"
+  "/root/repo/src/sgd/timing.cpp" "src/sgd/CMakeFiles/parsgd_sgd.dir/timing.cpp.o" "gcc" "src/sgd/CMakeFiles/parsgd_sgd.dir/timing.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/parsgd_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/models/CMakeFiles/parsgd_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/asyncsim/CMakeFiles/parsgd_asyncsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/parsgd_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/hwmodel/CMakeFiles/parsgd_hwmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpusim/CMakeFiles/parsgd_gpusim.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/parsgd_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/parsgd_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/matrix/CMakeFiles/parsgd_matrix.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

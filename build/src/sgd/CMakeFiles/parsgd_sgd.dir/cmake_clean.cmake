@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parsgd_sgd.dir/async_engine.cpp.o"
+  "CMakeFiles/parsgd_sgd.dir/async_engine.cpp.o.d"
+  "CMakeFiles/parsgd_sgd.dir/convergence.cpp.o"
+  "CMakeFiles/parsgd_sgd.dir/convergence.cpp.o.d"
+  "CMakeFiles/parsgd_sgd.dir/engine.cpp.o"
+  "CMakeFiles/parsgd_sgd.dir/engine.cpp.o.d"
+  "CMakeFiles/parsgd_sgd.dir/heterogeneous.cpp.o"
+  "CMakeFiles/parsgd_sgd.dir/heterogeneous.cpp.o.d"
+  "CMakeFiles/parsgd_sgd.dir/schedule.cpp.o"
+  "CMakeFiles/parsgd_sgd.dir/schedule.cpp.o.d"
+  "CMakeFiles/parsgd_sgd.dir/stepsize.cpp.o"
+  "CMakeFiles/parsgd_sgd.dir/stepsize.cpp.o.d"
+  "CMakeFiles/parsgd_sgd.dir/sync_engine.cpp.o"
+  "CMakeFiles/parsgd_sgd.dir/sync_engine.cpp.o.d"
+  "CMakeFiles/parsgd_sgd.dir/timing.cpp.o"
+  "CMakeFiles/parsgd_sgd.dir/timing.cpp.o.d"
+  "libparsgd_sgd.a"
+  "libparsgd_sgd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parsgd_sgd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

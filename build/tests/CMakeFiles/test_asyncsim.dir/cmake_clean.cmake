@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_asyncsim.dir/test_asyncsim.cpp.o"
+  "CMakeFiles/test_asyncsim.dir/test_asyncsim.cpp.o.d"
+  "test_asyncsim"
+  "test_asyncsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_asyncsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_engines.cpp" "tests/CMakeFiles/test_engines.dir/test_engines.cpp.o" "gcc" "tests/CMakeFiles/test_engines.dir/test_engines.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/parsgd_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/parsgd_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/sgd/CMakeFiles/parsgd_sgd.dir/DependInfo.cmake"
+  "/root/repo/build/src/asyncsim/CMakeFiles/parsgd_asyncsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/models/CMakeFiles/parsgd_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/parsgd_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpusim/CMakeFiles/parsgd_gpusim.dir/DependInfo.cmake"
+  "/root/repo/build/src/hwmodel/CMakeFiles/parsgd_hwmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/parsgd_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/matrix/CMakeFiles/parsgd_matrix.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/parsgd_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/parsgd_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

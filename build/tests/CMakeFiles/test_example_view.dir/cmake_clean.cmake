@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_example_view.dir/test_example_view.cpp.o"
+  "CMakeFiles/test_example_view.dir/test_example_view.cpp.o.d"
+  "test_example_view"
+  "test_example_view.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_example_view.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_matrix_fact.dir/test_matrix_fact.cpp.o"
+  "CMakeFiles/test_matrix_fact.dir/test_matrix_fact.cpp.o.d"
+  "test_matrix_fact"
+  "test_matrix_fact.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_matrix_fact.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
