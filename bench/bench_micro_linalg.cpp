@@ -4,10 +4,14 @@
 // overhead and for profiling the reproduction itself.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <thread>
+
 #include "common/rng.hpp"
 #include "gpusim/device.hpp"
 #include "linalg/cpu_backend.hpp"
 #include "linalg/gpu_backend.hpp"
+#include "parallel/thread_pool.hpp"
 
 namespace parsgd::linalg {
 namespace {
@@ -87,6 +91,179 @@ void BM_CpuGemm(benchmark::State& state) {
                           64 * 32 * 2);
 }
 BENCHMARK(BM_CpuGemm)->Arg(128)->Arg(1024);
+
+// ---- CPU fast-path before/after ----
+// The *Naive kernels reproduce the pre-fast-path arithmetic (per-element
+// transpose resolution in gemm, sequential transposed folds) inline, so a
+// single binary measures the speedup. Reproduce the committed numbers:
+//   ./bench/bench_micro_linalg --benchmark_filter=FastPath
+//       --benchmark_out=micro_linalg_fastpath.json
+//       --benchmark_out_format=json
+
+CsrMatrix random_csr_fixed_nnz(std::size_t r, std::size_t c,
+                               std::size_t nnz_per_row, Rng& rng) {
+  CsrMatrix::Builder b(c);
+  std::vector<index_t> idx;
+  std::vector<real_t> val;
+  for (std::size_t i = 0; i < r; ++i) {
+    idx.clear();
+    val.clear();
+    for (std::size_t k = 0; k < nnz_per_row; ++k) {
+      idx.push_back(static_cast<index_t>(rng.uniform_index(c)));
+    }
+    std::sort(idx.begin(), idx.end());
+    idx.erase(std::unique(idx.begin(), idx.end()), idx.end());
+    for (std::size_t k = 0; k < idx.size(); ++k) {
+      val.push_back(static_cast<real_t>(rng.normal()));
+    }
+    b.add_row(idx, val);
+  }
+  return std::move(b).build();
+}
+
+void BM_FastPathGemm512(benchmark::State& state) {
+  Rng rng(6);
+  const std::size_t n = 512;
+  const DenseMatrix a = random_dense(n, n, rng);
+  const DenseMatrix b = random_dense(n, n, rng);
+  DenseMatrix c(n, n);
+  CpuBackend be;
+  CostBreakdown cost;
+  be.set_sink(&cost);
+  for (auto _ : state) {
+    be.gemm(a, b, c, false, false);
+    benchmark::DoNotOptimize(c.data().data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(2 * n * n * n));
+  state.counters["host_cores"] =
+      static_cast<double>(std::thread::hardware_concurrency());
+}
+BENCHMARK(BM_FastPathGemm512)->Unit(benchmark::kMillisecond);
+
+void BM_FastPathGemm512Naive(benchmark::State& state) {
+  Rng rng(6);
+  const std::size_t n = 512;
+  const DenseMatrix a = random_dense(n, n, rng);
+  const DenseMatrix b = random_dense(n, n, rng);
+  DenseMatrix c(n, n);
+  // The seed kernel: transpose flags resolved per element through lambdas,
+  // naive i/j/p loops.
+  const bool trans_a = false, trans_b = false;
+  auto at = [&](std::size_t i, std::size_t j) {
+    return trans_a ? a.at(j, i) : a.at(i, j);
+  };
+  auto bt = [&](std::size_t i, std::size_t j) {
+    return trans_b ? b.at(j, i) : b.at(i, j);
+  };
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < n; ++j) {
+        double acc = 0;
+        for (std::size_t p = 0; p < n; ++p)
+          acc += static_cast<double>(at(i, p)) * bt(p, j);
+        c.at(i, j) = static_cast<real_t>(acc);
+      }
+    }
+    benchmark::DoNotOptimize(c.data().data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(2 * n * n * n));
+}
+BENCHMARK(BM_FastPathGemm512Naive)->Unit(benchmark::kMillisecond);
+
+void BM_FastPathGemvTranspose(benchmark::State& state) {
+  Rng rng(7);
+  const std::size_t m = 4096, n = 2048;
+  const DenseMatrix a = random_dense(m, n, rng);
+  std::vector<real_t> x(m, 1), y(n);
+  ThreadPool pool(static_cast<std::size_t>(state.range(0)));
+  CpuBackendOptions opts;
+  opts.pool = &pool;
+  CpuBackend be(opts);
+  CostBreakdown cost;
+  be.set_sink(&cost);
+  for (auto _ : state) {
+    be.gemv(a, x, y, /*transpose=*/true);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(m * n));
+  state.counters["host_cores"] =
+      static_cast<double>(std::thread::hardware_concurrency());
+}
+BENCHMARK(BM_FastPathGemvTranspose)
+    ->Arg(1)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_FastPathGemvTransposeNaive(benchmark::State& state) {
+  Rng rng(7);
+  const std::size_t m = 4096, n = 2048;
+  const DenseMatrix a = random_dense(m, n, rng);
+  std::vector<real_t> x(m, 1), y(n);
+  for (auto _ : state) {
+    // The seed kernel: sequential row-scaled accumulation.
+    std::fill(y.begin(), y.end(), real_t(0));
+    for (std::size_t r = 0; r < m; ++r) {
+      const auto row = a.row(r);
+      const real_t s = x[r];
+      if (s == real_t(0)) continue;
+      for (std::size_t c = 0; c < n; ++c) y[c] += s * row[c];
+    }
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(m * n));
+}
+BENCHMARK(BM_FastPathGemvTransposeNaive)->Unit(benchmark::kMillisecond);
+
+void BM_FastPathSpmvTranspose(benchmark::State& state) {
+  Rng rng(8);
+  const std::size_t m = 20000, n = 65536, nnz_row = 60;
+  const CsrMatrix a = random_csr_fixed_nnz(m, n, nnz_row, rng);
+  std::vector<real_t> x(m, 1), y(n);
+  ThreadPool pool(static_cast<std::size_t>(state.range(0)));
+  CpuBackendOptions opts;
+  opts.pool = &pool;
+  CpuBackend be(opts);
+  CostBreakdown cost;
+  be.set_sink(&cost);
+  for (auto _ : state) {
+    be.spmv(a, x, y, /*transpose=*/true);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(a.nnz()));
+  state.counters["host_cores"] =
+      static_cast<double>(std::thread::hardware_concurrency());
+}
+BENCHMARK(BM_FastPathSpmvTranspose)
+    ->Arg(1)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_FastPathSpmvTransposeNaive(benchmark::State& state) {
+  Rng rng(8);
+  const std::size_t m = 20000, n = 65536, nnz_row = 60;
+  const CsrMatrix a = random_csr_fixed_nnz(m, n, nnz_row, rng);
+  std::vector<real_t> x(m, 1), y(n);
+  for (auto _ : state) {
+    // The seed kernel: sequential scatter.
+    std::fill(y.begin(), y.end(), real_t(0));
+    for (std::size_t r = 0; r < m; ++r) {
+      const real_t s = x[r];
+      if (s == real_t(0)) continue;
+      const auto rv = a.row(r);
+      for (std::size_t k = 0; k < rv.nnz(); ++k)
+        y[rv.idx[k]] += s * rv.val[k];
+    }
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(a.nnz()));
+}
+BENCHMARK(BM_FastPathSpmvTransposeNaive)->Unit(benchmark::kMillisecond);
 
 // GPU-simulated SpMV: measures simulator overhead per nonzero and reports
 // the modeled kernel cycles as a counter.

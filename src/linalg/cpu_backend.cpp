@@ -12,6 +12,78 @@ namespace {
 
 inline double sigmoid(double v) { return 1.0 / (1.0 + std::exp(-v)); }
 
+// ---- transposed-spmv reduction grid ----
+// The per-chunk accumulators of the transposed spmv are laid out on a grid
+// that depends only on the matrix shape (never on the pool size), so the
+// merge order — and therefore every rounding decision — is identical
+// whether 1, 2 or 56 workers execute it.
+constexpr std::size_t kSpmvChunkRows = 64;
+constexpr std::size_t kSpmvMaxChunks = 8;
+
+inline std::size_t spmv_reduce_chunks(std::size_t m) {
+  return std::clamp<std::size_t>(m / kSpmvChunkRows, 1, kSpmvMaxChunks);
+}
+
+// ---- blocked GEMM ----
+// Cache-block sizes: the B panel (kKc x kNc floats = 32 KB) stays
+// L1-resident across the i loop, the accumulator tile (kMc x kNc doubles
+// = 32 KB) lives on the executing thread's stack.
+constexpr std::size_t kGemmMc = 64;
+constexpr std::size_t kGemmKc = 128;
+constexpr std::size_t kGemmNc = 64;
+
+/// Returns a row-major view of op(src) (rows x cols): the original data
+/// when not transposed, otherwise a packed copy in `scratch`. This
+/// resolves the transpose flag once per call instead of per element.
+const real_t* resolve_operand(const DenseMatrix& src, bool trans,
+                              std::size_t rows, std::size_t cols,
+                              std::vector<real_t>& scratch) {
+  if (!trans) return src.data().data();
+  scratch.resize(rows * cols);
+  for (std::size_t i = 0; i < rows; ++i) {
+    real_t* dst = scratch.data() + i * cols;
+    for (std::size_t j = 0; j < cols; ++j) dst[j] = src.at(j, i);
+  }
+  return scratch.data();
+}
+
+/// C rows [lo, hi) of the m x n product A' (m x k) * B' (k x n), both
+/// row-major with transposes already resolved. Blocked over i/k/j with a
+/// register-tiled inner loop; each output element accumulates its k
+/// products into one double in increasing-k order, so the result is
+/// bit-identical to the naive triple loop.
+void gemm_block_rows(const real_t* ap, const real_t* bp, DenseMatrix& c,
+                     std::size_t lo, std::size_t hi, std::size_t n,
+                     std::size_t k) {
+  double acc[kGemmMc * kGemmNc];
+  for (std::size_t jb = 0; jb < n; jb += kGemmNc) {
+    const std::size_t nc = std::min(kGemmNc, n - jb);
+    for (std::size_t ib = lo; ib < hi; ib += kGemmMc) {
+      const std::size_t mc = std::min(kGemmMc, hi - ib);
+      std::fill(acc, acc + mc * nc, 0.0);
+      for (std::size_t pb = 0; pb < k; pb += kGemmKc) {
+        const std::size_t kc = std::min(kGemmKc, k - pb);
+        for (std::size_t i = 0; i < mc; ++i) {
+          const real_t* arow = ap + (ib + i) * k + pb;
+          double* crow = acc + i * nc;
+          for (std::size_t p = 0; p < kc; ++p) {
+            const double av = static_cast<double>(arow[p]);
+            const real_t* brow = bp + (pb + p) * n + jb;
+            for (std::size_t j = 0; j < nc; ++j) {
+              crow[j] += av * static_cast<double>(brow[j]);
+            }
+          }
+        }
+      }
+      for (std::size_t i = 0; i < mc; ++i) {
+        for (std::size_t j = 0; j < nc; ++j) {
+          c.at(ib + i, jb + j) = static_cast<real_t>(acc[i * nc + j]);
+        }
+      }
+    }
+  }
+}
+
 }  // namespace
 
 CpuBackend::CpuBackend(const CpuBackendOptions& opts) : opts_(opts) {
@@ -28,7 +100,7 @@ void CpuBackend::gemv(const DenseMatrix& a, std::span<const real_t> x,
   const std::size_t m = a.rows(), n = a.cols();
   if (!transpose) {
     PARSGD_CHECK(x.size() == n && y.size() == m);
-    ThreadPool::global().parallel_for(m, [&](std::size_t lo, std::size_t hi) {
+    pool().parallel_for(m, [&](std::size_t lo, std::size_t hi) {
       for (std::size_t r = lo; r < hi; ++r) {
         double acc = 0;
         const auto row = a.row(r);
@@ -39,15 +111,20 @@ void CpuBackend::gemv(const DenseMatrix& a, std::span<const real_t> x,
     });
   } else {
     PARSGD_CHECK(x.size() == m && y.size() == n);
-    std::fill(y.begin(), y.end(), real_t(0));
-    // Row-major A^T x: accumulate row r scaled by x[r]. Sequential over
-    // rows (parallel would need per-thread buffers; cost identical).
-    for (std::size_t r = 0; r < m; ++r) {
-      const auto row = a.row(r);
-      const real_t s = x[r];
-      if (s == real_t(0)) continue;
-      for (std::size_t c = 0; c < n; ++c) y[c] += s * row[c];
-    }
+    // Row-major A^T x, parallelized by partitioning the *output*: each
+    // task owns a disjoint column band of y and folds the rows in
+    // increasing r order, so every y[c] sees exactly the arithmetic of
+    // the sequential loop no matter how the bands are scheduled. Each
+    // matrix element is still streamed exactly once.
+    pool().parallel_for(n, [&](std::size_t lo, std::size_t hi) {
+      std::fill(y.begin() + lo, y.begin() + hi, real_t(0));
+      for (std::size_t r = 0; r < m; ++r) {
+        const real_t s = x[r];
+        if (s == real_t(0)) continue;
+        const real_t* row = a.row(r).data();
+        for (std::size_t c = lo; c < hi; ++c) y[c] += s * row[c];
+      }
+    });
   }
   sink().flops += 2.0 * static_cast<double>(m) * static_cast<double>(n);
   sink().bytes_streamed += static_cast<double>(a.bytes()) +
@@ -61,7 +138,7 @@ void CpuBackend::spmv(const CsrMatrix& a, std::span<const real_t> x,
   const std::size_t m = a.rows(), n = a.cols();
   if (!transpose) {
     PARSGD_CHECK(x.size() == n && y.size() == m);
-    ThreadPool::global().parallel_for(m, [&](std::size_t lo, std::size_t hi) {
+    pool().parallel_for(m, [&](std::size_t lo, std::size_t hi) {
       for (std::size_t r = lo; r < hi; ++r) {
         const auto rv = a.row(r);
         double acc = 0;
@@ -75,13 +152,46 @@ void CpuBackend::spmv(const CsrMatrix& a, std::span<const real_t> x,
         static_cast<double>(a.nnz()) * sizeof(real_t);
   } else {
     PARSGD_CHECK(x.size() == m && y.size() == n);
-    std::fill(y.begin(), y.end(), real_t(0));
-    for (std::size_t r = 0; r < m; ++r) {
-      const real_t s = x[r];
-      if (s == real_t(0)) continue;
-      const auto rv = a.row(r);
-      for (std::size_t k = 0; k < rv.nnz(); ++k)
-        y[rv.idx[k]] += s * rv.val[k];
+    // Scatter form, parallelized with per-chunk accumulator buffers over
+    // a fixed row grid (shape-dependent only, see spmv_reduce_chunks).
+    // Chunk 0 scatters straight into y; the remaining chunks scatter into
+    // scratch buffers merged below in chunk order, so the reduction tree
+    // is deterministic for every pool size and across repeated runs.
+    const std::size_t chunks = spmv_reduce_chunks(m);
+    auto scatter_rows = [&](std::size_t rlo, std::size_t rhi, real_t* out) {
+      for (std::size_t r = rlo; r < rhi; ++r) {
+        const real_t s = x[r];
+        if (s == real_t(0)) continue;
+        const auto rv = a.row(r);
+        for (std::size_t k = 0; k < rv.nnz(); ++k)
+          out[rv.idx[k]] += s * rv.val[k];
+      }
+    };
+    if (chunks == 1) {
+      std::fill(y.begin(), y.end(), real_t(0));
+      scatter_rows(0, m, y.data());
+    } else {
+      reduce_buf_.resize((chunks - 1) * n);
+      const std::size_t base = m / chunks, extra = m % chunks;
+      pool().parallel_for(chunks, [&](std::size_t clo, std::size_t chi) {
+        for (std::size_t c = clo; c < chi; ++c) {
+          const std::size_t rlo = c * base + std::min(c, extra);
+          const std::size_t rhi = rlo + base + (c < extra ? 1 : 0);
+          real_t* out =
+              c == 0 ? y.data() : reduce_buf_.data() + (c - 1) * n;
+          std::fill(out, out + n, real_t(0));
+          scatter_rows(rlo, rhi, out);
+        }
+      });
+      // Merge the partials into y, buffers outermost so each column's
+      // fold runs in chunk order 0, 1, ... (deterministic) while the
+      // inner loop streams contiguously.
+      pool().parallel_for(n, [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t c = 1; c < chunks; ++c) {
+          const real_t* buf = reduce_buf_.data() + (c - 1) * n;
+          for (std::size_t j = lo; j < hi; ++j) y[j] += buf[j];
+        }
+      });
     }
     // Scatters into y are random.
     sink().bytes_random +=
@@ -101,31 +211,22 @@ void CpuBackend::gemm(const DenseMatrix& a, const DenseMatrix& b,
   PARSGD_CHECK(k == kb, "gemm inner dims " << k << " vs " << kb);
   PARSGD_CHECK(c.rows() == m && c.cols() == n);
 
-  auto at = [&](std::size_t i, std::size_t j) {
-    return trans_a ? a.at(j, i) : a.at(i, j);
-  };
-  auto bt = [&](std::size_t i, std::size_t j) {
-    return trans_b ? b.at(j, i) : b.at(i, j);
-  };
+  // Resolve the transpose flags once per call: transposed operands are
+  // packed row-major into reusable scratch, untransposed ones are used
+  // in place. The blocked kernel then runs branch-free.
+  const real_t* ap = resolve_operand(a, trans_a, m, k, pack_a_);
+  const real_t* bp = resolve_operand(b, trans_b, k, n, pack_b_);
 
   // ViennaCL threshold: parallelize only when the result is big enough.
   last_gemm_parallel_ =
       opts_.threads > 1 && m * n >= opts_.gemm_parallel_threshold;
 
-  auto rows_kernel = [&](std::size_t lo, std::size_t hi) {
-    for (std::size_t i = lo; i < hi; ++i) {
-      for (std::size_t j = 0; j < n; ++j) {
-        double acc = 0;
-        for (std::size_t p = 0; p < k; ++p)
-          acc += static_cast<double>(at(i, p)) * bt(p, j);
-        c.at(i, j) = static_cast<real_t>(acc);
-      }
-    }
-  };
   if (last_gemm_parallel_) {
-    ThreadPool::global().parallel_for(m, rows_kernel);
+    pool().parallel_for(m, [&](std::size_t lo, std::size_t hi) {
+      gemm_block_rows(ap, bp, c, lo, hi, n, k);
+    });
   } else {
-    rows_kernel(0, m);
+    gemm_block_rows(ap, bp, c, 0, m, n, k);
     if (opts_.threads > 1) {
       gemm_serial_flops_ += 2.0 * static_cast<double>(m) * n * k;
     }
@@ -143,7 +244,7 @@ void CpuBackend::spmm(const CsrMatrix& a, const DenseMatrix& b,
   PARSGD_CHECK(a.cols() == b.rows());
   PARSGD_CHECK(c.rows() == a.rows() && c.cols() == b.cols());
   const std::size_t n = b.cols();
-  ThreadPool::global().parallel_for(
+  pool().parallel_for(
       a.rows(), [&](std::size_t lo, std::size_t hi) {
         for (std::size_t r = lo; r < hi; ++r) {
           auto out = c.row(r);

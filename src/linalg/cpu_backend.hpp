@@ -4,9 +4,17 @@
 // parallelized only when the *result* matrix has at least
 // `gemm_parallel_threshold` elements; below that the product runs on one
 // thread, which is why the paper's small MLPs see only ~2x CPU speedup.
+//
+// Hot kernels take a fast path (DESIGN.md "CPU backend fast path"):
+// cache-blocked GEMM over operands resolved once per call, and
+// parallelized transposed gemv/spmv whose reduction grids depend only on
+// the problem shape, so results are bit-identical for every pool size.
+// The CostBreakdown accounting is byte-for-byte the same as the naive
+// kernels — the fast path changes wall-clock only, never modeled cost.
 #pragma once
 
 #include <memory>
+#include <vector>
 
 #include "linalg/backend.hpp"
 #include "parallel/thread_pool.hpp"
@@ -22,6 +30,10 @@ struct CpuBackendOptions {
   /// Minimum result elements before GEMM uses multiple threads
   /// (ViennaCL's internal threshold; paper §IV-B measures it as >5000).
   std::size_t gemm_parallel_threshold = 5000;
+  /// Execution pool for the kernels; nullptr = the process-global pool.
+  /// Results are bit-identical for every pool size (deterministic
+  /// reduction grids), so this is an execution knob, not a semantic one.
+  ThreadPool* pool = nullptr;
 };
 
 class CpuBackend final : public Backend {
@@ -79,9 +91,21 @@ class CpuBackend final : public Backend {
   double gemm_serial_flops() const { return gemm_serial_flops_; }
 
  private:
+  ThreadPool& pool() {
+    return opts_.pool != nullptr ? *opts_.pool : ThreadPool::global();
+  }
+
   CpuBackendOptions opts_;
   bool last_gemm_parallel_ = false;
   double gemm_serial_flops_ = 0;
+  // Scratch reused across calls (grow-only): packed transposed operands
+  // for the blocked GEMM and the per-chunk accumulators of the
+  // deterministic transposed-spmv reduction. A backend instance is used
+  // from one thread at a time (the pool workers it fans out to write
+  // disjoint regions), matching the existing sink() contract.
+  std::vector<real_t> pack_a_;
+  std::vector<real_t> pack_b_;
+  std::vector<real_t> reduce_buf_;
 };
 
 }  // namespace parsgd::linalg

@@ -11,4 +11,13 @@ double Model::dataset_loss(const TrainData& data, std::span<const real_t> w,
   return total;
 }
 
+void Model::batch_step_pooled(ThreadPool& pool, const TrainData& data,
+                              std::size_t begin, std::size_t end,
+                              bool prefer_dense, real_t alpha,
+                              std::span<const real_t> w_read,
+                              std::span<real_t> w_write) const {
+  (void)pool;
+  batch_step(data, begin, end, prefer_dense, alpha, w_read, w_write);
+}
+
 }  // namespace parsgd

@@ -23,6 +23,8 @@
 
 namespace parsgd {
 
+class ThreadPool;
+
 /// The training input handed to engines: sparse features always, dense
 /// when materialized, labels in {-1,+1}.
 struct TrainData {
@@ -82,6 +84,19 @@ class Model {
                           std::size_t end, bool prefer_dense, real_t alpha,
                           std::span<const real_t> w_read,
                           std::span<real_t> w_write) const = 0;
+
+  /// batch_step with the independent per-example work (margins /
+  /// coefficients) fanned out on `pool`. Must be bit-identical to
+  /// batch_step for every pool size: gradient accumulation and the model
+  /// update stay sequential in example order. The default falls back to
+  /// the sequential batch_step; models with a profitable parallel
+  /// decomposition override it. Callers must invoke this from a thread
+  /// that is not itself a pool worker (pool jobs are not reentrant).
+  virtual void batch_step_pooled(ThreadPool& pool, const TrainData& data,
+                                 std::size_t begin, std::size_t end,
+                                 bool prefer_dense, real_t alpha,
+                                 std::span<const real_t> w_read,
+                                 std::span<real_t> w_write) const;
 
   /// One full-batch gradient-descent epoch (Algorithm 2) expressed in
   /// linalg primitives on `backend`. Returns the loss evaluated *before*

@@ -6,95 +6,183 @@
 
 namespace parsgd {
 
+namespace {
+
+inline void cpu_pause() {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#elif defined(__aarch64__)
+  asm volatile("yield" ::: "memory");
+#else
+  std::this_thread::yield();
+#endif
+}
+
+/// Even split of [0, n) into `chunks` contiguous ranges (first n % chunks
+/// ranges get one extra element), computed arithmetically from the chunk
+/// index so dispatch allocates nothing.
+inline void chunk_range(std::size_t n, std::size_t chunks, std::size_t c,
+                        std::size_t& lo, std::size_t& hi) {
+  const std::size_t base = n / chunks, extra = n % chunks;
+  lo = c * base + std::min(c, extra);
+  hi = lo + base + (c < extra ? 1 : 0);
+}
+
+}  // namespace
+
 ThreadPool::ThreadPool(std::size_t threads) {
   if (threads == 0) {
     threads = std::max(1u, std::thread::hardware_concurrency());
   }
+  // Spinning only pays off when another hardware thread can make progress
+  // while we spin; on a 1-core host park immediately instead.
+  spin_iters_ = std::thread::hardware_concurrency() > 1 ? 4096 : 0;
   workers_.reserve(threads);
   for (std::size_t i = 0; i < threads; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] { worker_loop(i); });
   }
 }
 
 ThreadPool::~ThreadPool() {
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    stop_ = true;
+    stop_.store(true, std::memory_order_release);
   }
   cv_.notify_all();
   for (auto& w : workers_) w.join();
 }
 
-void ThreadPool::worker_loop() {
+void ThreadPool::record_error() noexcept {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!first_error_) first_error_ = std::current_exception();
+}
+
+void ThreadPool::drain_chunks() {
+  // FIFO: the ticket counter hands out chunk 0 first, so the coldest
+  // cache lines are touched earliest and failures reference predictable
+  // ranges. A chunk that throws does not stop the remaining chunks (the
+  // original queue semantics).
   for (;;) {
-    Task task;
+    const std::size_t c =
+        next_chunk_.fetch_add(1, std::memory_order_relaxed);
+    if (c >= job_chunks_) break;
+    std::size_t lo, hi;
+    chunk_range(job_n_, job_chunks_, c, lo, hi);
+    try {
+      (*pf_fn_)(lo, hi);
+    } catch (...) {
+      record_error();
+    }
+    remaining_.fetch_sub(1, std::memory_order_acq_rel);
+  }
+}
+
+void ThreadPool::worker_loop(std::size_t index) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    // Spin-then-park: briefly poll for a new generation before sleeping.
+    for (unsigned i = 0; i < spin_iters_; ++i) {
+      if (generation_.load(std::memory_order_acquire) != seen ||
+          stop_.load(std::memory_order_acquire)) {
+        break;
+      }
+      cpu_pause();
+    }
+    JobKind kind;
     {
       std::unique_lock<std::mutex> lock(mutex_);
-      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
-      if (stop_ && queue_.empty()) return;
-      task = std::move(queue_.back());
-      queue_.pop_back();
+      cv_.wait(lock, [&] {
+        return stop_.load(std::memory_order_relaxed) ||
+               generation_.load(std::memory_order_relaxed) != seen;
+      });
+      const std::uint64_t gen =
+          generation_.load(std::memory_order_relaxed);
+      if (gen == seen) return;  // stopped, no new job
+      seen = gen;
+      // Register before touching job fields. Registration is only valid
+      // while the job is live: the publisher keeps the fields frozen (and
+      // the caller blocked) until every registered worker deregistered,
+      // and a worker that wakes after the job already finished must not
+      // touch dispatch state a future job is about to reset.
+      if (!job_live_) continue;
+      kind = kind_;
+      active_workers_.fetch_add(1, std::memory_order_relaxed);
     }
-    try {
-      task.fn();
-    } catch (...) {
-      std::lock_guard<std::mutex> lock(mutex_);
-      if (!first_error_) first_error_ = std::current_exception();
+    if (kind == JobKind::kParallelFor) {
+      drain_chunks();
+    } else {
+      try {
+        (*all_fn_)(index);
+      } catch (...) {
+        record_error();
+      }
+      remaining_.fetch_sub(1, std::memory_order_acq_rel);
     }
-    {
+    // Deregister; the last participant out signals the publisher.
+    if (active_workers_.fetch_sub(1, std::memory_order_acq_rel) == 1 &&
+        remaining_.load(std::memory_order_acquire) == 0) {
       std::lock_guard<std::mutex> lock(mutex_);
-      if (--inflight_ == 0) done_cv_.notify_all();
+      done_cv_.notify_all();
     }
   }
+}
+
+void ThreadPool::publish_job(
+    JobKind kind, const std::function<void(std::size_t, std::size_t)>* pf,
+    const std::function<void(std::size_t)>* all, std::size_t n,
+    std::size_t chunks) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    PARSGD_CHECK(!job_live_, "ThreadPool jobs are not reentrant");
+    job_live_ = true;
+    kind_ = kind;
+    pf_fn_ = pf;
+    all_fn_ = all;
+    job_n_ = n;
+    job_chunks_ = chunks;
+    first_error_ = nullptr;
+    next_chunk_.store(0, std::memory_order_relaxed);
+    remaining_.store(kind == JobKind::kParallelFor ? chunks
+                                                   : workers_.size(),
+                     std::memory_order_relaxed);
+    generation_.fetch_add(1, std::memory_order_release);
+  }
+  cv_.notify_all();
+}
+
+void ThreadPool::finish_job() {
+  for (unsigned i = 0; i < spin_iters_; ++i) {
+    if (job_done()) break;
+    cpu_pause();
+  }
+  std::exception_ptr err;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_cv_.wait(lock, [&] { return job_done(); });
+    job_live_ = false;
+    err = first_error_;
+    first_error_ = nullptr;
+  }
+  if (err) std::rethrow_exception(err);
 }
 
 void ThreadPool::parallel_for(
     std::size_t n, const std::function<void(std::size_t, std::size_t)>& fn) {
   if (n == 0) return;
-  const std::size_t chunks = std::min(n, workers_.size());
+  const std::size_t chunks =
+      std::min(n, workers_.size() * kChunksPerWorker);
   if (chunks <= 1) {
     fn(0, n);
     return;
   }
-  const std::size_t base = n / chunks, extra = n % chunks;
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    PARSGD_CHECK(inflight_ == 0, "parallel_for is not reentrant");
-    first_error_ = nullptr;
-    inflight_ = chunks;
-    std::size_t begin = 0;
-    for (std::size_t c = 0; c < chunks; ++c) {
-      const std::size_t len = base + (c < extra ? 1 : 0);
-      const std::size_t end = begin + len;
-      queue_.push_back(Task{[fn, begin, end] { fn(begin, end); }});
-      begin = end;
-    }
-  }
-  cv_.notify_all();
-  {
-    std::unique_lock<std::mutex> lock(mutex_);
-    done_cv_.wait(lock, [this] { return inflight_ == 0; });
-    if (first_error_) std::rethrow_exception(first_error_);
-  }
+  publish_job(JobKind::kParallelFor, &fn, nullptr, n, chunks);
+  drain_chunks();  // the caller is a participant too
+  finish_job();
 }
 
 void ThreadPool::run_on_all(const std::function<void(std::size_t)>& fn) {
-  const std::size_t n = workers_.size();
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    PARSGD_CHECK(inflight_ == 0, "run_on_all is not reentrant");
-    first_error_ = nullptr;
-    inflight_ = n;
-    for (std::size_t i = 0; i < n; ++i) {
-      queue_.push_back(Task{[fn, i] { fn(i); }});
-    }
-  }
-  cv_.notify_all();
-  {
-    std::unique_lock<std::mutex> lock(mutex_);
-    done_cv_.wait(lock, [this] { return inflight_ == 0; });
-    if (first_error_) std::rethrow_exception(first_error_);
-  }
+  publish_job(JobKind::kRunOnAll, nullptr, &fn, 0, 0);
+  finish_job();
 }
 
 ThreadPool& ThreadPool::global() {

@@ -1,16 +1,33 @@
-// Fixed-size thread pool with a statically-partitioned parallel_for, the
+// Fixed-size thread pool with a lock-free-dispatch parallel_for, the
 // execution substrate of the CPU linalg backend (the role OpenMP plays in
 // the paper's implementation).
 //
-// The pool is honest parallel code: it spawns real std::threads and uses a
-// condition-variable task queue, so on a many-core host it scales; on the
-// 1-core reproduction host it still runs correctly (hardware efficiency for
-// multi-threaded configurations is then *modeled* by hwmodel, see DESIGN.md
-// §5).
+// Design (see DESIGN.md "CPU backend fast path"):
+//  * Workers are persistent. A job is published once (under the mutex, so
+//    job fields need no atomics) and then *dispatched* lock-free: every
+//    participant pulls chunk indices from one atomic counter, so chunks
+//    are handed out FIFO (chunk 0 first) with no per-chunk allocation and
+//    no queue mutation.
+//  * parallel_for splits [0, n) into ~4x more chunks than workers
+//    (oversubscription absorbs imbalance, e.g. skewed CSR rows) and the
+//    calling thread drains chunks alongside the workers.
+//  * Workers spin briefly before parking on a condition variable; on a
+//    single-hardware-thread host the spin is disabled so the one core is
+//    never wasted busy-waiting.
+//  * Exceptions from chunk bodies propagate to the caller (first one
+//    wins) after every chunk has run, exactly like the original
+//    queue-based pool.
+//
+// The pool is honest parallel code: it spawns real std::threads, so on a
+// many-core host it scales; on the 1-core reproduction host it still runs
+// correctly (hardware efficiency for multi-threaded configurations is
+// then *modeled* by hwmodel, see DESIGN.md §5).
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -30,33 +47,64 @@ class ThreadPool {
 
   std::size_t size() const { return workers_.size(); }
 
-  /// Runs fn(chunk_begin, chunk_end) over [0, n) split into size() static
-  /// contiguous chunks; blocks until all chunks finish. fn must be
-  /// thread-safe. Exceptions from fn propagate (first one wins).
+  /// Runs fn(chunk_begin, chunk_end) over [0, n) split into contiguous
+  /// chunks (about kChunksPerWorker per worker; chunks are claimed FIFO,
+  /// chunk 0 first); blocks until all chunks finish. The calling thread
+  /// participates in execution. fn must be thread-safe. Exceptions from
+  /// fn propagate after all chunks have run (first one wins).
   void parallel_for(std::size_t n,
                     const std::function<void(std::size_t, std::size_t)>& fn);
 
   /// Runs fn(worker_index) once on each of size() workers and blocks.
   void run_on_all(const std::function<void(std::size_t)>& fn);
 
+  /// Chunk-per-worker oversubscription factor of parallel_for.
+  static constexpr std::size_t kChunksPerWorker = 4;
+
   /// Process-wide default pool (lazily constructed, hardware concurrency).
   static ThreadPool& global();
 
  private:
-  struct Task {
-    std::function<void()> fn;
-  };
+  enum class JobKind { kParallelFor, kRunOnAll };
 
-  void worker_loop();
+  void worker_loop(std::size_t index);
+  void drain_chunks();
+  void publish_job(JobKind kind,
+                   const std::function<void(std::size_t, std::size_t)>* pf,
+                   const std::function<void(std::size_t)>* all,
+                   std::size_t n, std::size_t chunks);
+  void finish_job();
+  void record_error() noexcept;
+  bool job_done() const {
+    return remaining_.load(std::memory_order_acquire) == 0 &&
+           active_workers_.load(std::memory_order_acquire) == 0;
+  }
 
   std::vector<std::thread> workers_;
-  std::vector<Task> queue_;
+  unsigned spin_iters_ = 0;  ///< 0 on single-hardware-thread hosts
+
+  // Job descriptor: written by the publishing thread under mutex_ while no
+  // job is live; read by workers only after they registered for the
+  // job's generation under the same mutex. The pointed-to functions
+  // outlive the job (the caller blocks in finish_job()).
+  JobKind kind_ = JobKind::kParallelFor;
+  const std::function<void(std::size_t, std::size_t)>* pf_fn_ = nullptr;
+  const std::function<void(std::size_t)>* all_fn_ = nullptr;
+  std::size_t job_n_ = 0;
+  std::size_t job_chunks_ = 0;
+  bool job_live_ = false;  ///< reentrancy guard (under mutex_)
+
+  // Hot dispatch state (no locks on the chunk path).
+  std::atomic<std::size_t> next_chunk_{0};     ///< FIFO chunk ticket
+  std::atomic<std::size_t> remaining_{0};      ///< chunks (or workers) left
+  std::atomic<std::size_t> active_workers_{0}; ///< workers inside the job
+  std::atomic<std::uint64_t> generation_{0};   ///< bumped per job
+  std::atomic<bool> stop_{false};
+
   std::mutex mutex_;
-  std::condition_variable cv_;
-  std::condition_variable done_cv_;
-  std::size_t inflight_ = 0;
-  bool stop_ = false;
-  std::exception_ptr first_error_;
+  std::condition_variable cv_;       ///< workers wait for a new generation
+  std::condition_variable done_cv_;  ///< publisher waits for completion
+  std::exception_ptr first_error_;   ///< under mutex_
 };
 
 }  // namespace parsgd

@@ -29,6 +29,7 @@ HeterogeneousEngine::HeterogeneousEngine(const Model& model,
       cpu_engine_(model, data, scale,
                   device_options(opts, Arch::kCpuPar)) {
   PARSGD_CHECK(opts_.gpu_fraction <= 1.0);
+  traj_backend_.set_sink(&traj_cost_);
 }
 
 void HeterogeneousEngine::instrument(std::span<const real_t> w_sample) {
@@ -54,10 +55,8 @@ double HeterogeneousEngine::run_epoch(std::span<real_t> w, real_t alpha,
   if (!epoch_seconds_) instrument(w);
   // The combined gradient equals the single-device batch gradient, so the
   // functional trajectory is the plain synchronous epoch.
-  CostBreakdown scratch;
-  linalg::CpuBackend backend;
-  backend.set_sink(&scratch);
-  model_.sync_epoch(backend, data_, opts_.use_dense, alpha, w);
+  traj_cost_.reset();
+  model_.sync_epoch(traj_backend_, data_, opts_.use_dense, alpha, w);
   return *epoch_seconds_;
 }
 

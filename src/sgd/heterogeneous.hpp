@@ -15,6 +15,7 @@
 
 #include <optional>
 
+#include "linalg/cpu_backend.hpp"
 #include "sgd/sync_engine.hpp"
 
 namespace parsgd {
@@ -64,6 +65,10 @@ class HeterogeneousEngine final : public Engine {
   double gpu_full_ = 0;
   double cpu_full_ = 0;
   CostBreakdown cost_paper_;
+  /// Trajectory backend hoisted out of run_epoch (scratch reuse); the sink
+  /// is reset per epoch and never reported — cost comes from instrument().
+  linalg::CpuBackend traj_backend_;
+  CostBreakdown traj_cost_;
 };
 
 }  // namespace parsgd

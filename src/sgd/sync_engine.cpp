@@ -5,6 +5,7 @@
 #include "hwmodel/cpu_model.hpp"
 #include "linalg/cpu_backend.hpp"
 #include "linalg/gpu_backend.hpp"
+#include "parallel/thread_pool.hpp"
 
 namespace parsgd {
 
@@ -17,6 +18,7 @@ SyncEngine::SyncEngine(const Model& model, const TrainData& data,
   }
   PARSGD_CHECK(!opts_.use_dense || data_.has_dense(),
                "dense layout requested but no dense materialization");
+  traj_backend_.set_sink(&traj_cost_);
 }
 
 SyncEngine::~SyncEngine() = default;
@@ -106,12 +108,13 @@ double SyncEngine::run_epoch(std::span<real_t> w, real_t alpha, Rng& rng) {
   // Functional trajectory: deterministic CPU path, identical for every
   // architecture (synchronous statistical efficiency is arch-independent).
   if (opts_.minibatch == 0) {
-    CostBreakdown scratch_cost;
-    linalg::CpuBackend backend;
-    backend.set_sink(&scratch_cost);
-    model_.sync_epoch(backend, data_, opts_.use_dense, alpha, w);
+    traj_cost_.reset();
+    model_.sync_epoch(traj_backend_, data_, opts_.use_dense, alpha, w);
   } else {
     // Synchronized mini-batch updates, shuffled batch order per epoch.
+    // Each batch's heavy per-example work fans out on the process pool;
+    // the update itself stays sequential in example order, so the
+    // trajectory is bit-identical to the plain batch_step loop.
     const std::size_t n = data_.n();
     const std::size_t nb = (n + opts_.minibatch - 1) / opts_.minibatch;
     std::vector<std::uint32_t> order(nb);
@@ -123,7 +126,8 @@ double SyncEngine::run_epoch(std::span<real_t> w, real_t alpha, Rng& rng) {
       const std::size_t begin = static_cast<std::size_t>(b) *
                                 opts_.minibatch;
       const std::size_t end = std::min(n, begin + opts_.minibatch);
-      model_.batch_step(data_, begin, end, opts_.use_dense, alpha, w, w);
+      model_.batch_step_pooled(ThreadPool::global(), data_, begin, end,
+                               opts_.use_dense, alpha, w, w);
     }
   }
   return secs;

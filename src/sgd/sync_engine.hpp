@@ -11,6 +11,7 @@
 #include <optional>
 
 #include "gpusim/device.hpp"
+#include "linalg/cpu_backend.hpp"
 #include "sgd/engine.hpp"
 #include "sgd/timing.hpp"
 
@@ -103,6 +104,12 @@ class SyncEngine final : public Engine {
   std::unique_ptr<gpusim::Device> device_;  ///< kGpu only
   std::optional<double> epoch_seconds_;
   CostBreakdown cost_paper_;
+  /// Backend + throwaway sink of the functional trajectory, hoisted out
+  /// of run_epoch so per-epoch scratch (packed GEMM operands, reduction
+  /// buffers) is reused instead of reallocated every epoch. The sink is
+  /// reset per epoch; the reported cost always comes from instrument().
+  linalg::CpuBackend traj_backend_;
+  CostBreakdown traj_cost_;
 };
 
 }  // namespace parsgd

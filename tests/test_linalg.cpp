@@ -7,6 +7,7 @@
 #include "gpusim/device.hpp"
 #include "linalg/cpu_backend.hpp"
 #include "linalg/gpu_backend.hpp"
+#include "parallel/thread_pool.hpp"
 
 namespace parsgd::linalg {
 namespace {
@@ -299,6 +300,114 @@ TEST(CpuBackendQuirks, SingleThreadNeverCountsSerialGemm) {
   DenseMatrix c(10, 10);
   be.gemm(a, b, c, false, false);
   EXPECT_EQ(be.gemm_serial_flops(), 0);
+}
+
+// ---- CPU fast-path determinism ----
+// The blocked GEMM and the parallelized transpose kernels must produce
+// results independent of the executing pool's size: the reduction grids
+// depend only on operand shapes, never on thread count.
+
+CpuBackend pooled_backend(ThreadPool& pool) {
+  CpuBackendOptions opts;
+  opts.threads = 4;  // modeling knob; execution uses `pool`
+  opts.pool = &pool;
+  return CpuBackend(opts);
+}
+
+TEST(CpuBackendDeterminism, GemvTransposeBitIdenticalAcrossPools) {
+  Rng rng(21);
+  const DenseMatrix a = random_dense(300, 500, rng);
+  const auto x = random_vec(300, rng);
+  std::vector<std::vector<real_t>> results;
+  for (const std::size_t workers : {1u, 2u, 8u}) {
+    ThreadPool pool(workers);
+    CpuBackend be = pooled_backend(pool);
+    CostBreakdown cost;
+    be.set_sink(&cost);
+    for (int rep = 0; rep < 2; ++rep) {
+      std::vector<real_t> y(500);
+      be.gemv(a, x, y, /*transpose=*/true);
+      results.push_back(std::move(y));
+    }
+  }
+  for (std::size_t i = 1; i < results.size(); ++i) {
+    EXPECT_EQ(results[0], results[i]) << "pool/rep variant " << i;
+  }
+}
+
+TEST(CpuBackendDeterminism, SpmvTransposeBitIdenticalAcrossPools) {
+  Rng rng(22);
+  // 512 rows -> several reduction chunks, so the merged path is exercised.
+  const CsrMatrix a = random_csr(512, 300, 0.05, rng);
+  const auto x = random_vec(512, rng);
+  std::vector<std::vector<real_t>> results;
+  for (const std::size_t workers : {1u, 2u, 8u}) {
+    ThreadPool pool(workers);
+    CpuBackend be = pooled_backend(pool);
+    CostBreakdown cost;
+    be.set_sink(&cost);
+    for (int rep = 0; rep < 2; ++rep) {
+      std::vector<real_t> y(300);
+      be.spmv(a, x, y, /*transpose=*/true);
+      results.push_back(std::move(y));
+    }
+  }
+  for (std::size_t i = 1; i < results.size(); ++i) {
+    EXPECT_EQ(results[0], results[i]) << "pool/rep variant " << i;
+  }
+}
+
+TEST(CpuBackendDeterminism, SpmvTransposeChunkedMatchesDense) {
+  // Numerical sanity of the chunked reduction at a size where it engages.
+  Rng rng(23);
+  const CsrMatrix a = random_csr(600, 128, 0.1, rng);
+  const DenseMatrix ad = a.to_dense();
+  const auto x = random_vec(600, rng);
+  ThreadPool pool(4);
+  CpuBackend be = pooled_backend(pool);
+  CostBreakdown cost;
+  be.set_sink(&cost);
+  std::vector<real_t> y(128);
+  be.spmv(a, x, y, true);
+  const auto ref = ref_gemv(ad, x, true);
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    EXPECT_NEAR(y[i], ref[i], 1e-3);
+  }
+}
+
+TEST(CpuBackendDeterminism, GemmBlockedBitIdenticalToNaive) {
+  // Odd sizes straddling every block boundary (Mc/Nc = 64, Kc = 128);
+  // per-element double accumulation in increasing k must make the blocked
+  // kernel bit-identical to the naive triple loop.
+  Rng rng(24);
+  const std::size_t m = 67, k = 130, n = 65;
+  for (const bool trans_a : {false, true}) {
+    for (const bool trans_b : {false, true}) {
+      const DenseMatrix a =
+          trans_a ? random_dense(k, m, rng) : random_dense(m, k, rng);
+      const DenseMatrix b =
+          trans_b ? random_dense(n, k, rng) : random_dense(k, n, rng);
+      ThreadPool pool(2);
+      CpuBackend be = pooled_backend(pool);
+      CostBreakdown cost;
+      be.set_sink(&cost);
+      DenseMatrix c(m, n);
+      be.gemm(a, b, c, trans_a, trans_b);
+      for (std::size_t i = 0; i < m; ++i) {
+        for (std::size_t j = 0; j < n; ++j) {
+          double acc = 0;
+          for (std::size_t p = 0; p < k; ++p) {
+            const real_t av = trans_a ? a.at(p, i) : a.at(i, p);
+            const real_t bv = trans_b ? b.at(j, p) : b.at(p, j);
+            acc += static_cast<double>(av) * static_cast<double>(bv);
+          }
+          ASSERT_EQ(c.at(i, j), static_cast<real_t>(acc))
+              << "at (" << i << "," << j << ") trans_a=" << trans_a
+              << " trans_b=" << trans_b;
+        }
+      }
+    }
+  }
 }
 
 TEST(GpuBackendCost, SpmvChargesCycles) {

@@ -3,7 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <map>
 #include <numeric>
+#include <thread>
 #include <vector>
 
 #include "common/check.hpp"
@@ -81,6 +83,76 @@ TEST(ThreadPool, SizeReflectsConstruction) {
 
 TEST(ThreadPool, GlobalPoolExists) {
   EXPECT_GE(ThreadPool::global().size(), 1u);
+}
+
+TEST(ThreadPool, OversubscribedParallelFor) {
+  // n >> workers: the pool splits into kChunksPerWorker chunks per worker
+  // (one functor call each) and still covers every index exactly once.
+  ThreadPool pool(4);
+  const std::size_t n = 100000;
+  std::atomic<int> calls{0};
+  std::vector<std::atomic<int>> hits(n);
+  pool.parallel_for(n, [&](std::size_t lo, std::size_t hi) {
+    calls.fetch_add(1);
+    for (std::size_t i = lo; i < hi; ++i) hits[i].fetch_add(1);
+  });
+  EXPECT_EQ(calls.load(),
+            static_cast<int>(4 * ThreadPool::kChunksPerWorker));
+  for (const auto& h : hits) ASSERT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ExceptionFromMiddleChunk) {
+  ThreadPool pool(4);
+  const std::size_t n = 1600;
+  std::atomic<int> calls{0};
+  EXPECT_THROW(
+      pool.parallel_for(n,
+                        [&](std::size_t lo, std::size_t hi) {
+                          calls.fetch_add(1);
+                          if (lo <= n / 2 && n / 2 < hi) {
+                            throw std::runtime_error("mid-chunk failure");
+                          }
+                        }),
+      std::runtime_error);
+  // The job drains fully even after an error: every chunk still ran.
+  EXPECT_EQ(calls.load(),
+            static_cast<int>(4 * ThreadPool::kChunksPerWorker));
+  std::atomic<int> ok{0};
+  pool.parallel_for(n, [&](std::size_t lo, std::size_t hi) {
+    ok.fetch_add(static_cast<int>(hi - lo));
+  });
+  EXPECT_EQ(ok.load(), static_cast<int>(n));
+}
+
+TEST(ThreadPool, InterleavedRunOnAllAndParallelFor) {
+  ThreadPool pool(3);
+  for (int round = 0; round < 10; ++round) {
+    std::vector<std::atomic<int>> visits(3);
+    pool.run_on_all([&](std::size_t i) { visits[i].fetch_add(1); });
+    for (const auto& v : visits) ASSERT_EQ(v.load(), 1);
+    std::atomic<long> sum{0};
+    pool.parallel_for(1000, [&](std::size_t lo, std::size_t hi) {
+      sum.fetch_add(static_cast<long>(hi - lo));
+    });
+    ASSERT_EQ(sum.load(), 1000);
+  }
+}
+
+TEST(ThreadPool, ChunksAreTakenFifo) {
+  // The single atomic ticket counter hands chunks out front-to-back, so
+  // every participating thread observes strictly increasing chunk starts.
+  ThreadPool pool(4);
+  std::mutex m;
+  std::map<std::thread::id, std::vector<std::size_t>> starts;
+  pool.parallel_for(4096, [&](std::size_t lo, std::size_t) {
+    std::lock_guard<std::mutex> lock(m);
+    starts[std::this_thread::get_id()].push_back(lo);
+  });
+  for (const auto& [tid, seq] : starts) {
+    for (std::size_t i = 1; i < seq.size(); ++i) {
+      EXPECT_LT(seq[i - 1], seq[i]);
+    }
+  }
 }
 
 TEST(ThreadPool, ChunksAreDisjointAndOrdered) {
