@@ -17,7 +17,7 @@
 #include "models/linear.hpp"
 #include "models/mlp.hpp"
 #include "models/quantized.hpp"
-#include "sgd/sync_engine.hpp"
+#include "sgd/spec.hpp"
 
 using namespace parsgd;
 using namespace parsgd::benchutil;
@@ -56,16 +56,17 @@ int main(int argc, char** argv) {
       Fixture f(name, scale, false);
       LogisticRegression lr(f.ds.d());
       const bool dense = f.ds.profile.dense && f.ds.x_dense.has_value();
-      const ScaleContext ctx = make_scale_context(f.ds, lr, dense);
+      const Layout layout = dense ? Layout::kDense : Layout::kSparse;
+      const EngineContext ctx = make_engine_context(f.ds, lr, layout);
       const auto w0 = lr.init_params(1);
       for (const bool calibrated : {true, false}) {
         auto secs = [&](Arch a) {
-          SyncEngineOptions o;
-          o.arch = a;
-          o.use_dense = dense;
-          if (!calibrated) o.calibration = SyncCalibration::none();
-          SyncEngine e(lr, f.data, ctx, o);
-          return e.epoch_seconds(w0);
+          EngineSpec spec;
+          spec.update = Update::kSync;
+          spec.arch = a;
+          spec.layout = layout;
+          if (!calibrated) spec.calibration = Calibration::kNone;
+          return make_engine(spec, ctx)->epoch_seconds(w0);
         };
         const double seq = secs(Arch::kCpuSeq), par = secs(Arch::kCpuPar),
                      gpu = secs(Arch::kGpu);
@@ -97,18 +98,20 @@ int main(int argc, char** argv) {
       grouped.x_dense = f.ds.x_dense;
       grouped.y = f.ds.y;
       Mlp mlp(arch);
-      const ScaleContext ctx = make_scale_context(grouped, mlp, true);
+      const EngineContext ctx = make_engine_context(grouped, mlp,
+                                                    Layout::kDense);
       const auto w0 = mlp.init_params(1);
       double with_threshold = 0, without = 0;
       for (const std::size_t threshold :
            {std::size_t{5000}, std::size_t{0}}) {
-        SyncEngineOptions o;
-        o.arch = Arch::kCpuPar;
-        o.use_dense = true;
-        o.calibration = SyncCalibration::none();
-        o.gemm_parallel_threshold = threshold;
-        SyncEngine e(mlp, f.data, ctx, o);
-        (threshold ? with_threshold : without) = e.epoch_seconds(w0);
+        EngineSpec spec;
+        spec.update = Update::kSync;
+        spec.arch = Arch::kCpuPar;
+        spec.layout = Layout::kDense;
+        spec.calibration = Calibration::kNone;
+        spec.gemm_parallel_threshold = threshold;
+        (threshold ? with_threshold : without) =
+            make_engine(spec, ctx)->epoch_seconds(w0);
       }
       std::string name;
       for (const std::size_t l : arch) {

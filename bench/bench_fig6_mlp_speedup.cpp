@@ -12,7 +12,7 @@
 #include "data/generator.hpp"
 #include "matrix/transform.hpp"
 #include "models/mlp.hpp"
-#include "sgd/sync_engine.hpp"
+#include "sgd/spec.hpp"
 
 using namespace parsgd;
 using namespace parsgd::benchutil;
@@ -49,21 +49,17 @@ int main(int argc, char** argv) {
     grouped.x_dense = grouped.x.to_dense();
     grouped.y = base.y;
 
-    TrainData data;
-    data.sparse = &grouped.x;
-    data.dense = &*grouped.x_dense;
-    data.y = grouped.y;
-
     Mlp mlp(arch);
-    const ScaleContext ctx = make_scale_context(grouped, mlp, true);
+    const EngineContext ctx = make_engine_context(grouped, mlp,
+                                                  Layout::kDense);
     const auto w0 = mlp.init_params(3);
 
     auto secs = [&](Arch a) {
-      SyncEngineOptions opts;
-      opts.arch = a;
-      opts.use_dense = true;
-      SyncEngine engine(mlp, data, ctx, opts);
-      return engine.epoch_seconds(w0);
+      EngineSpec spec;
+      spec.update = Update::kSync;
+      spec.arch = a;
+      spec.layout = Layout::kDense;
+      return make_engine(spec, ctx)->epoch_seconds(w0);
     };
     const double seq = secs(Arch::kCpuSeq);
     const double par = secs(Arch::kCpuPar);

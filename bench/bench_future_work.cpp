@@ -18,6 +18,7 @@
 #include "models/linear.hpp"
 #include "models/matrix_fact.hpp"
 #include "sgd/heterogeneous.hpp"
+#include "sgd/spec.hpp"
 
 using namespace parsgd;
 using namespace parsgd::benchutil;
@@ -70,31 +71,31 @@ int main(int argc, char** argv) {
     gen.scale = scale;
     gen.seed = 42;
     const Dataset ds = generate_dataset("rcv1", gen);
-    TrainData data;
-    data.sparse = &ds.x;
-    data.dense = ds.x_dense ? &*ds.x_dense : nullptr;
-    data.y = ds.y;
     LogisticRegression lr(ds.d());
-    const ScaleContext ctx = make_scale_context(ds, lr, false);
+    const EngineContext ctx = make_engine_context(ds, lr, Layout::kSparse);
     const auto w0 = lr.init_params(5);
 
     TableWriter t({"gpu share phi", "epoch time (ms)",
                    "vs best single device"});
     double gpu_full = 0, cpu_full = 0, best_single = 0;
     for (const double phi : {0.0, 0.25, 0.5, 0.75, 1.0, -1.0}) {
-      HeterogeneousOptions opts;
-      opts.gpu_fraction = phi;
-      HeterogeneousEngine engine(lr, data, ctx, opts);
+      EngineSpec spec = parse_spec("sync/cpu+gpu/sparse");
+      spec.gpu_fraction = phi;
+      const std::unique_ptr<Engine> engine = make_engine(spec, ctx);
+      // The phi/full-device reporting is specific to the heterogeneous
+      // engine, not part of the Engine interface.
+      auto* hetero = dynamic_cast<HeterogeneousEngine*>(engine.get());
       auto w = w0;
       Rng rng(3);
-      const double secs = engine.run_epoch(w, real_t(0.1), rng);
-      if (best_single == 0) {
-        gpu_full = engine.gpu_epoch_seconds_full();
-        cpu_full = engine.cpu_epoch_seconds_full();
+      const double secs = engine->run_epoch(w, real_t(0.1), rng);
+      if (best_single == 0 && hetero != nullptr) {
+        gpu_full = hetero->gpu_epoch_seconds_full();
+        cpu_full = hetero->cpu_epoch_seconds_full();
         best_single = std::min(gpu_full, cpu_full);
       }
-      t.add_row({phi < 0 ? "auto (" + fmt_sig3(engine.gpu_fraction()) + ")"
-                         : fmt_sig3(phi),
+      t.add_row({phi < 0 && hetero != nullptr
+                     ? "auto (" + fmt_sig3(hetero->gpu_fraction()) + ")"
+                     : fmt_sig3(phi),
                  fmt_msec(secs), fmt_sig3(best_single / secs) + "x"});
     }
     t.print(std::cout);

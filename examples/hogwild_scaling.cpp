@@ -11,7 +11,7 @@
 #include "common/format.hpp"
 #include "data/generator.hpp"
 #include "models/linear.hpp"
-#include "sgd/async_engine.hpp"
+#include "sgd/spec.hpp"
 
 using namespace parsgd;
 
@@ -25,11 +25,9 @@ int main(int argc, char** argv) {
   gen.scale = 150.0;
   const Dataset ds = generate_dataset(name, gen);
   LogisticRegression lr(ds.d());
-  TrainData data;
-  data.sparse = &ds.x;
-  data.dense = ds.x_dense ? &*ds.x_dense : nullptr;
-  data.y = ds.y;
-  const ScaleContext ctx = make_scale_context(ds, lr, ds.profile.dense);
+  const Layout layout =
+      ds.profile.dense && ds.x_dense ? Layout::kDense : Layout::kSparse;
+  const EngineContext ctx = make_engine_context(ds, lr, layout);
   const auto w0 = lr.init_params(21);
 
   std::printf("Hogwild scaling on %s (LR, alpha=%g, %zu epochs)\n\n",
@@ -39,22 +37,24 @@ int main(int argc, char** argv) {
 
   double seq_time = 0;
   for (const int threads : {1, 2, 4, 8, 14, 28, 56}) {
-    AsyncCpuOptions opts;
-    opts.arch = threads == 1 ? Arch::kCpuSeq : Arch::kCpuPar;
-    opts.threads = threads;
-    opts.prefer_dense = ds.profile.dense;
-    AsyncCpuEngine engine(lr, data, ctx, opts);
+    // Each point is one spec string, e.g. "async/cpu-par/sparse:threads=8".
+    const std::string spec_text =
+        std::string(threads == 1 ? "async/cpu-seq/" : "async/cpu-par/") +
+        to_string(layout) +
+        (threads == 1 ? "" : ":threads=" + std::to_string(threads));
+    const std::unique_ptr<Engine> engine =
+        make_engine(parse_spec(spec_text), ctx);
     TrainOptions t;
     t.max_epochs = epochs;
-    t.prefer_dense = ds.profile.dense;
-    const RunResult r = run_training(engine, lr, data, w0,
+    t.prefer_dense = layout == Layout::kDense;
+    const RunResult r = run_training(*engine, lr, ctx.data, w0,
                                      static_cast<real_t>(alpha), t);
     const double per_epoch = r.seconds_per_epoch();
     if (threads == 1) seq_time = per_epoch;
     std::printf("%-8d %-16s %-18s %-14.4f %.2fx\n", threads,
                 format_seconds(per_epoch).c_str(),
                 format_count(static_cast<std::uint64_t>(
-                    engine.last_cost().write_conflicts)).c_str(),
+                    engine->last_cost().write_conflicts)).c_str(),
                 r.losses.back(), seq_time / per_epoch);
   }
   std::printf("\n(paper Table III: parallel Hogwild peaks ~6x on sparse "

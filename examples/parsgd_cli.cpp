@@ -3,8 +3,11 @@
 // sibling of architecture_advisor: full control, no step-size search
 // (you provide alpha, like a practitioner would).
 //
-//   ./parsgd_cli --task=LR --dataset=rcv1 --update=async --arch=cpu-par
+//   ./parsgd_cli --task=LR --dataset=rcv1 --engine=async/cpu-par/sparse
 //                --alpha=0.1 --epochs=60 [--threads=56] [--scale=200]
+//
+// --engine takes a full spec string (see DESIGN.md §10); the legacy
+// --update/--arch pair is still accepted and assembled into a spec.
 #include <cstdio>
 #include <memory>
 #include <string>
@@ -15,9 +18,8 @@
 #include "data/mlp_view.hpp"
 #include "models/linear.hpp"
 #include "models/mlp.hpp"
-#include "sgd/async_engine.hpp"
 #include "sgd/convergence.hpp"
-#include "sgd/sync_engine.hpp"
+#include "sgd/spec.hpp"
 
 using namespace parsgd;
 
@@ -27,9 +29,14 @@ namespace {
   std::fprintf(stderr,
                "error: %s\n"
                "usage: parsgd_cli --task=LR|SVM|MLP --dataset=<name>\n"
-               "       --update=sync|async --arch=cpu-seq|cpu-par|gpu\n"
+               "       --engine=<update/arch/layout[:key=value,...]>\n"
+               "       (or legacy: --update=sync|async"
+               " --arch=cpu-seq|cpu-par|gpu)\n"
                "       [--alpha=0.1] [--epochs=60] [--threads=56]\n"
-               "       [--scale=200] [--seed=42]\n",
+               "       [--scale=200] [--seed=42]\n"
+               "engine spec examples: async/cpu-par/sparse,\n"
+               "  sync/gpu/dense:calib=mlp,batch=64,"
+               " sync/cpu+gpu/dense:phi=0.6\n",
                msg);
   std::exit(2);
 }
@@ -40,18 +47,11 @@ int main(int argc, char** argv) {
   const Cli cli(argc, argv);
   const std::string task = cli.get("task", "LR");
   const std::string dataset = cli.get("dataset", "covtype");
-  const std::string update = cli.get("update", "async");
-  const std::string arch_name = cli.get("arch", "cpu-par");
+  const std::string engine_arg = cli.get("engine", "");
   const double alpha = cli.get_double("alpha", 0.1);
   const auto epochs = static_cast<std::size_t>(cli.get_int("epochs", 60));
   const int threads = static_cast<int>(cli.get_int("threads", 56));
 
-  Arch arch;
-  if (arch_name == "cpu-seq") arch = Arch::kCpuSeq;
-  else if (arch_name == "cpu-par") arch = Arch::kCpuPar;
-  else if (arch_name == "gpu") arch = Arch::kGpu;
-  else usage("unknown --arch");
-  if (update != "sync" && update != "async") usage("unknown --update");
   if (task != "LR" && task != "SVM" && task != "MLP") {
     usage("unknown --task");
   }
@@ -62,10 +62,6 @@ int main(int argc, char** argv) {
   gen.seed = static_cast<std::uint64_t>(cli.get_int("seed", 42));
   Dataset base = generate_dataset(dataset, gen);
   Dataset ds = task == "MLP" ? make_mlp_dataset(base) : std::move(base);
-  TrainData data;
-  data.sparse = &ds.x;
-  data.dense = ds.x_dense ? &*ds.x_dense : nullptr;
-  data.y = ds.y;
   const bool dense = task == "MLP" ? ds.x_dense.has_value()
                                    : ds.profile.dense;
 
@@ -74,51 +70,49 @@ int main(int argc, char** argv) {
   else if (task == "SVM") model = std::make_unique<LinearSvm>(ds.d());
   else model = std::make_unique<Mlp>(ds.profile.mlp_architecture());
 
-  const ScaleContext ctx = make_scale_context(ds, *model, dense);
-  const auto w0 = model->init_params(gen.seed ^ 0xabcdef);
-
-  // Engine.
-  std::unique_ptr<Engine> engine;
-  if (update == "sync") {
-    SyncEngineOptions o;
-    o.arch = arch;
-    o.use_dense = dense;
-    o.cpu_threads = threads;
-    if (task == "MLP") {
-      o.calibration = SyncCalibration::mlp();
-      o.minibatch = 64;
-    }
-    engine = std::make_unique<SyncEngine>(*model, data, ctx, o);
-  } else if (arch == Arch::kGpu) {
-    AsyncGpuOptions o;
-    if (task == "MLP") {
-      o.batch = 64;
-      o.dispatch_us = 10.5;
-      o.prefer_dense = dense;
-    }
-    engine = std::make_unique<AsyncGpuEngine>(*model, data, ctx, o);
+  // Engine spec: --engine verbatim, or assembled from the legacy
+  // --update/--arch pair (layout follows the dataset, MLP switches to
+  // the dispatch-fee calibration with B=64 batches).
+  EngineSpec spec;
+  if (!engine_arg.empty()) {
+    const std::optional<EngineSpec> parsed = try_parse_spec(engine_arg);
+    if (!parsed) usage("malformed --engine spec");
+    spec = *parsed;
   } else {
-    AsyncCpuOptions o;
-    o.arch = arch;
-    o.threads = threads;
-    o.prefer_dense = dense;
+    const std::string update = cli.get("update", "async");
+    const std::string arch_name = cli.get("arch", "cpu-par");
+    if (update == "sync") spec.update = Update::kSync;
+    else if (update == "async") spec.update = Update::kAsync;
+    else usage("unknown --update");
+    if (arch_name == "cpu-seq") spec.arch = Arch::kCpuSeq;
+    else if (arch_name == "cpu-par") spec.arch = Arch::kCpuPar;
+    else if (arch_name == "gpu") spec.arch = Arch::kGpu;
+    else usage("unknown --arch");
+    spec.layout = dense ? Layout::kDense : Layout::kSparse;
     if (task == "MLP") {
-      o.batch = 64;
-      o.window_units = 1;
-      o.dispatch_us_seq = 21.0;
-      o.dispatch_us_par = 1.3;
+      spec.calibration = Calibration::kMlp;
+      spec.batch = 64;
     }
-    engine = std::make_unique<AsyncCpuEngine>(*model, data, ctx, o);
+  }
+  if (spec.layout == Layout::kDense && !ds.x_dense) {
+    usage("dense layout requested but the dataset has no dense "
+          "materialization");
   }
 
-  std::printf("%s / %s / %s / %s  alpha=%g epochs=%zu (scale 1/%.0f)\n",
-              task.c_str(), dataset.c_str(), update.c_str(),
-              arch_name.c_str(), alpha, epochs, gen.scale);
+  EngineContext ctx = make_engine_context(ds, *model, spec.layout);
+  ctx.cpu_threads = threads;
+  ctx.seed = gen.seed;
+  const auto w0 = model->init_params(gen.seed ^ 0xabcdef);
+  const std::unique_ptr<Engine> engine = make_engine(spec, ctx);
+
+  std::printf("%s / %s / %s  alpha=%g epochs=%zu (scale 1/%.0f)\n",
+              task.c_str(), dataset.c_str(), format_spec(spec).c_str(),
+              alpha, epochs, gen.scale);
 
   TrainOptions t;
   t.max_epochs = epochs;
-  t.prefer_dense = dense;
-  const RunResult run = run_training(*engine, *model, data, w0,
+  t.prefer_dense = spec.layout == Layout::kDense;
+  const RunResult run = run_training(*engine, *model, ctx.data, w0,
                                      static_cast<real_t>(alpha), t);
 
   const ConvergencePoint p1 = convergence_point(run, run.best_loss(), 0.01);

@@ -10,8 +10,8 @@
 #include "common/format.hpp"
 #include "data/generator.hpp"
 #include "models/linear.hpp"
-#include "sgd/async_engine.hpp"
 #include "sgd/convergence.hpp"
+#include "sgd/spec.hpp"
 
 using namespace parsgd;
 
@@ -30,24 +30,21 @@ int main(int argc, char** argv) {
               name.c_str(), ds.n(), ds.d(),
               format_bytes(static_cast<double>(ds.x.bytes())).c_str());
 
-  // 2. Model + engine: Hogwild on the paper's dual-socket Xeon.
+  // 2. Model + engine: Hogwild on the paper's dual-socket Xeon, built
+  // from its spec string through the engine factory.
   LogisticRegression model(ds.d());
-  TrainData data;
-  data.sparse = &ds.x;
-  data.dense = ds.x_dense ? &*ds.x_dense : nullptr;
-  data.y = ds.y;
-  const ScaleContext scale = make_scale_context(ds, model, false);
-
-  AsyncCpuOptions opts;
-  opts.arch = threads > 1 ? Arch::kCpuPar : Arch::kCpuSeq;
-  opts.threads = threads;
-  AsyncCpuEngine engine(model, data, scale, opts);
+  EngineContext ctx = make_engine_context(ds, model, Layout::kSparse);
+  ctx.cpu_threads = threads;
+  const EngineSpec spec = parse_spec(
+      threads > 1 ? "async/cpu-par/sparse" : "async/cpu-seq/sparse");
+  const std::unique_ptr<Engine> engine = make_engine(spec, ctx);
+  std::printf("engine: %s\n", format_spec(spec).c_str());
 
   // 3. Train and report.
   TrainOptions train;
   train.max_epochs = epochs;
   const auto w0 = model.init_params(42);
-  const RunResult run = run_training(engine, model, data, w0,
+  const RunResult run = run_training(*engine, model, ctx.data, w0,
                                      static_cast<real_t>(alpha), train);
 
   std::printf("\n%-6s %-14s %-14s\n", "epoch", "loss", "modeled time");

@@ -13,8 +13,7 @@
 #include "common/rng.hpp"
 #include "data/dataset.hpp"
 #include "models/linear.hpp"
-#include "sgd/async_engine.hpp"
-#include "sgd/sync_engine.hpp"
+#include "sgd/spec.hpp"
 
 using namespace parsgd;
 
@@ -74,40 +73,36 @@ int main(int argc, char** argv) {
 
   for (const double density : {1.0, 0.3, 0.1, 0.03, 0.01, 0.003}) {
     const Dataset ds = make_at_sparsity(n, d, density, 77);
-    TrainData data;
-    data.sparse = &ds.x;
-    data.dense = ds.x_dense ? &*ds.x_dense : nullptr;
-    data.y = ds.y;
     LogisticRegression lr(ds.d());
     const bool dense_layout = density >= 0.5 && ds.x_dense.has_value();
-    const ScaleContext ctx = make_scale_context(ds, lr, dense_layout);
+    const Layout layout = dense_layout ? Layout::kDense : Layout::kSparse;
+    const EngineContext ctx = make_engine_context(ds, lr, layout);
     const auto w0 = lr.init_params(3);
 
-    auto sync_secs = [&](Arch a) {
-      SyncEngineOptions o;
-      o.arch = a;
-      o.use_dense = dense_layout;
-      SyncEngine e(lr, data, ctx, o);
-      return e.epoch_seconds(w0);
+    auto spec_at = [&](const char* prefix) {
+      EngineSpec s = parse_spec(std::string(prefix) + "/sparse");
+      s.layout = layout;
+      return s;
     };
-    AsyncCpuOptions ao;
-    ao.arch = Arch::kCpuPar;
-    ao.prefer_dense = dense_layout;
-    AsyncCpuEngine async_par(lr, data, ctx, ao);
+    auto sync_secs = [&](const char* prefix) {
+      return make_engine(spec_at(prefix), ctx)->epoch_seconds(w0);
+    };
+    const std::unique_ptr<Engine> async_par =
+        make_engine(spec_at("async/cpu-par"), ctx);
     TrainOptions t;
     t.max_epochs = 2;
     t.prefer_dense = dense_layout;
     const RunResult r =
-        run_training(async_par, lr, data, w0, real_t(0.05), t);
+        run_training(*async_par, lr, ctx.data, w0, real_t(0.05), t);
 
     std::printf("%-10s %-14s %-16s %-16s %-16s %-16s\n",
                 format_percent(density, 1).c_str(),
                 format_fixed(ds.nnz_stats().avg, 1).c_str(),
-                format_seconds(sync_secs(Arch::kGpu)).c_str(),
-                format_seconds(sync_secs(Arch::kCpuPar)).c_str(),
+                format_seconds(sync_secs("sync/gpu")).c_str(),
+                format_seconds(sync_secs("sync/cpu-par")).c_str(),
                 format_seconds(r.seconds_per_epoch()).c_str(),
                 format_count(static_cast<std::uint64_t>(
-                    async_par.last_cost().write_conflicts)).c_str());
+                    async_par->last_cost().write_conflicts)).c_str());
   }
   std::printf("\n(the paper's Fig. 1 axis in one sweep: the GPU's sync "
               "advantage grows as data gets sparser, while Hogwild "

@@ -12,7 +12,7 @@
 #include "data/generator.hpp"
 #include "matrix/io.hpp"
 #include "models/linear.hpp"
-#include "sgd/async_engine.hpp"
+#include "sgd/spec.hpp"
 
 using namespace parsgd;
 
@@ -34,34 +34,31 @@ int main(int argc, char** argv) {
   std::printf("read back: %zu docs, %s in CSR\n", corpus.x.rows(),
               format_bytes(static_cast<double>(corpus.x.bytes())).c_str());
 
-  // 2. Train a linear SVM with 56-thread Hogwild.
-  TrainData data;
-  data.sparse = &corpus.x;
-  data.y = corpus.y;
+  // 2. Train a linear SVM with 56-thread Hogwild, built from its spec
+  // string. The holder Dataset reuses the generator profile for
+  // paper-scale timing extrapolation.
   LinearSvm model(corpus.x.cols());
-
-  // Reuse the profile for paper-scale timing extrapolation.
   Dataset holder;
   holder.profile = ds.profile;
   holder.x = corpus.x;
   holder.y = corpus.y;
-  const ScaleContext scale = make_scale_context(holder, model, false);
+  const EngineContext ctx =
+      make_engine_context(holder, model, Layout::kSparse);
 
-  AsyncCpuOptions opts;
-  opts.arch = Arch::kCpuPar;
-  AsyncCpuEngine engine(model, data, scale, opts);
+  const std::unique_ptr<Engine> engine =
+      make_engine(parse_spec("async/cpu-par/sparse"), ctx);
   TrainOptions train;
   train.max_epochs = epochs;
   const auto w0 = model.init_params(7);
   const RunResult run =
-      run_training(engine, model, data, w0, real_t(0.1), train);
+      run_training(*engine, model, ctx.data, w0, real_t(0.1), train);
 
   // 3. Evaluate: retrain once more to recover the final weights (the
   // driver returns losses; here we replay to get the parameters).
   std::vector<real_t> w(w0);
   Rng rng(train.seed);
   for (std::size_t e = 0; e < run.epochs(); ++e) {
-    engine.run_epoch(w, real_t(0.1), rng);
+    engine->run_epoch(w, real_t(0.1), rng);
   }
   std::size_t correct = 0;
   for (std::size_t i = 0; i < corpus.x.rows(); ++i) {

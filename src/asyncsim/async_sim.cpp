@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/check.hpp"
+#include "parallel/thread_pool.hpp"
 
 namespace parsgd {
 
@@ -162,8 +163,10 @@ CostBreakdown AsyncSim::epoch_inplace(std::span<real_t> w, real_t alpha,
           cost.bytes_streamed += example_bytes(data_, begin,
                                                opts_.prefer_dense);
         } else {
-          model_.batch_step(data_, begin, end, opts_.prefer_dense, alpha, w,
-                            w);
+          ThreadPool& pool =
+              opts_.pool != nullptr ? *opts_.pool : ThreadPool::global();
+          model_.batch_step_pooled(pool, data_, begin, end,
+                                   opts_.prefer_dense, alpha, w, w);
           for (std::size_t i = begin; i < end; ++i) {
             const std::size_t k =
                 data_.example(i, opts_.prefer_dense).touched();
@@ -267,8 +270,10 @@ CostBreakdown AsyncSim::epoch_snapshot(std::span<real_t> w, real_t alpha,
         cost.bytes_streamed += example_bytes(data_, begin,
                                              opts_.prefer_dense);
       } else {
-        model_.batch_step(data_, begin, end, opts_.prefer_dense, alpha,
-                          view, delta);
+        ThreadPool& pool =
+            opts_.pool != nullptr ? *opts_.pool : ThreadPool::global();
+        model_.batch_step_pooled(pool, data_, begin, end,
+                                 opts_.prefer_dense, alpha, view, delta);
         for (std::size_t i = begin; i < end; ++i) {
           const std::size_t k =
               data_.example(i, opts_.prefer_dense).touched();

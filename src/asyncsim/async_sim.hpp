@@ -50,6 +50,10 @@ struct AsyncSimOptions {
   /// Models at most this big (bytes) use snapshot mode when updates are
   /// sparse; dense-update models always snapshot.
   std::size_t snapshot_budget_bytes = 1u << 18;
+  /// Execution pool for the heavy per-example work of Hogbatch units
+  /// (batch_step_pooled, bit-identical to the sequential step for every
+  /// pool size); nullptr = the process-global pool.
+  ThreadPool* pool = nullptr;
 };
 
 /// Simulates asynchronous epochs of `model` over `data`.

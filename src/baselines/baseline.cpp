@@ -1,6 +1,6 @@
 #include "baselines/baseline.hpp"
 
-#include "sgd/sync_engine.hpp"
+#include "sgd/spec.hpp"
 
 namespace parsgd {
 
@@ -29,14 +29,19 @@ double baseline_epoch_seconds(const BaselineProfile& profile,
                               const ScaleContext& scale, Arch arch,
                               bool use_dense,
                               std::span<const real_t> w_sample) {
-  SyncEngineOptions opts;
-  opts.arch = arch;
-  opts.use_dense =
-      (profile.force_dense && data.has_dense()) || use_dense;
-  opts.gemm_parallel_threshold = profile.gemm_parallel_threshold;
-  SyncEngine engine(model, data, scale, opts);
-  double secs = engine.epoch_seconds(w_sample);
-  if (arch == Arch::kGpu && !opts.use_dense) {
+  EngineSpec spec;
+  spec.update = Update::kSync;
+  spec.arch = arch;
+  spec.layout = (profile.force_dense && data.has_dense()) || use_dense
+                    ? Layout::kDense
+                    : Layout::kSparse;
+  spec.gemm_parallel_threshold = profile.gemm_parallel_threshold;
+  EngineContext ctx;
+  ctx.model = &model;
+  ctx.data = data;
+  ctx.scale = scale;
+  double secs = make_engine(spec, ctx)->epoch_seconds(w_sample);
+  if (arch == Arch::kGpu && spec.layout == Layout::kSparse) {
     secs *= profile.gpu_sparse_cycle_penalty;
   }
   return secs * profile.framework_overhead;

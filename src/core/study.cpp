@@ -36,6 +36,7 @@ struct Study::Group {
   std::vector<real_t> w0;
   TrainData train;
   ScaleContext scale;
+  EngineContext ctx;  ///< what make_engine builds from; views into the above
   bool dense = false;
   std::size_t hog_batch = 1;
   std::size_t hog_delay = 0;
@@ -131,6 +132,12 @@ Study::Group& Study::group(Task task, const std::string& name) {
   g->train.y = ds.y;
   g->w0 = g->model->init_params(opts_.seed ^ 0xabcdef);
   g->scale = make_scale_context(ds, *g->model, g->dense);
+  g->ctx.model = g->model.get();
+  g->ctx.data = g->train;
+  g->ctx.scale = g->scale;
+  g->ctx.cpu_threads = opts_.cpu_threads;
+  g->ctx.pool = opts_.pool;
+  g->ctx.seed = opts_.seed;
 
   it = groups_.emplace(key, std::move(g)).first;
   return *it->second;
@@ -159,6 +166,26 @@ StepSearchOptions make_search_options(const StudyOptions& study, Task task,
   return s;
 }
 
+/// The study's spec for one cube configuration: layout follows the data,
+/// MLP tasks switch to the dispatch-fee calibration with Hogbatch /
+/// mini-batch updates, and async CPU Hogbatch carries the gradient delay
+/// that preserves the paper's in-flight fraction (see Study::group).
+EngineSpec study_spec(Task task, Update update, Arch arch, bool dense,
+                      std::size_t hog_batch, std::size_t hog_delay) {
+  EngineSpec s;
+  s.update = update;
+  s.arch = arch;
+  s.layout = dense ? Layout::kDense : Layout::kSparse;
+  if (task == Task::kMlp) {
+    s.calibration = Calibration::kMlp;
+    s.batch = hog_batch;
+    if (update == Update::kAsync && arch != Arch::kGpu) {
+      s.delay_units = hog_delay;
+    }
+  }
+  return s;
+}
+
 }  // namespace
 
 ConfigResult Study::config_result(Task task, const std::string& name,
@@ -173,75 +200,37 @@ ConfigResult Study::config_result(Task task, const std::string& name,
   const StepSearchOptions sopts =
       make_search_options(opts_, task, g.dense, full_epochs);
 
+  // One step search per spec: every engine comes out of the factory.
+  auto search = [&](const EngineSpec& spec) {
+    auto make_run = [&](double alpha, std::size_t epochs) {
+      TrainOptions t = sopts.train;
+      t.max_epochs = epochs;
+      const std::unique_ptr<Engine> engine = make_engine(spec, g.ctx);
+      return run_training(*engine, *g.model, g.train, g.w0,
+                          static_cast<real_t>(alpha), t);
+    };
+    return search_step_size(make_run, sopts);
+  };
+  auto spec_of = [&](Update u, Arch a) {
+    return study_spec(task, u, a, g.dense, g.hog_batch, g.hog_delay);
+  };
+
   if (update == Update::kSync) {
     if (!g.sync_run) {
       PARSGD_INFO << "sync step search: " << to_string(task) << "/" << name;
-      auto make_run = [&](double alpha, std::size_t epochs) {
-        SyncEngineOptions eopts;
-        eopts.arch = Arch::kCpuSeq;  // trajectory is arch-independent
-        eopts.use_dense = g.dense;
-        eopts.cpu_threads = opts_.cpu_threads;
-        if (task == Task::kMlp) {
-          eopts.calibration = SyncCalibration::mlp();
-          eopts.minibatch = g.hog_batch;
-        }
-        SyncEngine engine(*g.model, g.train, g.scale, eopts);
-        TrainOptions t = sopts.train;
-        t.max_epochs = epochs;
-        return run_training(engine, *g.model, g.train, g.w0,
-                            static_cast<real_t>(alpha), t);
-      };
-      g.sync_run = search_step_size(make_run, sopts);
+      // Trajectory is arch-independent; search it once on cpu-seq.
+      g.sync_run = search(spec_of(Update::kSync, Arch::kCpuSeq));
     }
     if (!g.sync_secs.count(arch)) {
-      SyncEngineOptions eopts;
-      eopts.arch = arch;
-      eopts.use_dense = g.dense;
-      eopts.cpu_threads = opts_.cpu_threads;
-      if (task == Task::kMlp) {
-        eopts.calibration = SyncCalibration::mlp();
-        eopts.minibatch = g.hog_batch;
-      }
-      SyncEngine engine(*g.model, g.train, g.scale, eopts);
-      g.sync_secs[arch] = engine.epoch_seconds(g.w0);
+      g.sync_secs[arch] =
+          make_engine(spec_of(Update::kSync, arch), g.ctx)
+              ->epoch_seconds(g.w0);
     }
   } else {
     if (!g.async_runs.count(arch)) {
       PARSGD_INFO << "async step search: " << to_string(task) << "/" << name
                   << " on " << to_string(arch);
-      auto make_run = [&](double alpha, std::size_t epochs) {
-        TrainOptions t = sopts.train;
-        t.max_epochs = epochs;
-        std::unique_ptr<Engine> engine;
-        if (arch == Arch::kGpu) {
-          AsyncGpuOptions aopts;
-          aopts.batch = task == Task::kMlp ? g.hog_batch : 1;
-          aopts.prefer_dense = g.dense;
-          if (task == Task::kMlp) aopts.dispatch_us = 10.5;
-          engine = std::make_unique<AsyncGpuEngine>(*g.model, g.train,
-                                                    g.scale, aopts);
-        } else {
-          AsyncCpuOptions aopts;
-          aopts.arch = arch;
-          aopts.threads = opts_.cpu_threads;
-          aopts.batch = task == Task::kMlp ? g.hog_batch : 1;
-          aopts.prefer_dense = g.dense;
-          if (task == Task::kMlp) {
-            // ViennaCL-driver dispatch calibration (EXPERIMENTS.md).
-            aopts.dispatch_us_seq = 21.0;
-            aopts.dispatch_us_par = 1.3;
-            // Hogbatch propagates updates after every batch; the gradient
-            // delay preserves the paper's in-flight fraction.
-            aopts.window_units = 1;
-            aopts.delay_units = g.hog_delay;
-          }
-          engine = std::make_unique<AsyncCpuEngine>(*g.model, g.train,
-                                                    g.scale, aopts);
-        }
-        return run_training(*engine, *g.model, g.train, g.w0,
-                            static_cast<real_t>(alpha), t);
-      };
-      g.async_runs.emplace(arch, search_step_size(make_run, sopts));
+      g.async_runs.emplace(arch, search(spec_of(Update::kAsync, arch)));
     }
   }
 
@@ -286,14 +275,17 @@ double Study::optimum(Task task, const std::string& name, Update update) {
     }
     return std::min(g.sync_run->optimum, g.sync_run->run.best_loss());
   }
-  // Async: all three architectures run distinct semantics; the family
-  // optimum spans them (and each search's full candidate set).
+  // Async: every registered async architecture runs distinct semantics;
+  // the family optimum spans them (and each search's full candidate set).
+  // Enumerating the registry (not a hard-coded arch list) keeps a newly
+  // registered async configuration inside the convergence reference.
   double best = std::numeric_limits<double>::infinity();
-  for (const Arch a : {Arch::kCpuSeq, Arch::kCpuPar, Arch::kGpu}) {
-    if (!g.async_runs.count(a)) {
-      config_result(task, name, Update::kAsync, a);
+  for (const EngineSpec& s : registered_specs()) {
+    if (s.update != Update::kAsync || s.heterogeneous) continue;
+    if (!g.async_runs.count(s.arch)) {
+      config_result(task, name, Update::kAsync, s.arch);
     }
-    const StepSearchResult& sr = g.async_runs.at(a);
+    const StepSearchResult& sr = g.async_runs.at(s.arch);
     best = std::min({best, sr.optimum, sr.run.best_loss()});
   }
   return best;

@@ -22,10 +22,9 @@
 
 #include "baselines/baseline.hpp"
 #include "data/generator.hpp"
-#include "sgd/async_engine.hpp"
 #include "sgd/convergence.hpp"
+#include "sgd/spec.hpp"
 #include "sgd/stepsize.hpp"
-#include "sgd/sync_engine.hpp"
 
 namespace parsgd {
 
@@ -36,6 +35,10 @@ struct StudyOptions {
   double scale = 50.0;          ///< dataset N downscaling
   std::uint64_t seed = 42;
   int cpu_threads = 56;         ///< the paper machine's thread count
+  /// Execution pool injected into every engine the study builds (via
+  /// EngineContext); nullptr = the process-global pool. Execution-only:
+  /// trajectories are bit-identical for every pool.
+  ThreadPool* pool = nullptr;
   std::size_t probe_epochs = 25;
   std::size_t keep_candidates = 3;
   /// Full-run epoch caps. Synchronous (batch-GD) trajectories converge

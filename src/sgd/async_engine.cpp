@@ -11,6 +11,7 @@ AsyncSimOptions to_sim_options(const AsyncCpuOptions& opts) {
   s.batch = opts.batch;
   s.delay_units = opts.delay_units;
   s.prefer_dense = opts.prefer_dense;
+  s.pool = opts.pool;
   return s;
 }
 

@@ -20,6 +20,12 @@ const char* to_string(Update u) {
   return u == Update::kSync ? "sync" : "async";
 }
 
+double Engine::epoch_seconds(std::span<const real_t> w_sample) {
+  std::vector<real_t> scratch(w_sample.begin(), w_sample.end());
+  Rng rng(0);
+  return run_epoch(scratch, real_t(0), rng);
+}
+
 double RunResult::best_loss() const {
   double best = initial_loss;
   for (const double l : losses) best = std::min(best, l);

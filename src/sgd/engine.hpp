@@ -36,6 +36,12 @@ class Engine {
   /// for the epoch at paper scale.
   virtual double run_epoch(std::span<real_t> w, real_t alpha, Rng& rng) = 0;
 
+  /// Modeled seconds of one epoch without advancing caller-visible state:
+  /// the default runs a throwaway zero-step epoch on a copy of `w_sample`
+  /// (epoch costs are parameter-value independent). Engines with a cheap
+  /// instrumented path override this.
+  virtual double epoch_seconds(std::span<const real_t> w_sample);
+
   /// Work/conflict counters of the last epoch (paper-scale).
   virtual const CostBreakdown& last_cost() const = 0;
 };

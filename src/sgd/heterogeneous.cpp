@@ -15,6 +15,7 @@ SyncEngineOptions device_options(const HeterogeneousOptions& opts,
   o.use_dense = opts.use_dense;
   o.cpu_threads = opts.cpu_threads;
   o.calibration = opts.calibration;
+  o.pool = opts.pool;
   return o;
 }
 
@@ -27,7 +28,8 @@ HeterogeneousEngine::HeterogeneousEngine(const Model& model,
     : model_(model), data_(data), scale_(scale), opts_(opts),
       gpu_engine_(model, data, scale, device_options(opts, Arch::kGpu)),
       cpu_engine_(model, data, scale,
-                  device_options(opts, Arch::kCpuPar)) {
+                  device_options(opts, Arch::kCpuPar)),
+      traj_backend_(linalg::CpuBackendOptions{.pool = opts.pool}) {
   PARSGD_CHECK(opts_.gpu_fraction <= 1.0);
   traj_backend_.set_sink(&traj_cost_);
 }
@@ -48,6 +50,11 @@ void HeterogeneousEngine::instrument(std::span<const real_t> w_sample) {
                    combine;
   cost_paper_ = gpu_engine_.last_cost();
   cost_paper_ += cpu_engine_.last_cost();
+}
+
+double HeterogeneousEngine::epoch_seconds(std::span<const real_t> w_sample) {
+  if (!epoch_seconds_) instrument(w_sample);
+  return *epoch_seconds_;
 }
 
 double HeterogeneousEngine::run_epoch(std::span<real_t> w, real_t alpha,

@@ -30,6 +30,9 @@ struct HeterogeneousOptions {
   /// Combining the two partial gradients: one model-sized transfer over
   /// PCIe plus a vector add (seconds per model byte, ~12 GB/s PCIe 3).
   double combine_seconds_per_byte = 1.0 / 12e9;
+  /// Execution pool for both device engines and the trajectory backend;
+  /// nullptr = the process-global pool.
+  ThreadPool* pool = nullptr;
 };
 
 class HeterogeneousEngine final : public Engine {
@@ -44,6 +47,9 @@ class HeterogeneousEngine final : public Engine {
 
   double run_epoch(std::span<real_t> w, real_t alpha, Rng& rng) override;
   const CostBreakdown& last_cost() const override { return cost_paper_; }
+
+  /// The modeled seconds per epoch (instrumented lazily; alpha-independent).
+  double epoch_seconds(std::span<const real_t> w_sample) override;
 
   /// The GPU share in effect (the auto-chosen one after first use).
   double gpu_fraction() const { return phi_; }

@@ -1,0 +1,349 @@
+#include "sgd/spec.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <map>
+#include <sstream>
+
+#include "common/check.hpp"
+#include "sgd/async_engine.hpp"
+#include "sgd/heterogeneous.hpp"
+#include "sgd/sync_engine.hpp"
+
+namespace parsgd {
+
+const char* to_string(Layout l) {
+  return l == Layout::kDense ? "dense" : "sparse";
+}
+
+const char* to_string(Calibration c) {
+  switch (c) {
+    case Calibration::kLinear: return "linear";
+    case Calibration::kMlp: return "mlp";
+    case Calibration::kNone: return "none";
+  }
+  return "?";
+}
+
+std::string EngineSpec::family() const {
+  return std::string(to_string(update)) + "/" +
+         (heterogeneous ? "cpu+gpu" : to_string(arch));
+}
+
+// ---- parse / format ------------------------------------------------------
+
+namespace {
+
+constexpr std::size_t kDefaultGemmThreshold = 5000;
+
+std::vector<std::string> split(const std::string& s, char sep) {
+  std::vector<std::string> out;
+  std::size_t pos = 0;
+  while (true) {
+    const std::size_t next = s.find(sep, pos);
+    out.push_back(s.substr(pos, next - pos));
+    if (next == std::string::npos) break;
+    pos = next + 1;
+  }
+  return out;
+}
+
+bool parse_size(const std::string& v, std::size_t* out) {
+  if (v.empty()) return false;
+  char* end = nullptr;
+  const unsigned long long u = std::strtoull(v.c_str(), &end, 10);
+  if (end != v.c_str() + v.size()) return false;
+  *out = static_cast<std::size_t>(u);
+  return true;
+}
+
+bool parse_double(const std::string& v, double* out) {
+  if (v.empty()) return false;
+  char* end = nullptr;
+  const double d = std::strtod(v.c_str(), &end);
+  if (end != v.c_str() + v.size()) return false;
+  *out = d;
+  return true;
+}
+
+std::string format_double(double v) {
+  std::ostringstream os;
+  os.precision(12);
+  os << v;
+  return os.str();
+}
+
+}  // namespace
+
+std::optional<EngineSpec> try_parse_spec(const std::string& text) {
+  const std::size_t colon = text.find(':');
+  const std::string head = text.substr(0, colon);
+  const std::vector<std::string> parts = split(head, '/');
+  if (parts.size() != 3) return std::nullopt;
+
+  EngineSpec s;
+  if (parts[0] == "sync") {
+    s.update = Update::kSync;
+  } else if (parts[0] == "async") {
+    s.update = Update::kAsync;
+  } else {
+    return std::nullopt;
+  }
+
+  if (parts[1] == "cpu-seq") {
+    s.arch = Arch::kCpuSeq;
+  } else if (parts[1] == "cpu-par") {
+    s.arch = Arch::kCpuPar;
+  } else if (parts[1] == "gpu") {
+    s.arch = Arch::kGpu;
+  } else if (parts[1] == "cpu+gpu") {
+    // The heterogeneous engine reports kGpu as its device, mirror that.
+    if (s.update != Update::kSync) return std::nullopt;
+    s.heterogeneous = true;
+    s.arch = Arch::kGpu;
+  } else {
+    return std::nullopt;
+  }
+
+  if (parts[2] == "sparse") {
+    s.layout = Layout::kSparse;
+  } else if (parts[2] == "dense") {
+    s.layout = Layout::kDense;
+  } else {
+    return std::nullopt;
+  }
+
+  if (colon != std::string::npos) {
+    const std::string tail = text.substr(colon + 1);
+    if (tail.empty()) return std::nullopt;
+    for (const std::string& kv : split(tail, ',')) {
+      const std::size_t eq = kv.find('=');
+      if (eq == std::string::npos) return std::nullopt;
+      const std::string key = kv.substr(0, eq);
+      const std::string val = kv.substr(eq + 1);
+      if (key == "batch") {
+        if (!parse_size(val, &s.batch)) return std::nullopt;
+      } else if (key == "threads") {
+        std::size_t t = 0;
+        if (!parse_size(val, &t) || t > 100000) return std::nullopt;
+        s.threads = static_cast<int>(t);
+      } else if (key == "calib") {
+        if (val == "linear") s.calibration = Calibration::kLinear;
+        else if (val == "mlp") s.calibration = Calibration::kMlp;
+        else if (val == "none") s.calibration = Calibration::kNone;
+        else return std::nullopt;
+      } else if (key == "delay") {
+        if (!parse_size(val, &s.delay_units)) return std::nullopt;
+      } else if (key == "gemmth") {
+        if (!parse_size(val, &s.gemm_parallel_threshold)) return std::nullopt;
+      } else if (key == "phi") {
+        if (!s.heterogeneous) return std::nullopt;
+        if (!parse_double(val, &s.gpu_fraction)) return std::nullopt;
+        if (s.gpu_fraction < 0 || s.gpu_fraction > 1) return std::nullopt;
+      } else {
+        return std::nullopt;
+      }
+    }
+  }
+  return s;
+}
+
+EngineSpec parse_spec(const std::string& text) {
+  const std::optional<EngineSpec> s = try_parse_spec(text);
+  PARSGD_CHECK(s.has_value(),
+               "malformed engine spec '"
+                   << text
+                   << "' (expected update/arch/layout[:key=value,...], "
+                      "e.g. async/cpu-par/sparse or "
+                      "sync/cpu+gpu/dense:phi=0.6)");
+  return *s;
+}
+
+std::string format_spec(const EngineSpec& spec) {
+  std::string out = spec.family() + "/" + to_string(spec.layout);
+  std::vector<std::string> kv;
+  if (spec.batch != 0) kv.push_back("batch=" + std::to_string(spec.batch));
+  if (spec.calibration != Calibration::kLinear) {
+    kv.push_back(std::string("calib=") + to_string(spec.calibration));
+  }
+  if (spec.delay_units != 0) {
+    kv.push_back("delay=" + std::to_string(spec.delay_units));
+  }
+  if (spec.gemm_parallel_threshold != kDefaultGemmThreshold) {
+    kv.push_back("gemmth=" + std::to_string(spec.gemm_parallel_threshold));
+  }
+  if (spec.heterogeneous && spec.gpu_fraction >= 0) {
+    kv.push_back("phi=" + format_double(spec.gpu_fraction));
+  }
+  if (spec.threads != 0) {
+    kv.push_back("threads=" + std::to_string(spec.threads));
+  }
+  for (std::size_t i = 0; i < kv.size(); ++i) {
+    out += (i == 0 ? ':' : ',');
+    out += kv[i];
+  }
+  return out;
+}
+
+// ---- context -------------------------------------------------------------
+
+EngineContext make_engine_context(const Dataset& ds, const Model& model,
+                                  Layout layout) {
+  EngineContext ctx;
+  ctx.model = &model;
+  ctx.data.sparse = &ds.x;
+  ctx.data.dense = ds.x_dense ? &*ds.x_dense : nullptr;
+  ctx.data.y = ds.y;
+  ctx.scale = make_scale_context(ds, model, layout == Layout::kDense);
+  return ctx;
+}
+
+// ---- registry ------------------------------------------------------------
+
+namespace {
+
+int resolved_threads(const EngineSpec& spec, const EngineContext& ctx) {
+  if (spec.arch == Arch::kCpuSeq && !spec.heterogeneous) return 1;
+  return spec.threads > 0 ? spec.threads : ctx.cpu_threads;
+}
+
+SyncCalibration sync_calibration(Calibration c) {
+  switch (c) {
+    case Calibration::kMlp: return SyncCalibration::mlp();
+    case Calibration::kNone: return SyncCalibration::none();
+    case Calibration::kLinear: break;
+  }
+  return SyncCalibration{};
+}
+
+std::unique_ptr<Engine> make_sync(const EngineSpec& spec,
+                                  const EngineContext& ctx) {
+  SyncEngineOptions o;
+  o.arch = spec.arch;
+  o.use_dense = spec.layout == Layout::kDense;
+  o.cpu_threads = resolved_threads(spec, ctx);
+  o.gemm_parallel_threshold = spec.gemm_parallel_threshold;
+  o.calibration = sync_calibration(spec.calibration);
+  o.minibatch = spec.batch;
+  o.pool = ctx.pool;
+  return std::make_unique<SyncEngine>(*ctx.model, ctx.data, ctx.scale, o);
+}
+
+std::unique_ptr<Engine> make_async_cpu(const EngineSpec& spec,
+                                       const EngineContext& ctx) {
+  AsyncCpuOptions o;
+  o.arch = spec.arch;
+  o.threads = resolved_threads(spec, ctx);
+  o.batch = std::max<std::size_t>(spec.batch, 1);
+  o.prefer_dense = spec.layout == Layout::kDense;
+  o.delay_units = spec.delay_units;
+  o.pool = ctx.pool;
+  if (spec.calibration == Calibration::kMlp) {
+    // ViennaCL-driver dispatch calibration for Hogbatch MLP
+    // (EXPERIMENTS.md; paper Table III). Hogbatch propagates updates
+    // after every batch, hence the one-unit window.
+    o.dispatch_us_seq = 21.0;
+    o.dispatch_us_par = 1.3;
+    o.window_units = 1;
+  }
+  return std::make_unique<AsyncCpuEngine>(*ctx.model, ctx.data, ctx.scale,
+                                          o);
+}
+
+std::unique_ptr<Engine> make_async_gpu(const EngineSpec& spec,
+                                       const EngineContext& ctx) {
+  AsyncGpuOptions o;
+  o.batch = std::max<std::size_t>(spec.batch, 1);
+  o.prefer_dense = spec.layout == Layout::kDense;
+  if (spec.calibration == Calibration::kMlp) {
+    // The paper's async-GPU MLP rows are a flat ~10.5 us/example
+    // (driver/launch overhead of the per-batch kernel chains).
+    o.dispatch_us = 10.5;
+  }
+  return std::make_unique<AsyncGpuEngine>(*ctx.model, ctx.data, ctx.scale,
+                                          o);
+}
+
+std::unique_ptr<Engine> make_heterogeneous(const EngineSpec& spec,
+                                           const EngineContext& ctx) {
+  HeterogeneousOptions o;
+  o.use_dense = spec.layout == Layout::kDense;
+  o.cpu_threads = resolved_threads(spec, ctx);
+  o.calibration = sync_calibration(spec.calibration);
+  o.gpu_fraction = spec.gpu_fraction;
+  o.pool = ctx.pool;
+  return std::make_unique<HeterogeneousEngine>(*ctx.model, ctx.data,
+                                               ctx.scale, o);
+}
+
+struct Registration {
+  EngineSpec canonical;
+  EngineFactory factory;
+};
+
+EngineSpec canonical_spec(Update update, Arch arch, bool heterogeneous) {
+  EngineSpec s;
+  s.update = update;
+  s.arch = arch;
+  s.heterogeneous = heterogeneous;
+  return s;
+}
+
+std::map<std::string, Registration>& registry() {
+  static std::map<std::string, Registration> reg = [] {
+    std::map<std::string, Registration> r;
+    auto add = [&r](const EngineSpec& canonical, EngineFactory f) {
+      r[canonical.family()] = {canonical, std::move(f)};
+    };
+    add(canonical_spec(Update::kSync, Arch::kCpuSeq, false), make_sync);
+    add(canonical_spec(Update::kSync, Arch::kCpuPar, false), make_sync);
+    add(canonical_spec(Update::kSync, Arch::kGpu, false), make_sync);
+    add(canonical_spec(Update::kAsync, Arch::kCpuSeq, false),
+        make_async_cpu);
+    add(canonical_spec(Update::kAsync, Arch::kCpuPar, false),
+        make_async_cpu);
+    add(canonical_spec(Update::kAsync, Arch::kGpu, false), make_async_gpu);
+    add(canonical_spec(Update::kSync, Arch::kGpu, true),
+        make_heterogeneous);
+    return r;
+  }();
+  return reg;
+}
+
+}  // namespace
+
+void register_engine(const EngineSpec& canonical, EngineFactory factory) {
+  PARSGD_CHECK(factory != nullptr, "null engine factory for "
+                                       << canonical.family());
+  registry()[canonical.family()] = {canonical, std::move(factory)};
+}
+
+std::vector<EngineSpec> registered_specs() {
+  std::vector<EngineSpec> specs;
+  specs.reserve(registry().size());
+  for (const auto& [family, reg] : registry()) specs.push_back(reg.canonical);
+  return specs;
+}
+
+std::unique_ptr<Engine> make_engine(const EngineSpec& spec,
+                                    const EngineContext& ctx) {
+  PARSGD_CHECK(ctx.model != nullptr && ctx.data.sparse != nullptr,
+               "EngineContext is missing model or training data");
+  PARSGD_CHECK(spec.layout == Layout::kSparse || ctx.data.has_dense(),
+               "spec '" << format_spec(spec)
+                        << "' requires a dense materialization");
+  const auto it = registry().find(spec.family());
+  if (it == registry().end()) {
+    std::string known;
+    for (const auto& [family, reg] : registry()) {
+      if (!known.empty()) known += ", ";
+      known += family;
+    }
+    PARSGD_CHECK(false, "no engine registered for family '"
+                            << spec.family() << "' (registered: " << known
+                            << ")");
+  }
+  return it->second.factory(spec, ctx);
+}
+
+}  // namespace parsgd

@@ -1,0 +1,122 @@
+// EngineSpec — one declarative descriptor for every configuration of the
+// paper's Fig. 1 cube (and the future-work extensions on top of it):
+// update strategy x architecture x data layout x batching x thread count x
+// calibration preset, plus the heterogeneous CPU+GPU split.
+//
+// A spec has a canonical string form, e.g.
+//   async/cpu-par/sparse
+//   sync/gpu/dense:batch=64,calib=mlp
+//   sync/cpu+gpu/dense:phi=0.6
+// and parse_spec/format_spec round-trip: for every spec s obtained from
+// parse_spec, parse_spec(format_spec(s)) == s.
+//
+// make_engine(spec, ctx) constructs the engine through a registry keyed by
+// the spec's family ("sync/cpu-par", "async/gpu", "sync/cpu+gpu", ...), so
+// a new configuration — mini-batch GPU sync, a second heterogeneous
+// schedule — is one register_engine() call, not another if/else arm in
+// every driver (DESIGN.md §10).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "data/dataset.hpp"
+#include "sgd/engine.hpp"
+#include "sgd/timing.hpp"
+
+namespace parsgd {
+
+class ThreadPool;
+
+enum class Layout { kSparse, kDense };
+const char* to_string(Layout l);
+
+/// Calibration presets (EXPERIMENTS.md "calibration"): the empirical
+/// ViennaCL-driver constants layered on the mechanistic cost model.
+///  * kLinear — the LR/SVM Table II/III constants (engine defaults);
+///  * kMlp    — dispatch-fee dominated MLP constants (Fig. 6 / Table III);
+///  * kNone   — raw mechanistic model (ablation benches).
+enum class Calibration { kLinear, kMlp, kNone };
+const char* to_string(Calibration c);
+
+/// Declarative description of one engine configuration. Default-constructed
+/// fields mean "the family's default"; format_spec omits them.
+struct EngineSpec {
+  Update update = Update::kSync;
+  Arch arch = Arch::kCpuSeq;
+  /// Synchronous CPU+GPU split engine (arch reports kGpu, like the engine).
+  bool heterogeneous = false;
+  Layout layout = Layout::kSparse;
+  /// Examples per model update. 0 = family default (sync: one full-batch
+  /// update per epoch; async: incremental Hogwild). >1 = synchronized
+  /// mini-batch (sync) or Hogbatch (async).
+  std::size_t batch = 0;
+  /// Logical threads for parallel-CPU configurations. 0 = take the count
+  /// from EngineContext::cpu_threads; cpu-seq always runs 1.
+  int threads = 0;
+  Calibration calibration = Calibration::kLinear;
+  /// Async gradient-delay override in units (0 = auto; see AsyncSimOptions).
+  std::size_t delay_units = 0;
+  /// ViennaCL GEMM parallelization threshold for sync CPU engines.
+  std::size_t gemm_parallel_threshold = 5000;
+  /// Heterogeneous GPU example share; negative = auto (equalize devices).
+  double gpu_fraction = -1.0;
+
+  /// Registry key: update/arch, e.g. "sync/cpu-par" or "sync/cpu+gpu".
+  std::string family() const;
+
+  bool operator==(const EngineSpec&) const = default;
+};
+
+/// Parses a spec string; throws CheckError with the offending token on
+/// malformed input. try_parse_spec is the non-throwing variant.
+EngineSpec parse_spec(const std::string& text);
+std::optional<EngineSpec> try_parse_spec(const std::string& text);
+
+/// Canonical string form (defaults omitted, options in fixed order).
+std::string format_spec(const EngineSpec& spec);
+
+/// The shared run state every engine is built from: model, training data,
+/// paper-scale extrapolation context, the injected execution thread pool,
+/// and the run seed. Engines keep references into the context — it must
+/// outlive every engine made from it.
+struct EngineContext {
+  const Model* model = nullptr;
+  TrainData data;
+  ScaleContext scale;
+  /// Default logical thread count for parallel-CPU configurations
+  /// (the paper machine's 56); EngineSpec::threads overrides per spec.
+  int cpu_threads = 56;
+  /// Execution pool injected into every CPU consumer (linalg backends,
+  /// pooled batch steps). nullptr = the process-global pool.
+  ThreadPool* pool = nullptr;
+  std::uint64_t seed = 42;
+};
+
+/// Builds the context for a generated dataset: train views, scale context
+/// for `layout`, defaults elsewhere. `ds` and `model` must outlive it.
+EngineContext make_engine_context(const Dataset& ds, const Model& model,
+                                  Layout layout);
+
+/// Constructs an engine for `spec` from `ctx` via the registry. Throws
+/// CheckError for unregistered families and for a dense layout without a
+/// dense materialization.
+std::unique_ptr<Engine> make_engine(const EngineSpec& spec,
+                                    const EngineContext& ctx);
+
+using EngineFactory = std::function<std::unique_ptr<Engine>(
+    const EngineSpec&, const EngineContext&)>;
+
+/// Registers (or replaces) the factory for `canonical.family()`. The
+/// canonical spec is what registered_specs() reports for the family.
+void register_engine(const EngineSpec& canonical, EngineFactory factory);
+
+/// One canonical spec per registered family, sorted by family key. The
+/// built-in registrations cover the full cube:
+///   sync/{cpu-seq,cpu-par,gpu}, async/{cpu-seq,cpu-par,gpu}, sync/cpu+gpu.
+std::vector<EngineSpec> registered_specs();
+
+}  // namespace parsgd

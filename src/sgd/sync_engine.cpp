@@ -12,7 +12,8 @@ namespace parsgd {
 SyncEngine::SyncEngine(const Model& model, const TrainData& data,
                        const ScaleContext& scale,
                        const SyncEngineOptions& opts)
-    : model_(model), data_(data), scale_(scale), opts_(opts) {
+    : model_(model), data_(data), scale_(scale), opts_(opts),
+      traj_backend_(linalg::CpuBackendOptions{.pool = opts.pool}) {
   if (opts_.arch == Arch::kGpu) {
     device_ = std::make_unique<gpusim::Device>(paper_gpu());
   }
@@ -58,6 +59,7 @@ void SyncEngine::instrument(std::span<const real_t> w_sample) {
     linalg::CpuBackendOptions bopts;
     bopts.threads = threads;
     bopts.gemm_parallel_threshold = opts_.gemm_parallel_threshold;
+    bopts.pool = opts_.pool;
     linalg::CpuBackend backend(bopts);
     backend.set_sink(&cost);
     model_.sync_epoch(backend, data_, opts_.use_dense, real_t(0), scratch);
@@ -126,8 +128,10 @@ double SyncEngine::run_epoch(std::span<real_t> w, real_t alpha, Rng& rng) {
       const std::size_t begin = static_cast<std::size_t>(b) *
                                 opts_.minibatch;
       const std::size_t end = std::min(n, begin + opts_.minibatch);
-      model_.batch_step_pooled(ThreadPool::global(), data_, begin, end,
-                               opts_.use_dense, alpha, w, w);
+      ThreadPool& pool =
+          opts_.pool != nullptr ? *opts_.pool : ThreadPool::global();
+      model_.batch_step_pooled(pool, data_, begin, end, opts_.use_dense,
+                               alpha, w, w);
     }
   }
   return secs;

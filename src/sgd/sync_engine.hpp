@@ -76,6 +76,10 @@ struct SyncEngineOptions {
   /// SGD: its sync-MLP epoch counts equal the async cpu-seq (mini-batch)
   /// counts on 4 of 5 datasets, so the sync MLP engine updates per batch.
   std::size_t minibatch = 0;
+  /// Execution pool for the trajectory backend and pooled batch steps;
+  /// nullptr = the process-global pool. Execution-only: results are
+  /// bit-identical for every pool (deterministic reduction grids).
+  ThreadPool* pool = nullptr;
 };
 
 class SyncEngine final : public Engine {
@@ -92,7 +96,7 @@ class SyncEngine final : public Engine {
   const CostBreakdown& last_cost() const override { return cost_paper_; }
 
   /// The modeled seconds per epoch (instrumented lazily; alpha-independent).
-  double epoch_seconds(std::span<const real_t> w_sample);
+  double epoch_seconds(std::span<const real_t> w_sample) override;
 
  private:
   void instrument(std::span<const real_t> w_sample);
