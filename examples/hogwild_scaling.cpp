@@ -6,6 +6,7 @@
 //
 //   ./hogwild_scaling [--dataset=real-sim] [--epochs=15] [--alpha=0.1]
 #include <cstdio>
+#include <exception>
 
 #include "common/cli.hpp"
 #include "common/format.hpp"
@@ -15,7 +16,9 @@
 
 using namespace parsgd;
 
-int main(int argc, char** argv) {
+namespace {
+
+int run(int argc, char** argv) {
   const Cli cli(argc, argv);
   const std::string name = cli.get("dataset", "real-sim");
   const auto epochs = static_cast<std::size_t>(cli.get_int("epochs", 15));
@@ -61,4 +64,15 @@ int main(int argc, char** argv) {
               "data and can fall below 1x on dense low-dimensional "
               "models)\n");
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "hogwild_scaling: fatal: %s\n", e.what());
+    return 1;
+  }
 }

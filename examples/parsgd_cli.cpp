@@ -9,7 +9,9 @@
 // --engine takes a full spec string (see DESIGN.md §10); the legacy
 // --update/--arch pair is still accepted and assembled into a spec.
 #include <cstdio>
+#include <exception>
 #include <memory>
+#include <optional>
 #include <string>
 
 #include "common/cli.hpp"
@@ -18,6 +20,7 @@
 #include "data/mlp_view.hpp"
 #include "models/linear.hpp"
 #include "models/mlp.hpp"
+#include "sgd/checkpoint.hpp"
 #include "sgd/convergence.hpp"
 #include "sgd/spec.hpp"
 
@@ -34,6 +37,8 @@ namespace {
                " --arch=cpu-seq|cpu-par|gpu)\n"
                "       [--alpha=0.1] [--epochs=60] [--threads=56]\n"
                "       [--scale=200] [--seed=42]\n"
+               "       [--watchdog] [--checkpoint=<path>]"
+               " [--resume=<path>]\n"
                "engine spec examples: async/cpu-par/sparse,\n"
                "  sync/gpu/dense:calib=mlp,batch=64,"
                " sync/cpu+gpu/dense:phi=0.6\n",
@@ -41,9 +46,7 @@ namespace {
   std::exit(2);
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
+int run(int argc, char** argv) {
   const Cli cli(argc, argv);
   const std::string task = cli.get("task", "LR");
   const std::string dataset = cli.get("dataset", "covtype");
@@ -112,8 +115,26 @@ int main(int argc, char** argv) {
   TrainOptions t;
   t.max_epochs = epochs;
   t.prefer_dense = spec.layout == Layout::kDense;
+  t.watchdog.enabled = cli.get_bool("watchdog", false);
+  t.checkpoint_path = cli.get("checkpoint", "");
+  std::optional<TrainCheckpoint> ck;
+  const std::string resume_path = cli.get("resume", "");
+  if (!resume_path.empty()) {
+    ck = load_checkpoint(resume_path);
+    t.resume = &*ck;
+    std::printf("  resuming from %s at epoch %zu\n", resume_path.c_str(),
+                ck->next_epoch);
+  }
   const RunResult run = run_training(*engine, *model, ctx.data, w0,
                                      static_cast<real_t>(alpha), t);
+  for (const RecoveryEvent& ev : run.recoveries) {
+    std::printf("  watchdog: recovered at epoch %zu (%s, loss %.4g), "
+                "alpha scale now %g\n",
+                ev.epoch + 1,
+                ev.reason == RecoveryReason::kNonFinite ? "non-finite loss"
+                                                        : "loss spike",
+                ev.bad_loss, ev.alpha_scale_after);
+  }
 
   const ConvergencePoint p1 = convergence_point(run, run.best_loss(), 0.01);
   std::printf("\n  initial loss        : %.4f\n", run.initial_loss);
@@ -126,4 +147,15 @@ int main(int argc, char** argv) {
   std::printf("  time to convergence : %s\n",
               format_seconds(p1.seconds).c_str());
   return run.diverged ? 1 : 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "parsgd_cli: fatal: %s\n", e.what());
+    return 1;
+  }
 }

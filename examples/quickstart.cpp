@@ -5,6 +5,7 @@
 //
 //   ./quickstart [--dataset=w8a] [--threads=56] [--alpha=0.1] [--epochs=30]
 #include <cstdio>
+#include <exception>
 
 #include "common/cli.hpp"
 #include "common/format.hpp"
@@ -15,7 +16,9 @@
 
 using namespace parsgd;
 
-int main(int argc, char** argv) {
+namespace {
+
+int run(int argc, char** argv) {
   const Cli cli(argc, argv);
   const std::string name = cli.get("dataset", "w8a");
   const int threads = static_cast<int>(cli.get_int("threads", 56));
@@ -62,4 +65,15 @@ int main(int argc, char** argv) {
   std::printf("time to convergence : %s\n",
               format_seconds(p.seconds).c_str());
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "quickstart: fatal: %s\n", e.what());
+    return 1;
+  }
 }

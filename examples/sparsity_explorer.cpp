@@ -7,6 +7,7 @@
 //   ./sparsity_explorer [--n=4000] [--d=8192] [--alpha=0.1]
 #include <cmath>
 #include <cstdio>
+#include <exception>
 
 #include "common/cli.hpp"
 #include "common/format.hpp"
@@ -59,9 +60,7 @@ Dataset make_at_sparsity(std::size_t n, std::size_t d, double density,
   return ds;
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
+int run(int argc, char** argv) {
   const Cli cli(argc, argv);
   const auto n = static_cast<std::size_t>(cli.get_int("n", 4000));
   const auto d = static_cast<std::size_t>(cli.get_int("d", 8192));
@@ -108,4 +107,15 @@ int main(int argc, char** argv) {
               "advantage grows as data gets sparser, while Hogwild "
               "conflicts fade away)\n");
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "sparsity_explorer: fatal: %s\n", e.what());
+    return 1;
+  }
 }

@@ -6,6 +6,7 @@
 //
 //   ./text_classifier [--out=/tmp/news_like.svm] [--epochs=20]
 #include <cstdio>
+#include <exception>
 
 #include "common/cli.hpp"
 #include "common/format.hpp"
@@ -16,7 +17,9 @@
 
 using namespace parsgd;
 
-int main(int argc, char** argv) {
+namespace {
+
+int run(int argc, char** argv) {
   const Cli cli(argc, argv);
   const std::string path = cli.get("out", "/tmp/parsgd_news_like.svm");
   const auto epochs = static_cast<std::size_t>(cli.get_int("epochs", 20));
@@ -73,4 +76,15 @@ int main(int argc, char** argv) {
                              static_cast<double>(corpus.x.rows()))
                   .c_str());
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "text_classifier: fatal: %s\n", e.what());
+    return 1;
+  }
 }

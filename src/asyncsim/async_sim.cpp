@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/check.hpp"
+#include "faults/injector.hpp"
 #include "parallel/thread_pool.hpp"
 
 namespace parsgd {
@@ -123,14 +124,15 @@ AsyncSim::AsyncSim(const Model& model, const TrainData& data,
 }
 
 CostBreakdown AsyncSim::run_epoch(std::span<real_t> w, real_t alpha,
-                                  Rng& rng) {
+                                  Rng& rng, FaultInjector* faults) {
   PARSGD_CHECK(w.size() == model_.dim());
-  return snapshot_mode_ ? epoch_snapshot(w, alpha, rng)
-                        : epoch_inplace(w, alpha, rng);
+  if (faults != nullptr && !faults->active()) faults = nullptr;
+  return snapshot_mode_ ? epoch_snapshot(w, alpha, rng, faults)
+                        : epoch_inplace(w, alpha, rng, faults);
 }
 
 CostBreakdown AsyncSim::epoch_inplace(std::span<real_t> w, real_t alpha,
-                                      Rng& rng) {
+                                      Rng& rng, FaultInjector* faults) {
   CostBreakdown cost;
   const std::size_t n = data_.n();
   const std::size_t units = (n + opts_.batch - 1) / opts_.batch;
@@ -140,6 +142,9 @@ CostBreakdown AsyncSim::epoch_inplace(std::span<real_t> w, real_t alpha,
   ConflictWindow window;
   std::vector<index_t> touched;
   std::vector<std::uint32_t> lines_scratch;
+  // Scratch target for dropped updates: the work is computed (and costed)
+  // but the result never reaches the shared model.
+  std::vector<real_t> lost;
   while (!part.exhausted()) {
     window.clear();
     for (int t = 0; t < workers; ++t) {
@@ -148,9 +153,19 @@ CostBreakdown AsyncSim::epoch_inplace(std::span<real_t> w, real_t alpha,
         const std::size_t unit = part.order[t][part.cursor[t]++];
         const std::size_t begin = unit * opts_.batch;
         const std::size_t end = std::min(n, begin + opts_.batch);
+        const bool drop = faults != nullptr && faults->drop_update();
+        if (drop && lost.size() != w.size()) lost.assign(w.size(), 0);
         if (opts_.batch == 1) {
           const ExampleView x = data_.example(begin, opts_.prefer_dense);
-          model_.example_step(x, data_.y[begin], alpha, w, w, &touched);
+          if (drop) {
+            // Additive step into a zero base captures just the update,
+            // which is then discarded.
+            model_.example_step(x, data_.y[begin], alpha, w, lost,
+                                &touched);
+            for (const index_t j : touched) lost[j] = 0;
+          } else {
+            model_.example_step(x, data_.y[begin], alpha, w, w, &touched);
+          }
           touched_lines(touched, lines_scratch);
           for (const std::uint32_t ln : lines_scratch) window.record(t, ln);
           const std::size_t k = x.touched();
@@ -166,7 +181,10 @@ CostBreakdown AsyncSim::epoch_inplace(std::span<real_t> w, real_t alpha,
           ThreadPool& pool =
               opts_.pool != nullptr ? *opts_.pool : ThreadPool::global();
           model_.batch_step_pooled(pool, data_, begin, end,
-                                   opts_.prefer_dense, alpha, w, w);
+                                   opts_.prefer_dense, alpha, w,
+                                   drop ? std::span<real_t>(lost)
+                                        : w);
+          if (drop) std::fill(lost.begin(), lost.end(), real_t(0));
           for (std::size_t i = begin; i < end; ++i) {
             const std::size_t k =
                 data_.example(i, opts_.prefer_dense).touched();
@@ -183,6 +201,7 @@ CostBreakdown AsyncSim::epoch_inplace(std::span<real_t> w, real_t alpha,
             window.record(t, line);
           }
         }
+        if (faults != nullptr) faults->after_update(w);
       }
     }
     if (workers > 1) cost.write_conflicts += window.conflicts();
@@ -191,7 +210,7 @@ CostBreakdown AsyncSim::epoch_inplace(std::span<real_t> w, real_t alpha,
 }
 
 CostBreakdown AsyncSim::epoch_snapshot(std::span<real_t> w, real_t alpha,
-                                       Rng& rng) {
+                                       Rng& rng, FaultInjector* faults) {
   // Delayed-gradient ("perturbed iterate") simulation: units execute in a
   // globally interleaved order; unit i computes its gradient from the
   // model state as of unit i - tau (tau = workers - 1: while one worker
@@ -241,9 +260,13 @@ CostBreakdown AsyncSim::epoch_snapshot(std::span<real_t> w, real_t alpha,
       const std::size_t end = std::min(n, begin + opts_.batch);
 
       // Stale view: the model without the last d units' updates,
-      // d ~ Uniform[0, tau].
-      const std::size_t d_units = static_cast<std::size_t>(
+      // d ~ Uniform[0, tau]. A straggling unit reads an even staler view
+      // (bounded by the deltas the ring still holds).
+      std::size_t d_units = static_cast<std::size_t>(
           rng.uniform_index(std::min(tau, ring_filled) + 1));
+      if (faults != nullptr) {
+        d_units = std::min(d_units + faults->straggle_units(), ring_filled);
+      }
       std::copy(w.begin(), w.end(), view.begin());
       for (std::size_t k = 1; k <= d_units; ++k) {
         const auto& past =
@@ -291,6 +314,12 @@ CostBreakdown AsyncSim::epoch_snapshot(std::span<real_t> w, real_t alpha,
         }
       }
 
+      // A dropped update is computed (and costed) but never applied; the
+      // ring records zeros so no later unit ever sees it.
+      if (faults != nullptr && faults->drop_update()) {
+        std::fill(delta.begin(), delta.end(), real_t(0));
+      }
+
       // Apply immediately and rotate the delay ring.
       if (tau > 0) {
         auto& slot = ring[ring_pos];
@@ -307,6 +336,7 @@ CostBreakdown AsyncSim::epoch_snapshot(std::span<real_t> w, real_t alpha,
           delta[j] = 0;
         }
       }
+      if (faults != nullptr) faults->after_update(w);
 
       // Conflict windows: one per tau+1 consecutive units.
       if (++units_in_window > tau) {

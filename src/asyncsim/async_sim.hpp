@@ -32,6 +32,8 @@
 
 namespace parsgd {
 
+class FaultInjector;
+
 struct AsyncSimOptions {
   int workers = 1;
   /// Units of work (examples, or batches in hogbatch mode) each worker
@@ -63,15 +65,21 @@ class AsyncSim {
            const AsyncSimOptions& opts);
 
   /// Runs one epoch in place on `w`; every example is visited once.
-  /// Returns the work/conflict ledger of the epoch.
-  CostBreakdown run_epoch(std::span<real_t> w, real_t alpha, Rng& rng);
+  /// Returns the work/conflict ledger of the epoch. `faults`, when
+  /// non-null, injects per-unit failures (DESIGN.md §11): dropped updates
+  /// in both modes, extra straggler staleness in snapshot mode (in-place
+  /// Hogwild has no staleness to stretch), and update corruption.
+  CostBreakdown run_epoch(std::span<real_t> w, real_t alpha, Rng& rng,
+                          FaultInjector* faults = nullptr);
 
   /// True if this configuration interleaves through model snapshots.
   bool snapshot_mode() const { return snapshot_mode_; }
 
  private:
-  CostBreakdown epoch_snapshot(std::span<real_t> w, real_t alpha, Rng& rng);
-  CostBreakdown epoch_inplace(std::span<real_t> w, real_t alpha, Rng& rng);
+  CostBreakdown epoch_snapshot(std::span<real_t> w, real_t alpha, Rng& rng,
+                               FaultInjector* faults);
+  CostBreakdown epoch_inplace(std::span<real_t> w, real_t alpha, Rng& rng,
+                              FaultInjector* faults);
 
   const Model& model_;
   const TrainData& data_;

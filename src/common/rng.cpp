@@ -92,4 +92,18 @@ void Rng::shuffle(std::vector<std::size_t>& v) { shuffle_impl(*this, v); }
 
 Rng Rng::fork() { return Rng((*this)()); }
 
+RngState Rng::state() const {
+  RngState st;
+  for (int i = 0; i < 4; ++i) st.s[i] = s_[i];
+  st.spare = spare_;
+  st.has_spare = has_spare_;
+  return st;
+}
+
+void Rng::set_state(const RngState& st) {
+  for (int i = 0; i < 4; ++i) s_[i] = st.s[i];
+  spare_ = st.spare;
+  has_spare_ = st.has_spare;
+}
+
 }  // namespace parsgd

@@ -14,6 +14,17 @@ namespace parsgd {
 /// splitmix64 step — used to expand a single seed into a full state.
 std::uint64_t splitmix64(std::uint64_t& state);
 
+/// The full serializable generator state (xoshiro256** words + the cached
+/// normal() spare), so a run can be checkpointed and resumed bit-identically
+/// (DESIGN.md §11).
+struct RngState {
+  std::uint64_t s[4] = {0, 0, 0, 0};
+  double spare = 0.0;
+  bool has_spare = false;
+
+  bool operator==(const RngState&) const = default;
+};
+
 /// xoshiro256** generator. Satisfies UniformRandomBitGenerator.
 class Rng {
  public:
@@ -44,6 +55,11 @@ class Rng {
 
   /// Derive an independent child generator (for per-thread streams).
   Rng fork();
+
+  /// Snapshot / restore the complete generator state (checkpoint/resume,
+  /// watchdog rollback).
+  RngState state() const;
+  void set_state(const RngState& st);
 
  private:
   std::uint64_t s_[4];

@@ -273,6 +273,11 @@ double Study::optimum(Task task, const std::string& name, Update update) {
     if (!g.sync_run) {
       config_result(task, name, Update::kSync, Arch::kCpuSeq);
     }
+    // A failed search has no usable run (its empty run reports a best
+    // loss of 0, which would poison the reference).
+    if (g.sync_run->failed) {
+      return std::numeric_limits<double>::infinity();
+    }
     return std::min(g.sync_run->optimum, g.sync_run->run.best_loss());
   }
   // Async: every registered async architecture runs distinct semantics;
@@ -286,6 +291,7 @@ double Study::optimum(Task task, const std::string& name, Update update) {
       config_result(task, name, Update::kAsync, s.arch);
     }
     const StepSearchResult& sr = g.async_runs.at(s.arch);
+    if (sr.failed) continue;  // fully-diverged grid: nothing usable
     best = std::min({best, sr.optimum, sr.run.best_loss()});
   }
   return best;

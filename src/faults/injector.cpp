@@ -1,0 +1,113 @@
+#include "faults/injector.hpp"
+
+#include <bit>
+#include <chrono>
+#include <cmath>
+#include <limits>
+#include <thread>
+
+#include "parallel/thread_pool.hpp"
+
+namespace parsgd {
+
+void FaultInjector::install(const FaultPlan& plan, std::uint64_t seed) {
+  plan_ = plan;
+  active_ = plan.any();
+  seed_ = seed;
+  rng_ = Rng(seed);
+  epoch_ = 0;
+  step_ = 0;
+  corrupt_fired_ = false;
+  flip_fired_ = false;
+  crash_fired_ = false;
+  corruptions_ = 0;
+  bitflips_ = 0;
+  dropped_ = 0;
+  stragglers_.store(0);
+}
+
+FaultCounters FaultInjector::counters() const {
+  FaultCounters c;
+  c.corruptions = corruptions_;
+  c.bitflips = bitflips_;
+  c.stragglers = stragglers_.load();
+  c.dropped = dropped_;
+  return c;
+}
+
+void FaultInjector::seek_epoch(std::size_t epoch) { epoch_ = epoch; }
+
+void FaultInjector::begin_epoch(std::span<real_t> w) {
+  if (!active()) return;
+  const std::size_t e = epoch_++;
+  if (!crash_fired_ && e == plan_.crash_epoch) {
+    crash_fired_ = true;
+    throw CrashFault(e);
+  }
+  if (!flip_fired_ && e == plan_.flip_epoch) {
+    flip_fired_ = true;
+    if (plan_.flip_coord < w.size()) {
+      static_assert(sizeof(real_t) == sizeof(std::uint32_t));
+      std::uint32_t bits = std::bit_cast<std::uint32_t>(w[plan_.flip_coord]);
+      bits ^= std::uint32_t{1} << (plan_.flip_bit & 31u);
+      w[plan_.flip_coord] = std::bit_cast<real_t>(bits);
+      ++bitflips_;
+    }
+  }
+}
+
+void FaultInjector::after_updates(std::size_t steps, std::span<real_t> w) {
+  if (!active()) return;
+  const std::size_t before = step_;
+  step_ += steps;
+  if (corrupt_fired_ || plan_.corrupt == FaultPlan::Corrupt::kNone) return;
+  if (before <= plan_.corrupt_step && plan_.corrupt_step < step_) {
+    corrupt_fired_ = true;
+    const real_t bad = plan_.corrupt == FaultPlan::Corrupt::kNan
+                           ? std::numeric_limits<real_t>::quiet_NaN()
+                           : std::numeric_limits<real_t>::infinity();
+    for (real_t& x : w) x = bad;
+    ++corruptions_;
+  }
+}
+
+bool FaultInjector::drop_update() {
+  if (!active() || plan_.drop_prob <= 0) return false;
+  if (!rng_.bernoulli(plan_.drop_prob)) return false;
+  ++dropped_;
+  return true;
+}
+
+std::size_t FaultInjector::straggle_units() {
+  if (!active() || plan_.straggler_prob <= 0) return 0;
+  if (!rng_.bernoulli(plan_.straggler_prob)) return 0;
+  stragglers_.fetch_add(1);
+  return 1 + rng_.uniform_index(plan_.straggler_units);
+}
+
+bool FaultInjector::chunk_straggles(std::size_t chunk) const {
+  if (!active() || plan_.straggler_prob <= 0) return false;
+  std::uint64_t h = seed_ ^ (0x9e3779b97f4a7c15ULL * (chunk + 1));
+  const std::uint64_t r = splitmix64(h);
+  return static_cast<double>(r >> 11) * 0x1.0p-53 < plan_.straggler_prob;
+}
+
+void FaultInjector::chunk_hook(std::size_t chunk) {
+  if (!chunk_straggles(chunk)) return;
+  note_chunk_straggled();
+  std::this_thread::sleep_for(
+      std::chrono::microseconds(50 * plan_.straggler_units));
+}
+
+ChunkHookGuard::ChunkHookGuard(ThreadPool& pool, FaultInjector& faults) {
+  if (!faults.active() || faults.plan().straggler_prob <= 0) return;
+  pool_ = &pool;
+  pool_->set_chunk_hook(
+      [&faults](std::size_t chunk) { faults.chunk_hook(chunk); });
+}
+
+ChunkHookGuard::~ChunkHookGuard() {
+  if (pool_ != nullptr) pool_->set_chunk_hook(nullptr);
+}
+
+}  // namespace parsgd

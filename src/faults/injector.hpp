@@ -1,0 +1,112 @@
+// FaultInjector — executes a FaultPlan against a running engine.
+//
+// One injector lives in every Engine (sgd/engine.hpp); make_engine installs
+// the context/spec plan after construction. Engines call the hooks from
+// their run_epoch paths; every hook is a no-op returning immediately when
+// no plan is installed, so baseline trajectories are bit-identical — the
+// injector owns a private Rng and never draws from the training stream.
+//
+// One-shot events (corruption, bit flip, crash) latch a fired flag, so a
+// watchdog rollback past the fault re-runs the epoch clean — exactly the
+// transient-fault model the recovery machinery is meant to absorb.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <span>
+
+#include "common/rng.hpp"
+#include "faults/fault_plan.hpp"
+#include "matrix/types.hpp"
+
+namespace parsgd {
+
+class ThreadPool;
+
+/// How often each fault class actually fired (visible in tests/CLI).
+struct FaultCounters {
+  std::size_t corruptions = 0;  ///< NaN/Inf update corruptions
+  std::size_t bitflips = 0;     ///< weight bit flips
+  std::size_t stragglers = 0;   ///< straggler delays applied
+  std::size_t dropped = 0;      ///< updates computed then discarded
+};
+
+class FaultInjector {
+ public:
+  /// Installs `plan`; `seed` decorrelates fault draws from the run seed.
+  void install(const FaultPlan& plan, std::uint64_t seed);
+
+  bool active() const { return active_ && !suspended_; }
+  const FaultPlan& plan() const { return plan_; }
+  FaultCounters counters() const;
+
+  /// Temporarily silences every hook (cost-probe epochs must not consume
+  /// one-shot faults or fault-rng draws).
+  void set_suspended(bool on) { suspended_ = on; }
+
+  /// Repositions the epoch clock (run start, rollback, resume). Fired
+  /// one-shot flags stay latched: a fault is transient, not replayed.
+  void seek_epoch(std::size_t epoch);
+
+  /// Epoch-start hook: throws CrashFault at the planned crash epoch and
+  /// applies the one-shot weight bit flip. Advances the epoch clock.
+  void begin_epoch(std::span<real_t> w);
+
+  /// Update-step hooks: advance the run-global step counter by 1 / `steps`
+  /// and, when the counter crosses the planned corruption step, poison all
+  /// of `w` with NaN/Inf (one-shot).
+  void after_update(std::span<real_t> w) { after_updates(1, w); }
+  void after_updates(std::size_t steps, std::span<real_t> w);
+
+  /// True when this update should be computed but discarded (lost update).
+  bool drop_update();
+
+  /// Extra staleness (in units) for the next async unit; 0 = on time.
+  std::size_t straggle_units();
+
+  /// Stateless per-chunk straggler decision for thread-pool hooks: pure
+  /// hash of (seed, chunk), safe from any worker thread. Callers that act
+  /// on it report via note_chunk_straggled().
+  bool chunk_straggles(std::size_t chunk) const;
+  void note_chunk_straggled() { stragglers_.fetch_add(1); }
+
+  /// ThreadPool chunk hook: delays straggling chunks by a real sleep
+  /// (execution-only — pooled reductions are deterministic, so the
+  /// trajectory is unchanged; only wall time and counters move).
+  void chunk_hook(std::size_t chunk);
+
+ private:
+  FaultPlan plan_;
+  bool active_ = false;
+  bool suspended_ = false;
+  Rng rng_{0};
+  std::uint64_t seed_ = 0;
+
+  std::size_t epoch_ = 0;
+  std::size_t step_ = 0;
+  bool corrupt_fired_ = false;
+  bool flip_fired_ = false;
+  bool crash_fired_ = false;
+
+  std::size_t corruptions_ = 0;
+  std::size_t bitflips_ = 0;
+  std::size_t dropped_ = 0;
+  std::atomic<std::size_t> stragglers_{0};  ///< bumped from pool workers
+};
+
+/// RAII installer of the straggler chunk hook on a pool for the duration
+/// of one epoch. A no-op (no hook, no clearing) unless the injector has an
+/// active straggler plan, so baseline epochs never touch the pool.
+class ChunkHookGuard {
+ public:
+  ChunkHookGuard(ThreadPool& pool, FaultInjector& faults);
+  ~ChunkHookGuard();
+
+  ChunkHookGuard(const ChunkHookGuard&) = delete;
+  ChunkHookGuard& operator=(const ChunkHookGuard&) = delete;
+
+ private:
+  ThreadPool* pool_ = nullptr;
+};
+
+}  // namespace parsgd

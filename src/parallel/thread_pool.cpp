@@ -69,6 +69,7 @@ void ThreadPool::drain_chunks() {
     std::size_t lo, hi;
     chunk_range(job_n_, job_chunks_, c, lo, hi);
     try {
+      if (chunk_hook_) chunk_hook_(c);
       (*pf_fn_)(lo, hi);
     } catch (...) {
       record_error();
@@ -183,6 +184,13 @@ void ThreadPool::parallel_for(
 void ThreadPool::run_on_all(const std::function<void(std::size_t)>& fn) {
   publish_job(JobKind::kRunOnAll, nullptr, &fn, 0, 0);
   finish_job();
+}
+
+void ThreadPool::set_chunk_hook(std::function<void(std::size_t)> hook) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  PARSGD_CHECK(!job_live_,
+               "cannot change the chunk hook while a job is live");
+  chunk_hook_ = std::move(hook);
 }
 
 ThreadPool& ThreadPool::global() {

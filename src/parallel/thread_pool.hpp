@@ -58,6 +58,12 @@ class ThreadPool {
   /// Runs fn(worker_index) once on each of size() workers and blocks.
   void run_on_all(const std::function<void(std::size_t)>& fn);
 
+  /// Installs (or clears, with nullptr) a hook invoked with the chunk
+  /// index before every parallel_for chunk body — the fault-injection
+  /// seam for straggling workers (DESIGN.md §11). Must not be called
+  /// while a job is live; the hook must be thread-safe.
+  void set_chunk_hook(std::function<void(std::size_t)> hook);
+
   /// Chunk-per-worker oversubscription factor of parallel_for.
   static constexpr std::size_t kChunksPerWorker = 4;
 
@@ -93,6 +99,9 @@ class ThreadPool {
   std::size_t job_n_ = 0;
   std::size_t job_chunks_ = 0;
   bool job_live_ = false;  ///< reentrancy guard (under mutex_)
+  /// Pre-chunk hook; written under mutex_ while no job is live, read by
+  /// participants that registered for a later generation.
+  std::function<void(std::size_t)> chunk_hook_;
 
   // Hot dispatch state (no locks on the chunk path).
   std::atomic<std::size_t> next_chunk_{0};     ///< FIFO chunk ticket

@@ -1,5 +1,7 @@
 #include "sgd/async_engine.hpp"
 
+#include "parallel/thread_pool.hpp"
+
 namespace parsgd {
 
 namespace {
@@ -30,7 +32,11 @@ std::string AsyncCpuEngine::name() const {
 
 double AsyncCpuEngine::run_epoch(std::span<real_t> w, real_t alpha,
                                  Rng& rng) {
-  const CostBreakdown cost = sim_.run_epoch(w, alpha, rng);
+  faults_.begin_epoch(w);
+  ChunkHookGuard straggle_guard(
+      opts_.pool != nullptr ? *opts_.pool : ThreadPool::global(), faults_);
+  const CostBreakdown cost = sim_.run_epoch(
+      w, alpha, rng, faults_.active() ? &faults_ : nullptr);
   cost_paper_ = cost.scaled(scale_.n_scale);
   const int threads = opts_.arch == Arch::kCpuSeq ? 1 : opts_.threads;
   // Incremental SGD and per-example backprop are scalar pointer-chasing
@@ -47,6 +53,8 @@ AsyncGpuEngine::AsyncGpuEngine(const Model& model, const TrainData& data,
                                const ScaleContext& scale,
                                const AsyncGpuOptions& opts)
     : model_(model), scale_(scale), opts_(opts),
+      n_units_((data.n() + std::max<std::size_t>(opts.batch, 1) - 1) /
+               std::max<std::size_t>(opts.batch, 1)),
       device_(std::make_unique<gpusim::Device>(paper_gpu())) {
   if (opts_.batch > 1 || !model.sparse_updates()) {
     GpuHogbatchOptions h;
@@ -69,8 +77,12 @@ std::string AsyncGpuEngine::name() const {
 
 double AsyncGpuEngine::run_epoch(std::span<real_t> w, real_t alpha,
                                  Rng& rng) {
+  faults_.begin_epoch(w);
   const CostBreakdown cost = hogwild_ ? hogwild_->run_epoch(w, alpha, rng)
                                       : hogbatch_->run_epoch(w, alpha, rng);
+  // The GPU simulators apply updates internally; account for them in bulk
+  // so step-indexed corruption still lands inside the right epoch.
+  faults_.after_updates(n_units_, w);
   cost_paper_ = cost.scaled(scale_.n_scale);
   cost_paper_.kernel_launches = cost.kernel_launches;
   if (opts_.dispatch_us > 0) {

@@ -88,6 +88,7 @@ class AsyncGpuEngine final : public Engine {
   const Model& model_;
   ScaleContext scale_;
   AsyncGpuOptions opts_;
+  std::size_t n_units_ = 0;  ///< model updates (batches) per epoch
   std::unique_ptr<gpusim::Device> device_;
   std::unique_ptr<GpuHogwild> hogwild_;    ///< linear models
   std::unique_ptr<GpuHogbatch> hogbatch_;  ///< MLP

@@ -14,8 +14,13 @@ ConvergencePoint convergence_point(const RunResult& run, double optimal,
   // Loss may be negative-free here (LR/SVM/xent are nonnegative), so the
   // multiplicative threshold of the paper applies directly.
   const double threshold = optimal * (1.0 + fraction) + 1e-12;
+  // A diverged run's final entry is the epoch that blew up (NaN/Inf or a
+  // loss spike); it must never count as convergence, so the scan excludes
+  // the diverged tail.
+  std::size_t usable = run.losses.size();
+  if (run.diverged && usable > 0) --usable;
   double elapsed = 0;
-  for (std::size_t e = 0; e < run.losses.size(); ++e) {
+  for (std::size_t e = 0; e < usable; ++e) {
     elapsed += run.epoch_seconds[e];
     if (run.losses[e] <= threshold) {
       p.epochs = e + 1;

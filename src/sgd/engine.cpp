@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/check.hpp"
+#include "sgd/checkpoint.hpp"
 
 namespace parsgd {
 
@@ -23,7 +24,17 @@ const char* to_string(Update u) {
 double Engine::epoch_seconds(std::span<const real_t> w_sample) {
   std::vector<real_t> scratch(w_sample.begin(), w_sample.end());
   Rng rng(0);
-  return run_epoch(scratch, real_t(0), rng);
+  // A throwaway cost probe must not consume one-shot faults or fault-rng
+  // draws — silence the injector for its duration.
+  faults_.set_suspended(true);
+  try {
+    const double secs = run_epoch(scratch, real_t(0), rng);
+    faults_.set_suspended(false);
+    return secs;
+  } catch (...) {
+    faults_.set_suspended(false);
+    throw;
+  }
 }
 
 double RunResult::best_loss() const {
@@ -45,28 +56,109 @@ RunResult run_training(Engine& engine, const Model& model,
   Rng rng(opts.seed);
 
   RunResult res;
-  res.initial_loss = model.dataset_loss(data, w, opts.prefer_dense);
+  std::size_t start_epoch = 0;
+  double alpha_scale = 1.0;
+  std::size_t recoveries_used = 0;
+
+  if (opts.resume != nullptr) {
+    PARSGD_CHECK(opts.resume->w.size() == model.dim(),
+                 "checkpoint weight count " << opts.resume->w.size()
+                                            << " != model dim "
+                                            << model.dim());
+    w = opts.resume->w;
+    rng.set_state(opts.resume->rng);
+    res = opts.resume->partial;
+    start_epoch = opts.resume->next_epoch;
+    alpha_scale = opts.resume->alpha_scale;
+    recoveries_used = opts.resume->recoveries_used;
+  } else {
+    res.initial_loss = model.dataset_loss(data, w, opts.prefer_dense);
+  }
   res.losses.reserve(opts.max_epochs);
   res.epoch_seconds.reserve(opts.max_epochs);
 
-  for (std::size_t e = 0; e < opts.max_epochs; ++e) {
-    const real_t epoch_alpha =
-        opts.schedule ? static_cast<real_t>(opts.schedule->at(e)) : alpha;
+  engine.fault_injector().seek_epoch(start_epoch);
+
+  // Last known-good state for watchdog rollbacks. Maintained only when the
+  // watchdog is on: with it off, the loop below degenerates to the plain
+  // epoch loop with bit-identical trajectories (alpha_scale stays exactly
+  // 1.0, and multiplying by 1.0 is IEEE-exact).
+  const bool guard = opts.watchdog.enabled;
+  struct Snapshot {
+    std::vector<real_t> w;
+    RngState rng;
+    std::size_t epoch = 0;  ///< next epoch to run after a restore
+    std::size_t n_losses = 0;
+  };
+  Snapshot good;
+  if (guard) {
+    good.w = w;
+    good.rng = rng.state();
+    good.epoch = start_epoch;
+    good.n_losses = res.losses.size();
+  }
+
+  std::size_t e = start_epoch;
+  while (e < opts.max_epochs) {
+    const real_t epoch_alpha = static_cast<real_t>(
+        (opts.schedule ? opts.schedule->at(e) : static_cast<double>(alpha)) *
+        alpha_scale);
     const double secs = engine.run_epoch(w, epoch_alpha, rng);
     const double loss = model.dataset_loss(data, w, opts.prefer_dense);
+
+    const bool nonfinite = !std::isfinite(loss);
+    const bool bad =
+        nonfinite ||
+        loss > opts.divergence_factor * std::max(res.initial_loss, 1e-12);
+
+    if (guard && bad && recoveries_used < opts.watchdog.max_recoveries) {
+      ++recoveries_used;
+      alpha_scale *= opts.watchdog.alpha_backoff;
+      res.recoveries.push_back(
+          {e, loss, alpha_scale,
+           nonfinite ? RecoveryReason::kNonFinite
+                     : RecoveryReason::kLossSpike});
+      w = good.w;
+      rng.set_state(good.rng);
+      res.losses.resize(good.n_losses);
+      res.epoch_seconds.resize(good.n_losses);
+      e = good.epoch;
+      // One-shot faults stay latched: the retried epochs run clean.
+      engine.fault_injector().seek_epoch(e);
+      continue;
+    }
+
     res.losses.push_back(loss);
     res.epoch_seconds.push_back(secs);
-    if (!std::isfinite(loss) ||
-        loss > opts.divergence_factor * std::max(res.initial_loss, 1e-12)) {
+    if (bad) {
       res.diverged = true;
       break;
+    }
+    if (guard) {
+      good.w = w;
+      good.rng = rng.state();
+      good.epoch = e + 1;
+      good.n_losses = res.losses.size();
+    }
+    if (!opts.checkpoint_path.empty() &&
+        (e + 1) % std::max<std::size_t>(opts.checkpoint_every, 1) == 0) {
+      TrainCheckpoint ck;
+      ck.next_epoch = e + 1;
+      ck.alpha_scale = alpha_scale;
+      ck.recoveries_used = recoveries_used;
+      ck.rng = rng.state();
+      ck.w = w;
+      ck.partial = res;
+      save_checkpoint(opts.checkpoint_path, ck);
     }
     if (opts.plateau_window > 0 && res.losses.size() > opts.plateau_window) {
       const double past =
           res.losses[res.losses.size() - 1 - opts.plateau_window];
       if (past - loss < opts.plateau_rtol * std::abs(past)) break;
     }
+    ++e;
   }
+  res.alpha_scale = alpha_scale;
   return res;
 }
 

@@ -14,10 +14,13 @@
 #include <vector>
 
 #include "common/rng.hpp"
+#include "faults/injector.hpp"
 #include "models/model.hpp"
 #include "sgd/schedule.hpp"
 
 namespace parsgd {
+
+struct TrainCheckpoint;
 
 enum class Arch { kCpuSeq, kCpuPar, kGpu };
 enum class Update { kSync, kAsync };
@@ -44,6 +47,32 @@ class Engine {
 
   /// Work/conflict counters of the last epoch (paper-scale).
   virtual const CostBreakdown& last_cost() const = 0;
+
+  /// Installs a fault plan (DESIGN.md §11); make_engine does this from the
+  /// spec/context plan after construction. An empty plan keeps every hook
+  /// a no-op, preserving bit-identical baseline trajectories.
+  void install_faults(const FaultPlan& plan, std::uint64_t seed) {
+    faults_.install(plan, seed);
+  }
+  FaultInjector& fault_injector() { return faults_; }
+  const FaultInjector& fault_injector() const { return faults_; }
+
+ protected:
+  /// Engines call the hooks of this injector from their run_epoch paths.
+  FaultInjector faults_;
+};
+
+/// Why the divergence watchdog rejected an epoch.
+enum class RecoveryReason : std::uint8_t { kNonFinite, kLossSpike };
+
+/// One watchdog rollback: epoch `epoch` produced `bad_loss`, the run was
+/// rolled back to the last good snapshot and continued with the step size
+/// scaled to `alpha_scale_after`.
+struct RecoveryEvent {
+  std::size_t epoch = 0;
+  double bad_loss = 0;
+  double alpha_scale_after = 1.0;
+  RecoveryReason reason = RecoveryReason::kNonFinite;
 };
 
 /// A full training run: per-epoch losses and modeled times.
@@ -52,6 +81,11 @@ struct RunResult {
   std::vector<double> epoch_seconds;  ///< modeled seconds of epoch e
   double initial_loss = 0;
   bool diverged = false;
+  /// Watchdog rollbacks, in order (empty when the watchdog is off or
+  /// never fired).
+  std::vector<RecoveryEvent> recoveries;
+  /// Final step-size scale after watchdog backoffs (1.0 = untouched).
+  double alpha_scale = 1.0;
 
   std::size_t epochs() const { return losses.size(); }
   double total_seconds() const {
@@ -62,6 +96,18 @@ struct RunResult {
   double best_loss() const;
   /// Mean modeled seconds per epoch (the paper's hardware efficiency).
   double seconds_per_epoch() const;
+};
+
+/// Divergence watchdog (DESIGN.md §11). Off by default: run_training is
+/// then bit-identical to the plain loop. When enabled, an epoch whose loss
+/// is non-finite or exceeds the divergence threshold is rolled back to the
+/// last good snapshot (weights + RNG + trajectory) and retried with the
+/// step size scaled by `alpha_backoff`, up to `max_recoveries` times;
+/// every rollback is recorded in RunResult::recoveries.
+struct WatchdogOptions {
+  bool enabled = false;
+  double alpha_backoff = 0.1;
+  std::size_t max_recoveries = 3;
 };
 
 struct TrainOptions {
@@ -78,6 +124,14 @@ struct TrainOptions {
   /// constant alpha passed to run_training (which then seeds nothing).
   /// Must outlive the run. The paper's protocol is a constant step.
   const StepSchedule* schedule = nullptr;
+  WatchdogOptions watchdog;
+  /// When non-empty, a TrainCheckpoint is written (atomically) to this
+  /// path after every `checkpoint_every`-th completed epoch.
+  std::string checkpoint_path;
+  std::size_t checkpoint_every = 1;
+  /// When set, the run continues from this checkpoint instead of from w0,
+  /// bit-identically to the uninterrupted run. Must outlive the call.
+  const TrainCheckpoint* resume = nullptr;
 };
 
 /// Runs `engine` from a copy of `w0`, recording the loss after every

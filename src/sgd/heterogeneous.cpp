@@ -60,10 +60,12 @@ double HeterogeneousEngine::epoch_seconds(std::span<const real_t> w_sample) {
 double HeterogeneousEngine::run_epoch(std::span<real_t> w, real_t alpha,
                                       Rng&) {
   if (!epoch_seconds_) instrument(w);
+  faults_.begin_epoch(w);
   // The combined gradient equals the single-device batch gradient, so the
   // functional trajectory is the plain synchronous epoch.
   traj_cost_.reset();
   model_.sync_epoch(traj_backend_, data_, opts_.use_dense, alpha, w);
+  faults_.after_update(w);
   return *epoch_seconds_;
 }
 

@@ -141,7 +141,11 @@ std::optional<EngineSpec> try_parse_spec(const std::string& text) {
         if (!parse_double(val, &s.gpu_fraction)) return std::nullopt;
         if (s.gpu_fraction < 0 || s.gpu_fraction > 1) return std::nullopt;
       } else {
-        return std::nullopt;
+        switch (parse_fault_key(key, val, &s.faults)) {
+          case FaultKeyParse::kParsed: break;
+          case FaultKeyParse::kNotFault:
+          case FaultKeyParse::kMalformed: return std::nullopt;
+        }
       }
     }
   }
@@ -177,6 +181,9 @@ std::string format_spec(const EngineSpec& spec) {
   }
   if (spec.threads != 0) {
     kv.push_back("threads=" + std::to_string(spec.threads));
+  }
+  for (std::string& frag : format_fault_options(spec.faults)) {
+    kv.push_back(std::move(frag));
   }
   for (std::size_t i = 0; i < kv.size(); ++i) {
     out += (i == 0 ? ':' : ',');
@@ -343,7 +350,13 @@ std::unique_ptr<Engine> make_engine(const EngineSpec& spec,
                             << spec.family() << "' (registered: " << known
                             << ")");
   }
-  return it->second.factory(spec, ctx);
+  std::unique_ptr<Engine> engine = it->second.factory(spec, ctx);
+  // Central fault installation keeps factories and Options structs fault
+  // agnostic; the spec's plan wins over the context default. The xor
+  // decorrelates fault draws from every training stream.
+  const FaultPlan& plan = spec.faults.any() ? spec.faults : ctx.faults;
+  if (plan.any()) engine->install_faults(plan, ctx.seed ^ 0xFA175EEDULL);
+  return engine;
 }
 
 }  // namespace parsgd

@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "data/dataset.hpp"
+#include "faults/fault_plan.hpp"
 #include "sgd/engine.hpp"
 #include "sgd/timing.hpp"
 
@@ -64,6 +65,9 @@ struct EngineSpec {
   std::size_t gemm_parallel_threshold = 5000;
   /// Heterogeneous GPU example share; negative = auto (equalize devices).
   double gpu_fraction = -1.0;
+  /// Injected faults (faults=/straggler=/drop= spec keys, DESIGN.md §11).
+  /// Empty by default; overrides EngineContext::faults when non-empty.
+  FaultPlan faults;
 
   /// Registry key: update/arch, e.g. "sync/cpu-par" or "sync/cpu+gpu".
   std::string family() const;
@@ -94,6 +98,9 @@ struct EngineContext {
   /// pooled batch steps). nullptr = the process-global pool.
   ThreadPool* pool = nullptr;
   std::uint64_t seed = 42;
+  /// Default fault plan installed into every engine made from this context
+  /// (EngineSpec::faults, when non-empty, wins). Empty = no injection.
+  FaultPlan faults;
 };
 
 /// Builds the context for a generated dataset: train views, scale context

@@ -1,6 +1,7 @@
 #include "sgd/stepsize.hpp"
 
 #include <algorithm>
+#include <limits>
 
 #include "common/check.hpp"
 
@@ -21,10 +22,20 @@ StepSearchResult search_step_size(
   for (const double alpha : opts.grid) {
     const RunResult r = make_run(alpha, opts.probe_epochs);
     result.probed.push_back(alpha);
-    if (r.diverged && r.losses.size() <= 2) continue;  // hopeless
+    if (r.diverged && r.losses.size() <= 2) {  // hopeless
+      result.diverged_probes.push_back(alpha);
+      continue;
+    }
     probes.push_back({alpha, r.best_loss()});
   }
-  PARSGD_CHECK(!probes.empty(), "all step sizes diverged immediately");
+  if (probes.empty()) {
+    // Every probe diverged immediately. Report failure instead of
+    // throwing so a sweep over many configurations can continue.
+    result.failed = true;
+    result.run.diverged = true;
+    result.optimum = std::numeric_limits<double>::infinity();
+    return result;
+  }
   std::sort(probes.begin(), probes.end(),
             [](const Probe& a, const Probe& b) { return a.best < b.best; });
   probes.resize(std::min(probes.size(), opts.keep_candidates));

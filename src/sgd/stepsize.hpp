@@ -29,6 +29,13 @@ struct StepSearchResult {
   /// Lowest loss across *all* full-length candidate runs (the
   /// family-level optimum used as the convergence reference).
   double optimum = 0;
+  /// True when every probe diverged immediately: no candidate survived to
+  /// phase 2. `run` is then an empty diverged run, `alpha` is 0 and
+  /// `optimum` is +inf, so a Study sweep can report the configuration
+  /// diverged and move on instead of aborting.
+  bool failed = false;
+  /// Grid values whose probe diverged immediately (subset of `probed`).
+  std::vector<double> diverged_probes;
 };
 
 /// `make_run(alpha, epochs)` must execute a fresh training run. The search

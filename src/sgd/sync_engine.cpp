@@ -107,11 +107,15 @@ double SyncEngine::epoch_seconds(std::span<const real_t> w_sample) {
 
 double SyncEngine::run_epoch(std::span<real_t> w, real_t alpha, Rng& rng) {
   const double secs = epoch_seconds(w);
+  faults_.begin_epoch(w);
+  ChunkHookGuard straggle_guard(
+      opts_.pool != nullptr ? *opts_.pool : ThreadPool::global(), faults_);
   // Functional trajectory: deterministic CPU path, identical for every
   // architecture (synchronous statistical efficiency is arch-independent).
   if (opts_.minibatch == 0) {
     traj_cost_.reset();
     model_.sync_epoch(traj_backend_, data_, opts_.use_dense, alpha, w);
+    faults_.after_update(w);
   } else {
     // Synchronized mini-batch updates, shuffled batch order per epoch.
     // Each batch's heavy per-example work fans out on the process pool;
@@ -125,6 +129,10 @@ double SyncEngine::run_epoch(std::span<real_t> w, real_t alpha, Rng& rng) {
     }
     rng.shuffle(order);
     for (const std::uint32_t b : order) {
+      if (faults_.drop_update()) {
+        faults_.after_update(w);
+        continue;
+      }
       const std::size_t begin = static_cast<std::size_t>(b) *
                                 opts_.minibatch;
       const std::size_t end = std::min(n, begin + opts_.minibatch);
@@ -132,6 +140,7 @@ double SyncEngine::run_epoch(std::span<real_t> w, real_t alpha, Rng& rng) {
           opts_.pool != nullptr ? *opts_.pool : ThreadPool::global();
       model_.batch_step_pooled(pool, data_, begin, end, opts_.use_dense,
                                alpha, w, w);
+      faults_.after_update(w);
     }
   }
   return secs;

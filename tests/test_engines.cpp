@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "data/generator.hpp"
 #include "data/mlp_view.hpp"
 #include "models/linear.hpp"
@@ -238,7 +240,7 @@ TEST(StepSearch, PicksKnownBestAlpha) {
   EXPECT_EQ(res.probed.size(), 4u);
 }
 
-TEST(StepSearch, AllDivergentThrows) {
+TEST(StepSearch, AllDivergentReportsFailure) {
   auto make_run = [](double, std::size_t) {
     RunResult r;
     r.initial_loss = 1;
@@ -248,8 +250,12 @@ TEST(StepSearch, AllDivergentThrows) {
     return r;
   };
   StepSearchOptions opts;
-  opts.grid = {1.0};
-  EXPECT_THROW(search_step_size(make_run, opts), CheckError);
+  opts.grid = {1.0, 10.0};
+  const StepSearchResult res = search_step_size(make_run, opts);
+  EXPECT_TRUE(res.failed);
+  EXPECT_TRUE(res.run.diverged);
+  EXPECT_TRUE(std::isinf(res.optimum));
+  EXPECT_EQ(res.diverged_probes, (std::vector<double>{1.0, 10.0}));
 }
 
 TEST(RunTraining, PlateauStopsEarly) {

@@ -1,0 +1,423 @@
+// Fault injection + resilient training runtime (DESIGN.md §11): the spec
+// fault grammar, the injector hooks, the divergence watchdog, and
+// checkpoint/resume. The load-bearing guarantees tested here:
+//   * an empty plan / disabled watchdog leaves trajectories bit-identical,
+//   * an injected fault is detected at the exact epoch it lands,
+//   * crash + checkpoint + resume reproduces the uninterrupted run exactly,
+//   * a fully-diverged step grid degrades a Study sweep, never aborts it.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <fstream>
+#include <string>
+
+#include "common/check.hpp"
+#include "core/study.hpp"
+#include "data/generator.hpp"
+#include "faults/fault_plan.hpp"
+#include "faults/injector.hpp"
+#include "models/linear.hpp"
+#include "parallel/thread_pool.hpp"
+#include "sgd/checkpoint.hpp"
+#include "sgd/convergence.hpp"
+#include "sgd/spec.hpp"
+
+namespace parsgd {
+namespace {
+
+struct Fixture {
+  Dataset ds;
+  LogisticRegression lr;
+  EngineContext ctx;
+  std::vector<real_t> w0;
+
+  explicit Fixture(const char* name = "w8a", double gen_scale = 500.0)
+      : ds(generate_dataset(name,
+                            GeneratorOptions{.seed = 5, .scale = gen_scale})),
+        lr(ds.d()) {
+    ctx = make_engine_context(ds, lr, Layout::kSparse);
+    w0 = lr.init_params(5);
+  }
+
+  /// One fresh engine per run: fault state and simulator state never leak
+  /// between the runs a test compares.
+  RunResult run(const std::string& spec_text, real_t alpha,
+                const TrainOptions& opts,
+                FaultCounters* counters = nullptr) const {
+    const std::unique_ptr<Engine> engine =
+        make_engine(parse_spec(spec_text), ctx);
+    const RunResult r =
+        run_training(*engine, lr, ctx.data, w0, alpha, opts);
+    if (counters != nullptr) *counters = engine->fault_injector().counters();
+    return r;
+  }
+};
+
+TrainOptions epochs(std::size_t n) {
+  TrainOptions t;
+  t.max_epochs = n;
+  return t;
+}
+
+// ---------------------------------------------------------------- grammar
+
+TEST(FaultSpec, ParsesAllKeys) {
+  const EngineSpec s = parse_spec(
+      "async/cpu-par/sparse:faults=nan@120+crash@9,straggler=0.1@8,"
+      "drop=0.05");
+  EXPECT_EQ(s.faults.corrupt, FaultPlan::Corrupt::kNan);
+  EXPECT_EQ(s.faults.corrupt_step, 120u);
+  EXPECT_EQ(s.faults.crash_epoch, 9u);
+  EXPECT_EQ(s.faults.flip_epoch, FaultPlan::kNever);
+  EXPECT_DOUBLE_EQ(s.faults.straggler_prob, 0.1);
+  EXPECT_EQ(s.faults.straggler_units, 8u);
+  EXPECT_DOUBLE_EQ(s.faults.drop_prob, 0.05);
+  EXPECT_TRUE(s.faults.any());
+}
+
+TEST(FaultSpec, ParsesFlipWithCoordAndBit) {
+  const EngineSpec s =
+      parse_spec("sync/cpu-seq/sparse:faults=flip@3:7:22");
+  EXPECT_EQ(s.faults.flip_epoch, 3u);
+  EXPECT_EQ(s.faults.flip_coord, 7u);
+  EXPECT_EQ(s.faults.flip_bit, 22u);
+}
+
+TEST(FaultSpec, FormatRoundTrips) {
+  for (const char* text : {
+           "async/cpu-par/sparse:faults=nan@120,straggler=0.1",
+           "sync/cpu-seq/sparse:batch=32,faults=crash@5+flip@3:7:22",
+           "async/cpu-seq/sparse:drop=0.25,faults=inf@9,straggler=0.5@2",
+           "async/gpu/sparse:faults=flip@4",
+       }) {
+    const EngineSpec s = parse_spec(text);
+    EXPECT_EQ(parse_spec(format_spec(s)), s) << text << " via "
+                                             << format_spec(s);
+  }
+  // A plan-free spec formats with no fault fragments at all.
+  EXPECT_EQ(format_spec(parse_spec("async/cpu-par/sparse")),
+            "async/cpu-par/sparse");
+}
+
+TEST(FaultSpec, RejectsMalformedPlans) {
+  for (const char* text : {
+           "async/cpu-par/sparse:faults=nan",         // missing @step
+           "async/cpu-par/sparse:faults=nan@x",       // bad step
+           "async/cpu-par/sparse:faults=bogus@3",     // unknown atom
+           "async/cpu-par/sparse:faults=nan@1+inf@2", // two corruptions
+           "async/cpu-par/sparse:faults=flip@2:0:40", // bit >= 32
+           "async/cpu-par/sparse:straggler=1.5",      // prob > 1
+           "async/cpu-par/sparse:straggler=0.1@0",    // zero max delay
+           "async/cpu-par/sparse:drop=-0.1",          // prob < 0
+           "async/cpu-par/sparse:drop=",              // empty value
+       }) {
+    EXPECT_FALSE(try_parse_spec(text).has_value()) << text;
+  }
+}
+
+TEST(FaultSpec, ContextPlanInstalledAndSpecWins) {
+  Fixture f;
+  FaultPlan from_ctx;
+  from_ctx.drop_prob = 0.25;
+  f.ctx.faults = from_ctx;
+  const std::unique_ptr<Engine> inherited =
+      make_engine(parse_spec("async/cpu-seq/sparse"), f.ctx);
+  EXPECT_EQ(inherited->fault_injector().plan(), from_ctx);
+  // A non-empty spec plan overrides the context plan entirely.
+  const std::unique_ptr<Engine> overridden =
+      make_engine(parse_spec("async/cpu-seq/sparse:drop=0.5"), f.ctx);
+  EXPECT_DOUBLE_EQ(overridden->fault_injector().plan().drop_prob, 0.5);
+}
+
+// -------------------------------------------------------------- injection
+
+TEST(FaultInjection, NanCorruptionDivergesAtExactEpoch) {
+  Fixture f;
+  // Full-batch sync: exactly one model update per epoch, so update step 3
+  // is epoch index 3.
+  FaultCounters c;
+  const RunResult r = f.run("sync/cpu-seq/sparse:faults=nan@3", real_t(0.5),
+                            epochs(10), &c);
+  EXPECT_TRUE(r.diverged);
+  ASSERT_EQ(r.losses.size(), 4u);
+  EXPECT_TRUE(std::isfinite(r.losses[2]));
+  EXPECT_TRUE(std::isnan(r.losses[3]));
+  EXPECT_EQ(c.corruptions, 1u);
+  EXPECT_TRUE(r.recoveries.empty());
+  // The diverged tail never counts as convergence, whatever the target.
+  EXPECT_FALSE(convergence_point(r, 0.0, 1e9).reached);
+}
+
+TEST(FaultInjection, BitFlipDivergesUnguarded) {
+  // covtype: dense rows, so the flipped coordinate 0 is live in every
+  // example and the exponent-bit flip (~1e38) must blow the loss up.
+  Fixture f("covtype");
+  FaultCounters c;
+  const RunResult r = f.run("sync/cpu-seq/sparse:faults=flip@2",
+                            real_t(0.5), epochs(10), &c);
+  EXPECT_TRUE(r.diverged);
+  ASSERT_EQ(r.losses.size(), 3u);
+  EXPECT_TRUE(std::isfinite(r.losses[1]));
+  EXPECT_EQ(c.bitflips, 1u);
+}
+
+TEST(FaultInjection, DropPerturbsTrajectoryAndCounts) {
+  Fixture f;
+  FaultCounters c;
+  const RunResult base = f.run("async/cpu-par/sparse", real_t(0.1),
+                               epochs(5));
+  const RunResult dropped = f.run("async/cpu-par/sparse:drop=0.4",
+                                  real_t(0.1), epochs(5), &c);
+  EXPECT_GT(c.dropped, 0u);
+  EXPECT_FALSE(dropped.diverged);
+  EXPECT_NE(dropped.losses, base.losses);
+}
+
+TEST(FaultInjection, StragglerAddsStalenessInDelayedGradientMode) {
+  Fixture f;
+  FaultCounters c;
+  const RunResult base = f.run("async/cpu-par/sparse:delay=4", real_t(0.1),
+                               epochs(5));
+  const RunResult straggled =
+      f.run("async/cpu-par/sparse:delay=4,straggler=0.9@6", real_t(0.1),
+            epochs(5), &c);
+  EXPECT_GT(c.stragglers, 0u);
+  EXPECT_FALSE(straggled.diverged);
+  EXPECT_NE(straggled.losses, base.losses);
+}
+
+TEST(FaultInjection, SyncStragglerIsExecutionOnly) {
+  // Straggling thread-pool chunks delay execution but must not change the
+  // deterministic pooled reductions: same losses, counters moved. An
+  // explicit multi-worker pool and a >=256 batch force the pooled path
+  // even on a single-core host.
+  Fixture f("w8a", 100.0);
+  ThreadPool pool(4);
+  f.ctx.pool = &pool;
+  FaultCounters c;
+  const RunResult base =
+      f.run("sync/cpu-par/sparse:batch=256", real_t(0.5), epochs(3));
+  const RunResult straggled = f.run(
+      "sync/cpu-par/sparse:batch=256,straggler=1", real_t(0.5), epochs(3),
+      &c);
+  EXPECT_EQ(straggled.losses, base.losses);
+  EXPECT_EQ(straggled.epoch_seconds, base.epoch_seconds);
+  EXPECT_GT(c.stragglers, 0u);
+}
+
+TEST(ThreadPoolHook, RunsBeforeEveryChunkAndClears) {
+  ThreadPool pool(4);
+  std::atomic<std::size_t> hooked{0};
+  std::atomic<std::size_t> done{0};
+  pool.set_chunk_hook([&](std::size_t) { hooked.fetch_add(1); });
+  pool.parallel_for(1000, [&](std::size_t lo, std::size_t hi) {
+    done.fetch_add(hi - lo);
+  });
+  EXPECT_EQ(done.load(), 1000u);
+  const std::size_t seen = hooked.load();
+  EXPECT_GT(seen, 0u);
+  pool.set_chunk_hook(nullptr);
+  pool.parallel_for(1000, [](std::size_t, std::size_t) {});
+  EXPECT_EQ(hooked.load(), seen);  // cleared hook never fires again
+}
+
+// --------------------------------------------------------------- watchdog
+
+TEST(Watchdog, OffByDefaultAndNoOpWithoutFaults) {
+  Fixture f;
+  TrainOptions off = epochs(8);
+  TrainOptions on = epochs(8);
+  on.watchdog.enabled = true;
+  const RunResult r_off = f.run("async/cpu-par/sparse", real_t(0.1), off);
+  const RunResult r_on = f.run("async/cpu-par/sparse", real_t(0.1), on);
+  // Guardrails on + no faults: bit-identical trajectory, zero recoveries.
+  EXPECT_EQ(r_on.losses, r_off.losses);
+  EXPECT_EQ(r_on.epoch_seconds, r_off.epoch_seconds);
+  EXPECT_TRUE(r_on.recoveries.empty());
+  EXPECT_DOUBLE_EQ(r_on.alpha_scale, 1.0);
+}
+
+TEST(Watchdog, RecoversFromNanCorruption) {
+  Fixture f;
+  TrainOptions t = epochs(10);
+  t.watchdog.enabled = true;
+  const RunResult base =
+      f.run("sync/cpu-seq/sparse", real_t(0.5), epochs(10));
+  const RunResult r =
+      f.run("sync/cpu-seq/sparse:faults=nan@3", real_t(0.5), t);
+  EXPECT_FALSE(r.diverged);
+  ASSERT_EQ(r.losses.size(), 10u);
+  for (const double l : r.losses) EXPECT_TRUE(std::isfinite(l));
+  ASSERT_EQ(r.recoveries.size(), 1u);
+  EXPECT_EQ(r.recoveries[0].epoch, 3u);
+  EXPECT_EQ(r.recoveries[0].reason, RecoveryReason::kNonFinite);
+  EXPECT_TRUE(std::isnan(r.recoveries[0].bad_loss));
+  EXPECT_DOUBLE_EQ(r.recoveries[0].alpha_scale_after, 0.1);
+  EXPECT_DOUBLE_EQ(r.alpha_scale, 0.1);
+  // Pre-fault prefix is untouched (the scale is still exactly 1.0 there);
+  // the retried tail runs at alpha/10 and departs from the baseline.
+  EXPECT_EQ(std::vector<double>(r.losses.begin(), r.losses.begin() + 3),
+            std::vector<double>(base.losses.begin(),
+                                base.losses.begin() + 3));
+  EXPECT_NE(r.losses[3], base.losses[3]);
+}
+
+TEST(Watchdog, RecoversFromBitFlip) {
+  Fixture f("covtype");
+  TrainOptions t = epochs(8);
+  t.watchdog.enabled = true;
+  const RunResult r =
+      f.run("sync/cpu-seq/sparse:faults=flip@2", real_t(0.5), t);
+  EXPECT_FALSE(r.diverged);
+  ASSERT_EQ(r.losses.size(), 8u);
+  ASSERT_EQ(r.recoveries.size(), 1u);
+  EXPECT_EQ(r.recoveries[0].epoch, 2u);
+}
+
+TEST(Watchdog, BudgetExhaustedStillReportsDivergence) {
+  // A persistently-diverging step size: the watchdog spends its budget,
+  // then the run is reported diverged exactly like the unguarded loop.
+  Fixture f("covtype");
+  TrainOptions t = epochs(20);
+  t.watchdog.enabled = true;
+  t.watchdog.max_recoveries = 2;
+  const RunResult r =
+      f.run("sync/cpu-seq/sparse", real_t(1e12), t);
+  EXPECT_TRUE(r.diverged);
+  EXPECT_EQ(r.recoveries.size(), 2u);
+  EXPECT_DOUBLE_EQ(r.alpha_scale, 0.01);
+}
+
+// ----------------------------------------------------- checkpoint/resume
+
+TEST(Checkpoint, SaveLoadRoundTrip) {
+  TrainCheckpoint ck;
+  ck.next_epoch = 7;
+  ck.alpha_scale = 0.01;
+  ck.recoveries_used = 2;
+  Rng rng(123);
+  (void)rng.normal();  // populate the Box-Muller spare
+  ck.rng = rng.state();
+  ck.w = {real_t(1.5), real_t(-2.25), real_t(0)};
+  ck.partial.initial_loss = 3.5;
+  ck.partial.losses = {3.0, 2.5};
+  ck.partial.epoch_seconds = {0.5, 0.25};
+  ck.partial.alpha_scale = 0.1;
+  ck.partial.recoveries.push_back(
+      {4, 1e9, 0.1, RecoveryReason::kLossSpike});
+
+  const std::string path = testing::TempDir() + "/parsgd_ck_roundtrip.bin";
+  save_checkpoint(path, ck);
+  const TrainCheckpoint back = load_checkpoint(path);
+  EXPECT_EQ(back.next_epoch, ck.next_epoch);
+  EXPECT_EQ(back.alpha_scale, ck.alpha_scale);
+  EXPECT_EQ(back.recoveries_used, ck.recoveries_used);
+  EXPECT_EQ(back.rng, ck.rng);
+  EXPECT_EQ(back.w, ck.w);
+  EXPECT_EQ(back.partial.initial_loss, ck.partial.initial_loss);
+  EXPECT_EQ(back.partial.losses, ck.partial.losses);
+  EXPECT_EQ(back.partial.epoch_seconds, ck.partial.epoch_seconds);
+  EXPECT_EQ(back.partial.diverged, ck.partial.diverged);
+  EXPECT_EQ(back.partial.alpha_scale, ck.partial.alpha_scale);
+  ASSERT_EQ(back.partial.recoveries.size(), 1u);
+  EXPECT_EQ(back.partial.recoveries[0].epoch, 4u);
+  EXPECT_EQ(back.partial.recoveries[0].bad_loss, 1e9);
+  EXPECT_EQ(back.partial.recoveries[0].alpha_scale_after, 0.1);
+  EXPECT_EQ(back.partial.recoveries[0].reason, RecoveryReason::kLossSpike);
+}
+
+TEST(Checkpoint, LoadRejectsMissingAndCorruptFiles) {
+  EXPECT_THROW(load_checkpoint("/nonexistent/parsgd/ck.bin"), CheckError);
+  const std::string path = testing::TempDir() + "/parsgd_ck_corrupt.bin";
+  std::ofstream(path, std::ios::binary) << "not a checkpoint";
+  EXPECT_THROW(load_checkpoint(path), CheckError);
+}
+
+void expect_crash_resume_bit_identical(const Fixture& f,
+                                       const std::string& spec,
+                                       const std::string& crash_spec,
+                                       const std::string& tag) {
+  const real_t alpha = real_t(0.1);
+  const RunResult base = f.run(spec, alpha, epochs(10));
+
+  const std::string ckpath = testing::TempDir() + "/parsgd_ck_" + tag;
+  TrainOptions crashing = epochs(10);
+  crashing.checkpoint_path = ckpath;
+  EXPECT_THROW(f.run(crash_spec, alpha, crashing), CrashFault);
+
+  const TrainCheckpoint ck = load_checkpoint(ckpath);
+  EXPECT_EQ(ck.next_epoch, 6u);
+  EXPECT_EQ(ck.partial.losses,
+            std::vector<double>(base.losses.begin(),
+                                base.losses.begin() + 6));
+
+  TrainOptions resuming = epochs(10);
+  resuming.resume = &ck;
+  const RunResult resumed = f.run(spec, alpha, resuming);
+  EXPECT_EQ(resumed.losses, base.losses);
+  EXPECT_EQ(resumed.epoch_seconds, base.epoch_seconds);
+  EXPECT_EQ(resumed.initial_loss, base.initial_loss);
+  EXPECT_FALSE(resumed.diverged);
+}
+
+TEST(Checkpoint, CrashAndResumeBitIdenticalSyncMiniBatch) {
+  Fixture f;
+  expect_crash_resume_bit_identical(
+      f, "sync/cpu-seq/sparse:batch=32",
+      "sync/cpu-seq/sparse:batch=32,faults=crash@6", "sync.bin");
+}
+
+TEST(Checkpoint, CrashAndResumeBitIdenticalAsyncCpu) {
+  Fixture f;
+  expect_crash_resume_bit_identical(
+      f, "async/cpu-par/sparse",
+      "async/cpu-par/sparse:faults=crash@6", "async.bin");
+}
+
+// ----------------------------------------------- divergence bookkeeping
+
+TEST(Convergence, DivergedTailNeverConverges) {
+  RunResult r;
+  r.initial_loss = 30;
+  r.losses = {30, 19};
+  r.epoch_seconds = {1, 1};
+  r.diverged = true;
+  // The final entry (19, under the 19.8 threshold) is the blow-up epoch;
+  // it must be excluded from the scan.
+  EXPECT_FALSE(convergence_point(r, 18.0, 0.1).reached);
+  RunResult ok = r;
+  ok.diverged = false;
+  const ConvergencePoint p = convergence_point(ok, 18.0, 0.1);
+  EXPECT_TRUE(p.reached);
+  EXPECT_EQ(p.epochs, 2u);
+}
+
+TEST(Study, SweepSurvivesFullyDivergedStepGrid) {
+  // covtype: dense, noisy, not linearly separable, so the absurd step
+  // size genuinely diverges (a tiny separable set can instead be *fit*
+  // by huge perceptron-like steps). The scale keeps the dataset larger
+  // than one GPU Hogwild round (13*16 warps * 32 lanes = 6656 examples):
+  // a smaller epoch never flushes the round buffer, freezing the GPU
+  // trajectory instead of diverging it.
+  StudyOptions o;
+  o.scale = 80.0;
+  o.cpu_threads = 4;
+  o.step_grid = {1e9};  // every probe of every configuration diverges
+  o.probe_epochs = 3;
+  o.full_epochs_linear = 5;
+  o.full_epochs_linear_sync = 5;
+  Study study(o);
+  const ConfigResult sync_res = study.config_result(
+      Task::kLr, "covtype", Update::kSync, Arch::kCpuSeq);
+  EXPECT_TRUE(sync_res.diverged);
+  for (const ConvergencePoint& p : sync_res.ttc) EXPECT_FALSE(p.reached);
+  const ConfigResult async_res = study.config_result(
+      Task::kLr, "covtype", Update::kAsync, Arch::kCpuPar);
+  EXPECT_TRUE(async_res.diverged);
+  // The shared optimum degrades to +inf instead of poisoning references.
+  EXPECT_TRUE(std::isinf(study.optimum(Task::kLr, "covtype")));
+}
+
+}  // namespace
+}  // namespace parsgd

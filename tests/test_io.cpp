@@ -61,6 +61,49 @@ TEST(LibsvmIo, ZeroIndexThrows) {
   EXPECT_THROW(read_libsvm(in), CheckError);
 }
 
+// A corpus of malformed lines, one failure mode each. Every error must be
+// a CheckError whose message carries the 1-based line number so a user can
+// find the offending record in a multi-gigabyte file.
+TEST(LibsvmIo, MalformedLinesThrowWithLineNumber) {
+  const struct {
+    const char* text;
+    const char* why;
+  } corpus[] = {
+      {"+1 1:1\n+1 1x:2\n", "non-numeric index"},
+      {"+1 1:1\n+1 -3:2\n", "negative index"},
+      {"+1 1:1\n+1 0:2\n", "zero (1-based) index"},
+      {"+1 1:1\n+1 2:3.5x\n", "trailing garbage in value"},
+      {"+1 1:1\n+1 2:\n", "empty value"},
+      {"+1 1:1\n+1 :2\n", "empty index"},
+      {"+1 1:1\nmaybe 1:1\n", "non-numeric label"},
+      {"+1 1:1\n7 1:1\n", "unsupported label value"},
+      {"+1 1:1\n+1 2:inf\n", "non-finite value"},
+      {"+1 1:1\n+1 99999999999:1\n", "index overflows index_t"},
+  };
+  for (const auto& c : corpus) {
+    std::istringstream in(c.text);
+    try {
+      read_libsvm(in);
+      FAIL() << "expected CheckError for " << c.why;
+    } catch (const CheckError& e) {
+      // The bad record is always line 2 of the corpus entry.
+      EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos)
+          << c.why << ": " << e.what();
+    }
+  }
+}
+
+TEST(LibsvmIo, LineNumberCountsCommentsAndBlanks) {
+  std::istringstream in("# header\n\n+1 1:1\n+1 bad\n");
+  try {
+    read_libsvm(in);
+    FAIL() << "expected CheckError";
+  } catch (const CheckError& e) {
+    EXPECT_NE(std::string(e.what()).find("line 4"), std::string::npos)
+        << e.what();
+  }
+}
+
 TEST(LibsvmIo, EmptyRowAllowed) {
   std::istringstream in("+1\n-1 1:1\n");
   const LabeledCsr data = read_libsvm(in);
