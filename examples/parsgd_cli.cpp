@@ -10,12 +10,14 @@
 // --update/--arch pair is still accepted and assembled into a spec.
 #include <cstdio>
 #include <exception>
+#include <fstream>
 #include <memory>
 #include <optional>
 #include <string>
 
 #include "common/cli.hpp"
 #include "common/format.hpp"
+#include "core/export.hpp"
 #include "data/generator.hpp"
 #include "data/mlp_view.hpp"
 #include "models/linear.hpp"
@@ -23,6 +25,7 @@
 #include "sgd/checkpoint.hpp"
 #include "sgd/convergence.hpp"
 #include "sgd/spec.hpp"
+#include "telemetry/session.hpp"
 
 using namespace parsgd;
 
@@ -39,11 +42,26 @@ namespace {
                "       [--scale=200] [--seed=42]\n"
                "       [--watchdog] [--checkpoint=<path>]"
                " [--resume=<path>]\n"
+               "       [--telemetry=off|metrics|trace]"
+               " [--trace-out=trace.json]\n"
+               "       [--metrics-out=metrics.csv] [--prom-out=<path>]"
+               " [--verbose]\n"
                "engine spec examples: async/cpu-par/sparse,\n"
                "  sync/gpu/dense:calib=mlp,batch=64,"
                " sync/cpu+gpu/dense:phi=0.6\n",
                msg);
   std::exit(2);
+}
+
+/// Writes a telemetry artifact via `fn`; dies loudly on an unwritable
+/// path rather than silently dropping the run's data.
+template <class Fn>
+void write_file(const std::string& path, const char* what, Fn&& fn) {
+  std::ofstream os(path);
+  if (!os) usage(("cannot open output file for " + std::string(what) +
+                  ": " + path).c_str());
+  fn(os);
+  std::printf("  wrote %s to %s\n", what, path.c_str());
 }
 
 int run(int argc, char** argv) {
@@ -54,6 +72,8 @@ int run(int argc, char** argv) {
   const double alpha = cli.get_double("alpha", 0.1);
   const auto epochs = static_cast<std::size_t>(cli.get_int("epochs", 60));
   const int threads = static_cast<int>(cli.get_int("threads", 56));
+  const bool verbose = cli.get_bool("verbose", false);
+  const std::string telemetry_arg = cli.get("telemetry", "");
 
   if (task != "LR" && task != "SVM" && task != "MLP") {
     usage("unknown --task");
@@ -78,8 +98,12 @@ int run(int argc, char** argv) {
   // the dispatch-fee calibration with B=64 batches).
   EngineSpec spec;
   if (!engine_arg.empty()) {
-    const std::optional<EngineSpec> parsed = try_parse_spec(engine_arg);
-    if (!parsed) usage("malformed --engine spec");
+    std::string spec_error;
+    const std::optional<EngineSpec> parsed =
+        try_parse_spec(engine_arg, &spec_error);
+    if (!parsed) {
+      usage(("malformed --engine spec: " + spec_error).c_str());
+    }
     spec = *parsed;
   } else {
     const std::string update = cli.get("update", "async");
@@ -101,10 +125,31 @@ int run(int argc, char** argv) {
     usage("dense layout requested but the dataset has no dense "
           "materialization");
   }
+  // --telemetry overrides a telemetry= key in the spec string.
+  if (!telemetry_arg.empty()) {
+    const std::optional<telemetry::TelemetryMode> mode =
+        telemetry::parse_telemetry_mode(telemetry_arg);
+    if (!mode) {
+      usage(("unknown --telemetry mode '" + telemetry_arg +
+             "' (expected off, metrics or trace)").c_str());
+    }
+    spec.telemetry = *mode;
+  }
+  if (verbose) {
+    // Grammar round-trip: reparse what we print — a mismatch here means
+    // the spec grammar lost information.
+    std::printf("spec round-trip: %s\n",
+                format_spec(parse_spec(format_spec(spec))).c_str());
+  }
 
   EngineContext ctx = make_engine_context(ds, *model, spec.layout);
   ctx.cpu_threads = threads;
   ctx.seed = gen.seed;
+  std::shared_ptr<telemetry::TelemetrySession> session;
+  if (spec.telemetry != telemetry::TelemetryMode::kOff) {
+    session = std::make_shared<telemetry::TelemetrySession>(spec.telemetry);
+    ctx.telemetry = session;
+  }
   const auto w0 = model->init_params(gen.seed ^ 0xabcdef);
   const std::unique_ptr<Engine> engine = make_engine(spec, ctx);
 
@@ -134,6 +179,29 @@ int run(int argc, char** argv) {
                 ev.reason == RecoveryReason::kNonFinite ? "non-finite loss"
                                                         : "loss spike",
                 ev.bad_loss, ev.alpha_scale_after);
+  }
+
+  if (session != nullptr) {
+    const std::string metrics_out = cli.get("metrics-out", "metrics.csv");
+    write_file(metrics_out, "metrics CSV", [&](std::ostream& os) {
+      write_metrics_csv(os, session->metrics().snapshot());
+    });
+    const std::string prom_out = cli.get("prom-out", "");
+    if (!prom_out.empty()) {
+      write_file(prom_out, "Prometheus metrics", [&](std::ostream& os) {
+        write_metrics_prometheus(os, session->metrics().snapshot());
+      });
+    }
+    if (session->trace_enabled()) {
+      const std::string trace_out = cli.get("trace-out", "trace.json");
+      write_file(trace_out, "Chrome trace", [&](std::ostream& os) {
+        write_chrome_trace(os, *session);
+      });
+      if (session->trace().dropped() > 0) {
+        std::printf("  (trace buffer full: %zu events dropped)\n",
+                    static_cast<std::size_t>(session->trace().dropped()));
+      }
+    }
   }
 
   const ConvergencePoint p1 = convergence_point(run, run.best_loss(), 0.01);

@@ -124,11 +124,23 @@ AsyncSim::AsyncSim(const Model& model, const TrainData& data,
 }
 
 CostBreakdown AsyncSim::run_epoch(std::span<real_t> w, real_t alpha,
-                                  Rng& rng, FaultInjector* faults) {
+                                  Rng& rng, FaultInjector* faults,
+                                  telemetry::TelemetrySession* telemetry) {
   PARSGD_CHECK(w.size() == model_.dim());
   if (faults != nullptr && !faults->active()) faults = nullptr;
-  return snapshot_mode_ ? epoch_snapshot(w, alpha, rng, faults)
-                        : epoch_inplace(w, alpha, rng, faults);
+  last_stale_units_ = 0;
+  const CostBreakdown cost = snapshot_mode_
+                                 ? epoch_snapshot(w, alpha, rng, faults)
+                                 : epoch_inplace(w, alpha, rng, faults);
+  if (telemetry != nullptr && telemetry->metrics_enabled()) {
+    telemetry::MetricsRegistry& reg = telemetry->metrics();
+    const std::size_t units =
+        (data_.n() + opts_.batch - 1) / opts_.batch;
+    reg.counter("async.updates").add(static_cast<double>(units));
+    reg.counter("async.stale_units").add(last_stale_units_);
+    reg.counter("async.write_conflicts").add(cost.write_conflicts);
+  }
+  return cost;
 }
 
 CostBreakdown AsyncSim::epoch_inplace(std::span<real_t> w, real_t alpha,
@@ -267,6 +279,7 @@ CostBreakdown AsyncSim::epoch_snapshot(std::span<real_t> w, real_t alpha,
       if (faults != nullptr) {
         d_units = std::min(d_units + faults->straggle_units(), ring_filled);
       }
+      last_stale_units_ += static_cast<double>(d_units);
       std::copy(w.begin(), w.end(), view.begin());
       for (std::size_t k = 1; k <= d_units; ++k) {
         const auto& past =

@@ -29,6 +29,7 @@
 #include "common/rng.hpp"
 #include "hwmodel/cost.hpp"
 #include "models/model.hpp"
+#include "telemetry/session.hpp"
 
 namespace parsgd {
 
@@ -69,8 +70,13 @@ class AsyncSim {
   /// non-null, injects per-unit failures (DESIGN.md §11): dropped updates
   /// in both modes, extra straggler staleness in snapshot mode (in-place
   /// Hogwild has no staleness to stretch), and update corruption.
+  /// `telemetry`, when non-null with metrics on, accumulates the epoch's
+  /// async.updates / async.stale_units / async.write_conflicts counters
+  /// (recorded once per epoch from the ledger — no hot-loop cost, and
+  /// the trajectory is untouched).
   CostBreakdown run_epoch(std::span<real_t> w, real_t alpha, Rng& rng,
-                          FaultInjector* faults = nullptr);
+                          FaultInjector* faults = nullptr,
+                          telemetry::TelemetrySession* telemetry = nullptr);
 
   /// True if this configuration interleaves through model snapshots.
   bool snapshot_mode() const { return snapshot_mode_; }
@@ -85,6 +91,9 @@ class AsyncSim {
   const TrainData& data_;
   AsyncSimOptions opts_;
   bool snapshot_mode_;
+  /// Sum of actual per-unit delays of the last epoch (snapshot mode);
+  /// run_epoch folds it into async.stale_units.
+  double last_stale_units_ = 0;
 };
 
 /// Cache-line id of a model coordinate (64 B lines of real_t).

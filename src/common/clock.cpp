@@ -1,0 +1,28 @@
+#include "common/clock.hpp"
+
+#include <chrono>
+
+namespace parsgd {
+
+namespace {
+
+std::chrono::steady_clock::time_point process_epoch() {
+  // Magic-static: the first caller (from any thread) pins the epoch.
+  static const std::chrono::steady_clock::time_point epoch =
+      std::chrono::steady_clock::now();
+  return epoch;
+}
+
+}  // namespace
+
+std::uint64_t monotonic_ns() {
+  const auto d = std::chrono::steady_clock::now() - process_epoch();
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(d).count());
+}
+
+double monotonic_seconds() {
+  return static_cast<double>(monotonic_ns()) * 1e-9;
+}
+
+}  // namespace parsgd

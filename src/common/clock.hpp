@@ -1,0 +1,18 @@
+// Process-wide monotonic time base shared by the logger and the telemetry
+// trace recorder (DESIGN.md §12): both report nanoseconds since the same
+// steady-clock epoch (fixed at the first call in the process), so a
+// `t=+1.2345s` log line lands at ts=1.2345e6 us on the trace timeline.
+#pragma once
+
+#include <cstdint>
+
+namespace parsgd {
+
+/// Nanoseconds elapsed since the process monotonic epoch. Thread-safe;
+/// the epoch is latched by whichever call happens first.
+std::uint64_t monotonic_ns();
+
+/// Same instant as seconds (logger formatting).
+double monotonic_seconds();
+
+}  // namespace parsgd

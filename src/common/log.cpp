@@ -4,6 +4,8 @@
 #include <cstdio>
 #include <mutex>
 
+#include "common/clock.hpp"
+
 namespace parsgd {
 
 namespace {
@@ -26,8 +28,12 @@ LogLevel log_level() { return g_level.load(); }
 
 void log_line(LogLevel level, const std::string& msg) {
   if (static_cast<int>(level) < static_cast<int>(g_level.load())) return;
+  // Same steady-clock epoch as the telemetry trace (common/clock.hpp), so
+  // log timestamps line up with trace.json timestamps.
+  const double t = monotonic_seconds();
   std::lock_guard<std::mutex> lock(g_mutex);
-  std::fprintf(stderr, "[parsgd %s] %s\n", tag(level), msg.c_str());
+  std::fprintf(stderr, "[parsgd %s t=+%.4fs] %s\n", tag(level), t,
+               msg.c_str());
 }
 
 }  // namespace parsgd

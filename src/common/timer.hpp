@@ -1,7 +1,8 @@
-// Wall-clock timing helper (steady clock).
+// Wall-clock timing helpers (steady clock).
 #pragma once
 
 #include <chrono>
+#include <cstdint>
 
 namespace parsgd {
 
@@ -20,9 +21,34 @@ class Timer {
 
   double millis() const { return seconds() * 1e3; }
 
+  /// Integer nanoseconds elapsed — the telemetry resolution (histogram
+  /// samples and trace spans are recorded in ns).
+  std::uint64_t ns() const {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(clock::now() -
+                                                             start_)
+            .count());
+  }
+
  private:
   using clock = std::chrono::steady_clock;
   clock::time_point start_;
+};
+
+/// Writes the elapsed seconds of its scope into `*out` on destruction.
+/// Measure a block without try/catch bookkeeping:
+///   double secs = 0;
+///   { ScopedTimer t(&secs); work(); }
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(double* out) : out_(out) {}
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+  ~ScopedTimer() { *out_ = timer_.seconds(); }
+
+ private:
+  double* out_;
+  Timer timer_;
 };
 
 }  // namespace parsgd

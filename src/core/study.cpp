@@ -138,6 +138,7 @@ Study::Group& Study::group(Task task, const std::string& name) {
   g->ctx.cpu_threads = opts_.cpu_threads;
   g->ctx.pool = opts_.pool;
   g->ctx.seed = opts_.seed;
+  g->ctx.telemetry = opts_.telemetry;
 
   it = groups_.emplace(key, std::move(g)).first;
   return *it->second;

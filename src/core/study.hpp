@@ -39,6 +39,10 @@ struct StudyOptions {
   /// EngineContext); nullptr = the process-global pool. Execution-only:
   /// trajectories are bit-identical for every pool.
   ThreadPool* pool = nullptr;
+  /// Telemetry session injected into every engine the study builds (via
+  /// EngineContext) so all configurations report into one registry /
+  /// trace; null = telemetry off (DESIGN.md §12).
+  std::shared_ptr<telemetry::TelemetrySession> telemetry;
   std::size_t probe_epochs = 25;
   std::size_t keep_candidates = 3;
   /// Full-run epoch caps. Synchronous (batch-GD) trajectories converge

@@ -26,6 +26,25 @@ void FaultInjector::install(const FaultPlan& plan, std::uint64_t seed) {
   stragglers_.store(0);
 }
 
+void FaultInjector::set_telemetry(telemetry::TelemetrySession* session) {
+  if (session != nullptr && session->metrics_enabled()) {
+    telemetry::MetricsRegistry& reg = session->metrics();
+    c_crashes_ = &reg.counter("faults.crashes");
+    c_bitflips_ = &reg.counter("faults.bitflips");
+    c_corruptions_ = &reg.counter("faults.corruptions");
+    c_dropped_ = &reg.counter("faults.dropped");
+    c_stragglers_ = &reg.counter("faults.stragglers");
+    trace_ = session->trace_enabled() ? &session->trace() : nullptr;
+  } else {
+    c_crashes_ = nullptr;
+    c_bitflips_ = nullptr;
+    c_corruptions_ = nullptr;
+    c_dropped_ = nullptr;
+    c_stragglers_ = nullptr;
+    trace_ = nullptr;
+  }
+}
+
 FaultCounters FaultInjector::counters() const {
   FaultCounters c;
   c.corruptions = corruptions_;
@@ -42,6 +61,10 @@ void FaultInjector::begin_epoch(std::span<real_t> w) {
   const std::size_t e = epoch_++;
   if (!crash_fired_ && e == plan_.crash_epoch) {
     crash_fired_ = true;
+    if (c_crashes_ != nullptr) c_crashes_->inc();
+    if (trace_ != nullptr) {
+      trace_->instant("fault.crash", {{"epoch", static_cast<double>(e)}});
+    }
     throw CrashFault(e);
   }
   if (!flip_fired_ && e == plan_.flip_epoch) {
@@ -52,6 +75,12 @@ void FaultInjector::begin_epoch(std::span<real_t> w) {
       bits ^= std::uint32_t{1} << (plan_.flip_bit & 31u);
       w[plan_.flip_coord] = std::bit_cast<real_t>(bits);
       ++bitflips_;
+      if (c_bitflips_ != nullptr) c_bitflips_->inc();
+      if (trace_ != nullptr) {
+        trace_->instant("fault.bitflip",
+                        {{"epoch", static_cast<double>(e)},
+                         {"coord", static_cast<double>(plan_.flip_coord)}});
+      }
     }
   }
 }
@@ -68,6 +97,11 @@ void FaultInjector::after_updates(std::size_t steps, std::span<real_t> w) {
                            : std::numeric_limits<real_t>::infinity();
     for (real_t& x : w) x = bad;
     ++corruptions_;
+    if (c_corruptions_ != nullptr) c_corruptions_->inc();
+    if (trace_ != nullptr) {
+      trace_->instant("fault.corrupt",
+                      {{"step", static_cast<double>(plan_.corrupt_step)}});
+    }
   }
 }
 
@@ -75,6 +109,7 @@ bool FaultInjector::drop_update() {
   if (!active() || plan_.drop_prob <= 0) return false;
   if (!rng_.bernoulli(plan_.drop_prob)) return false;
   ++dropped_;
+  if (c_dropped_ != nullptr) c_dropped_->inc();
   return true;
 }
 
@@ -82,6 +117,7 @@ std::size_t FaultInjector::straggle_units() {
   if (!active() || plan_.straggler_prob <= 0) return 0;
   if (!rng_.bernoulli(plan_.straggler_prob)) return 0;
   stragglers_.fetch_add(1);
+  if (c_stragglers_ != nullptr) c_stragglers_->inc();
   return 1 + rng_.uniform_index(plan_.straggler_units);
 }
 
@@ -95,6 +131,11 @@ bool FaultInjector::chunk_straggles(std::size_t chunk) const {
 void FaultInjector::chunk_hook(std::size_t chunk) {
   if (!chunk_straggles(chunk)) return;
   note_chunk_straggled();
+  if (c_stragglers_ != nullptr) c_stragglers_->inc();
+  if (trace_ != nullptr) {
+    trace_->instant("fault.straggle",
+                    {{"chunk", static_cast<double>(chunk)}});
+  }
   std::this_thread::sleep_for(
       std::chrono::microseconds(50 * plan_.straggler_units));
 }

@@ -18,6 +18,7 @@
 #include "common/rng.hpp"
 #include "faults/fault_plan.hpp"
 #include "matrix/types.hpp"
+#include "telemetry/session.hpp"
 
 namespace parsgd {
 
@@ -43,6 +44,12 @@ class FaultInjector {
   /// Temporarily silences every hook (cost-probe epochs must not consume
   /// one-shot faults or fault-rng draws).
   void set_suspended(bool on) { suspended_ = on; }
+
+  /// Mirrors every fault firing into `faults.*` counters and (in trace
+  /// mode) instant events, so injections are visible on the same timeline
+  /// as the work they perturb. Null detaches. Engine::set_telemetry
+  /// forwards here; the session must outlive the injector's hooks.
+  void set_telemetry(telemetry::TelemetrySession* session);
 
   /// Repositions the epoch clock (run start, rollback, resume). Fired
   /// one-shot flags stay latched: a fault is transient, not replayed.
@@ -92,6 +99,16 @@ class FaultInjector {
   std::size_t bitflips_ = 0;
   std::size_t dropped_ = 0;
   std::atomic<std::size_t> stragglers_{0};  ///< bumped from pool workers
+
+  /// Telemetry mirror, cached on set_telemetry (called while no epoch is
+  /// running; pool workers see the write via the chunk-hook install's
+  /// mutex). Null when detached.
+  telemetry::TraceRecorder* trace_ = nullptr;
+  telemetry::Counter* c_crashes_ = nullptr;
+  telemetry::Counter* c_bitflips_ = nullptr;
+  telemetry::Counter* c_corruptions_ = nullptr;
+  telemetry::Counter* c_dropped_ = nullptr;
+  telemetry::Counter* c_stragglers_ = nullptr;
 };
 
 /// RAII installer of the straggler chunk hook on a pool for the duration

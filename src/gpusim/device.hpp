@@ -16,6 +16,7 @@
 #include "common/check.hpp"
 #include "gpusim/stats.hpp"
 #include "hwmodel/spec.hpp"
+#include "telemetry/session.hpp"
 
 namespace parsgd::gpusim {
 
@@ -44,8 +45,46 @@ class Device {
     return allocated_ + bytes <= spec_.global_bytes;
   }
 
-  void record_kernel(const KernelStats& s) { totals_ += s; }
+  void record_kernel(const KernelStats& s) {
+    totals_ += s;
+    // Telemetry mirror (per launch, a handful of relaxed adds): the
+    // simulated execution-pathology counters of DESIGN.md §12, which
+    // survive the engines' own reset_stats() bookkeeping.
+    if (c_mem_transactions_ != nullptr) {
+      c_launches_->add(s.launches);
+      c_mem_transactions_->add(s.mem_transactions);
+      c_mem_bytes_->add(s.mem_bytes);
+      c_bank_conflicts_->add(s.bank_conflict_replays);
+      c_atomic_ops_->add(s.atomic_ops);
+      c_atomic_conflicts_->add(s.atomic_conflicts);
+      c_divergence_->add(s.divergence_waste);
+    }
+  }
   void record_transfer(std::size_t bytes) { transfer_bytes_ += bytes; }
+
+  /// Mirrors every record_kernel into `gpu.*` counters (null detaches).
+  /// Unlike totals(), the mirror is never reset, so sampled-epoch
+  /// simulators that reset_stats() internally still report.
+  void set_telemetry(telemetry::TelemetrySession* session) {
+    if (session != nullptr && session->metrics_enabled()) {
+      telemetry::MetricsRegistry& reg = session->metrics();
+      c_launches_ = &reg.counter("gpu.kernel_launches");
+      c_mem_transactions_ = &reg.counter("gpu.mem_transactions");
+      c_mem_bytes_ = &reg.counter("gpu.mem_bytes");
+      c_bank_conflicts_ = &reg.counter("gpu.bank_conflict_replays");
+      c_atomic_ops_ = &reg.counter("gpu.atomic_ops");
+      c_atomic_conflicts_ = &reg.counter("gpu.atomic_conflicts");
+      c_divergence_ = &reg.counter("gpu.divergence_waste");
+    } else {
+      c_launches_ = nullptr;
+      c_mem_transactions_ = nullptr;
+      c_mem_bytes_ = nullptr;
+      c_bank_conflicts_ = nullptr;
+      c_atomic_ops_ = nullptr;
+      c_atomic_conflicts_ = nullptr;
+      c_divergence_ = nullptr;
+    }
+  }
 
   /// Aggregate stats since construction / last reset_stats().
   const KernelStats& totals() const { return totals_; }
@@ -68,6 +107,14 @@ class Device {
   std::size_t allocated_ = 0;
   std::size_t transfer_bytes_ = 0;
   KernelStats totals_;
+  /// Telemetry mirror handles (set_telemetry); null when detached.
+  telemetry::Counter* c_launches_ = nullptr;
+  telemetry::Counter* c_mem_transactions_ = nullptr;
+  telemetry::Counter* c_mem_bytes_ = nullptr;
+  telemetry::Counter* c_bank_conflicts_ = nullptr;
+  telemetry::Counter* c_atomic_ops_ = nullptr;
+  telemetry::Counter* c_atomic_conflicts_ = nullptr;
+  telemetry::Counter* c_divergence_ = nullptr;
 };
 
 /// Typed global-memory buffer. RAII over the device allocation ledger.

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/check.hpp"
+#include "common/clock.hpp"
 
 namespace parsgd {
 
@@ -62,6 +63,7 @@ void ThreadPool::drain_chunks() {
   // cache lines are touched earliest and failures reference predictable
   // ranges. A chunk that throws does not stop the remaining chunks (the
   // original queue semantics).
+  std::size_t local_chunks = 0;
   for (;;) {
     const std::size_t c =
         next_chunk_.fetch_add(1, std::memory_order_relaxed);
@@ -70,11 +72,28 @@ void ThreadPool::drain_chunks() {
     chunk_range(job_n_, job_chunks_, c, lo, hi);
     try {
       if (chunk_hook_) chunk_hook_(c);
-      (*pf_fn_)(lo, hi);
+      if (trace_chunks_) {
+        telemetry::TraceSpan span(&telemetry_->trace(), "chunk");
+        span.arg("chunk", static_cast<double>(c));
+        span.arg("n", static_cast<double>(hi - lo));
+        (*pf_fn_)(lo, hi);
+      } else {
+        (*pf_fn_)(lo, hi);
+      }
     } catch (...) {
       record_error();
     }
+    ++local_chunks;
     remaining_.fetch_sub(1, std::memory_order_acq_rel);
+  }
+  if (local_chunks > 0 && m_chunks_ != nullptr) {
+    m_chunks_->add(static_cast<double>(local_chunks));
+    job_participants_.fetch_add(1, std::memory_order_relaxed);
+    std::size_t cur = job_max_chunks_.load(std::memory_order_relaxed);
+    while (local_chunks > cur &&
+           !job_max_chunks_.compare_exchange_weak(
+               cur, local_chunks, std::memory_order_relaxed)) {
+    }
   }
 }
 
@@ -92,6 +111,11 @@ void ThreadPool::worker_loop(std::size_t index) {
     JobKind kind;
     {
       std::unique_lock<std::mutex> lock(mutex_);
+      if (m_parks_ != nullptr &&
+          !stop_.load(std::memory_order_relaxed) &&
+          generation_.load(std::memory_order_relaxed) == seen) {
+        m_parks_->inc();  // the spin missed; this wait will block
+      }
       cv_.wait(lock, [&] {
         return stop_.load(std::memory_order_relaxed) ||
                generation_.load(std::memory_order_relaxed) != seen;
@@ -107,6 +131,11 @@ void ThreadPool::worker_loop(std::size_t index) {
       // touch dispatch state a future job is about to reset.
       if (!job_live_) continue;
       kind = kind_;
+      if (m_queue_wait_ != nullptr) {
+        m_wakeups_->inc();
+        m_queue_wait_->record(
+            static_cast<double>(monotonic_ns() - job_publish_ns_));
+      }
       active_workers_.fetch_add(1, std::memory_order_relaxed);
     }
     if (kind == JobKind::kParallelFor) {
@@ -142,6 +171,12 @@ void ThreadPool::publish_job(
     job_n_ = n;
     job_chunks_ = chunks;
     first_error_ = nullptr;
+    if (m_jobs_ != nullptr) {
+      m_jobs_->inc();
+      job_publish_ns_ = monotonic_ns();
+      job_max_chunks_.store(0, std::memory_order_relaxed);
+      job_participants_.store(0, std::memory_order_relaxed);
+    }
     next_chunk_.store(0, std::memory_order_relaxed);
     remaining_.store(kind == JobKind::kParallelFor ? chunks
                                                    : workers_.size(),
@@ -163,6 +198,20 @@ void ThreadPool::finish_job() {
     job_live_ = false;
     err = first_error_;
     first_error_ = nullptr;
+    if (m_imbalance_ != nullptr && kind_ == JobKind::kParallelFor &&
+        job_chunks_ > 0) {
+      // max chunks drained by one participant / fair share; 1.0 means a
+      // perfectly even steal, large values mean one straggling lane did
+      // most of the work.
+      const auto parts = static_cast<double>(
+          job_participants_.load(std::memory_order_relaxed));
+      const auto maxc = static_cast<double>(
+          job_max_chunks_.load(std::memory_order_relaxed));
+      if (parts > 0) {
+        m_imbalance_->set(maxc * parts /
+                          static_cast<double>(job_chunks_));
+      }
+    }
   }
   if (err) std::rethrow_exception(err);
 }
@@ -191,6 +240,31 @@ void ThreadPool::set_chunk_hook(std::function<void(std::size_t)> hook) {
   PARSGD_CHECK(!job_live_,
                "cannot change the chunk hook while a job is live");
   chunk_hook_ = std::move(hook);
+}
+
+void ThreadPool::set_telemetry(telemetry::TelemetrySession* session) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  PARSGD_CHECK(!job_live_,
+               "cannot change the telemetry session while a job is live");
+  telemetry_ = session;
+  if (session != nullptr && session->metrics_enabled()) {
+    telemetry::MetricsRegistry& reg = session->metrics();
+    m_jobs_ = &reg.counter("pool.jobs");
+    m_chunks_ = &reg.counter("pool.chunks");
+    m_parks_ = &reg.counter("pool.parks");
+    m_wakeups_ = &reg.counter("pool.wakeups");
+    m_queue_wait_ = &reg.histogram("pool.queue_wait_ns");
+    m_imbalance_ = &reg.gauge("pool.chunk_imbalance");
+    trace_chunks_ = session->trace_enabled();
+  } else {
+    m_jobs_ = nullptr;
+    m_chunks_ = nullptr;
+    m_parks_ = nullptr;
+    m_wakeups_ = nullptr;
+    m_queue_wait_ = nullptr;
+    m_imbalance_ = nullptr;
+    trace_chunks_ = false;
+  }
 }
 
 ThreadPool& ThreadPool::global() {

@@ -33,6 +33,8 @@
 #include <thread>
 #include <vector>
 
+#include "telemetry/session.hpp"
+
 namespace parsgd {
 
 /// A fixed pool of worker threads executing closures.
@@ -63,6 +65,16 @@ class ThreadPool {
   /// seam for straggling workers (DESIGN.md §11). Must not be called
   /// while a job is live; the hook must be thread-safe.
   void set_chunk_hook(std::function<void(std::size_t)> hook);
+
+  /// Attaches (or detaches, with nullptr) a telemetry session. The pool
+  /// then feeds `pool.*` instruments — jobs/chunks counters, queue-wait
+  /// dispatch-latency histogram, park/wakeup counters, per-job chunk
+  /// imbalance gauge — and, in trace mode, a span per chunk on the
+  /// executing worker's lane. Same discipline as set_chunk_hook: must
+  /// not be called while a job is live; the session must outlive its
+  /// attachment. Detached (the default) costs one untaken branch per
+  /// chunk.
+  void set_telemetry(telemetry::TelemetrySession* session);
 
   /// Chunk-per-worker oversubscription factor of parallel_for.
   static constexpr std::size_t kChunksPerWorker = 4;
@@ -103,6 +115,23 @@ class ThreadPool {
   /// participants that registered for a later generation.
   std::function<void(std::size_t)> chunk_hook_;
 
+  // Telemetry handles, cached on set_telemetry so the hot path never
+  // touches the registry. Written under mutex_ while no job is live
+  // (same happens-before argument as chunk_hook_); null when detached.
+  telemetry::TelemetrySession* telemetry_ = nullptr;
+  telemetry::Counter* m_jobs_ = nullptr;
+  telemetry::Counter* m_chunks_ = nullptr;
+  telemetry::Counter* m_parks_ = nullptr;
+  telemetry::Counter* m_wakeups_ = nullptr;
+  telemetry::Histogram* m_queue_wait_ = nullptr;
+  telemetry::Gauge* m_imbalance_ = nullptr;
+  bool trace_chunks_ = false;
+  std::uint64_t job_publish_ns_ = 0;  ///< under mutex_
+  // Per-job load-balance tallies (participants CAS/add after their drain
+  // loop; finish_job reads them after the active_workers_ handshake).
+  std::atomic<std::size_t> job_max_chunks_{0};
+  std::atomic<std::size_t> job_participants_{0};
+
   // Hot dispatch state (no locks on the chunk path).
   std::atomic<std::size_t> next_chunk_{0};     ///< FIFO chunk ticket
   std::atomic<std::size_t> remaining_{0};      ///< chunks (or workers) left
@@ -114,6 +143,23 @@ class ThreadPool {
   std::condition_variable cv_;       ///< workers wait for a new generation
   std::condition_variable done_cv_;  ///< publisher waits for completion
   std::exception_ptr first_error_;   ///< under mutex_
+};
+
+/// Scoped attachment of a telemetry session to a pool: attaches on
+/// construction, detaches on destruction, so a pool that outlives the
+/// session (e.g. ThreadPool::global()) never holds a dangling pointer.
+class PoolTelemetryGuard {
+ public:
+  PoolTelemetryGuard(ThreadPool& pool, telemetry::TelemetrySession* session)
+      : pool_(pool) {
+    pool_.set_telemetry(session);
+  }
+  ~PoolTelemetryGuard() { pool_.set_telemetry(nullptr); }
+  PoolTelemetryGuard(const PoolTelemetryGuard&) = delete;
+  PoolTelemetryGuard& operator=(const PoolTelemetryGuard&) = delete;
+
+ private:
+  ThreadPool& pool_;
 };
 
 }  // namespace parsgd

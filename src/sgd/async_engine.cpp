@@ -1,5 +1,7 @@
 #include "sgd/async_engine.hpp"
 
+#include <optional>
+
 #include "parallel/thread_pool.hpp"
 
 namespace parsgd {
@@ -33,10 +35,14 @@ std::string AsyncCpuEngine::name() const {
 double AsyncCpuEngine::run_epoch(std::span<real_t> w, real_t alpha,
                                  Rng& rng) {
   faults_.begin_epoch(w);
-  ChunkHookGuard straggle_guard(
-      opts_.pool != nullptr ? *opts_.pool : ThreadPool::global(), faults_);
-  const CostBreakdown cost = sim_.run_epoch(
-      w, alpha, rng, faults_.active() ? &faults_ : nullptr);
+  ThreadPool& epoch_pool =
+      opts_.pool != nullptr ? *opts_.pool : ThreadPool::global();
+  ChunkHookGuard straggle_guard(epoch_pool, faults_);
+  std::optional<PoolTelemetryGuard> tel_guard;
+  if (telemetry_ != nullptr) tel_guard.emplace(epoch_pool, telemetry_.get());
+  const CostBreakdown cost =
+      sim_.run_epoch(w, alpha, rng, faults_.active() ? &faults_ : nullptr,
+                     telemetry_.get());
   cost_paper_ = cost.scaled(scale_.n_scale);
   const int threads = opts_.arch == Arch::kCpuSeq ? 1 : opts_.threads;
   // Incremental SGD and per-example backprop are scalar pointer-chasing
@@ -71,6 +77,12 @@ AsyncGpuEngine::AsyncGpuEngine(const Model& model, const TrainData& data,
 
 AsyncGpuEngine::~AsyncGpuEngine() = default;
 
+void AsyncGpuEngine::set_telemetry(
+    std::shared_ptr<telemetry::TelemetrySession> s) {
+  Engine::set_telemetry(std::move(s));
+  device_->set_telemetry(telemetry_.get());
+}
+
 std::string AsyncGpuEngine::name() const {
   return hogwild_ ? "async/gpu/hogwild" : "async/gpu/hogbatch";
 }
@@ -83,6 +95,11 @@ double AsyncGpuEngine::run_epoch(std::span<real_t> w, real_t alpha,
   // The GPU simulators apply updates internally; account for them in bulk
   // so step-indexed corruption still lands inside the right epoch.
   faults_.after_updates(n_units_, w);
+  if (telemetry_ != nullptr && telemetry_->metrics_enabled()) {
+    telemetry::MetricsRegistry& reg = telemetry_->metrics();
+    reg.counter("async.updates").add(static_cast<double>(n_units_));
+    reg.counter("async.write_conflicts").add(cost.write_conflicts);
+  }
   cost_paper_ = cost.scaled(scale_.n_scale);
   cost_paper_.kernel_launches = cost.kernel_launches;
   if (opts_.dispatch_us > 0) {

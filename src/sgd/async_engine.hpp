@@ -84,6 +84,10 @@ class AsyncGpuEngine final : public Engine {
   double run_epoch(std::span<real_t> w, real_t alpha, Rng& rng) override;
   const CostBreakdown& last_cost() const override { return cost_paper_; }
 
+  /// Also mirrors the simulated GPU's kernel counters.
+  void set_telemetry(
+      std::shared_ptr<telemetry::TelemetrySession> s) override;
+
  private:
   const Model& model_;
   ScaleContext scale_;

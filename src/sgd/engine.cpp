@@ -98,13 +98,24 @@ RunResult run_training(Engine& engine, const Model& model,
     good.n_losses = res.losses.size();
   }
 
+  telemetry::TelemetrySession* tel = engine.telemetry();
+
   std::size_t e = start_epoch;
   while (e < opts.max_epochs) {
     const real_t epoch_alpha = static_cast<real_t>(
         (opts.schedule ? opts.schedule->at(e) : static_cast<double>(alpha)) *
         alpha_scale);
-    const double secs = engine.run_epoch(w, epoch_alpha, rng);
-    const double loss = model.dataset_loss(data, w, opts.prefer_dense);
+    double secs, loss;
+    {
+      // One span per epoch (run + loss evaluation), annotated with the
+      // loss and the *modeled* epoch seconds — wall time is the span.
+      PARSGD_TRACE_SPAN(span, tel, "epoch");
+      span.arg("epoch", static_cast<double>(e));
+      secs = engine.run_epoch(w, epoch_alpha, rng);
+      loss = model.dataset_loss(data, w, opts.prefer_dense);
+      span.arg("loss", loss);
+      span.arg("modeled_s", secs);
+    }
 
     const bool nonfinite = !std::isfinite(loss);
     const bool bad =
@@ -114,6 +125,15 @@ RunResult run_training(Engine& engine, const Model& model,
     if (guard && bad && recoveries_used < opts.watchdog.max_recoveries) {
       ++recoveries_used;
       alpha_scale *= opts.watchdog.alpha_backoff;
+      if (tel != nullptr && tel->metrics_enabled()) {
+        tel->metrics().counter("watchdog.recoveries").inc();
+        if (tel->trace_enabled()) {
+          tel->trace().instant("watchdog.rollback",
+                               {{"epoch", static_cast<double>(e)},
+                                {"bad_loss", loss},
+                                {"alpha_scale", alpha_scale}});
+        }
+      }
       res.recoveries.push_back(
           {e, loss, alpha_scale,
            nonfinite ? RecoveryReason::kNonFinite

@@ -17,6 +17,7 @@
 #include "faults/injector.hpp"
 #include "models/model.hpp"
 #include "sgd/schedule.hpp"
+#include "telemetry/session.hpp"
 
 namespace parsgd {
 
@@ -57,9 +58,22 @@ class Engine {
   FaultInjector& fault_injector() { return faults_; }
   const FaultInjector& fault_injector() const { return faults_; }
 
+  /// Attaches a telemetry session (DESIGN.md §12); make_engine does this
+  /// after construction. Null detaches. The injector shares the session,
+  /// so fault firings show up as trace instants / counters too. With no
+  /// session (the default) every instrumented path is one untaken branch
+  /// and trajectories are bit-identical to an uninstrumented build.
+  virtual void set_telemetry(std::shared_ptr<telemetry::TelemetrySession> s) {
+    telemetry_ = std::move(s);
+    faults_.set_telemetry(telemetry_.get());
+  }
+  telemetry::TelemetrySession* telemetry() const { return telemetry_.get(); }
+
  protected:
   /// Engines call the hooks of this injector from their run_epoch paths.
   FaultInjector faults_;
+  /// Shared with EngineContext (or standalone); null when telemetry=off.
+  std::shared_ptr<telemetry::TelemetrySession> telemetry_;
 };
 
 /// Why the divergence watchdog rejected an epoch.

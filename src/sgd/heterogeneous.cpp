@@ -57,6 +57,13 @@ double HeterogeneousEngine::epoch_seconds(std::span<const real_t> w_sample) {
   return *epoch_seconds_;
 }
 
+void HeterogeneousEngine::set_telemetry(
+    std::shared_ptr<telemetry::TelemetrySession> s) {
+  Engine::set_telemetry(std::move(s));
+  gpu_engine_.set_telemetry(telemetry_);
+  cpu_engine_.set_telemetry(telemetry_);
+}
+
 double HeterogeneousEngine::run_epoch(std::span<real_t> w, real_t alpha,
                                       Rng&) {
   if (!epoch_seconds_) instrument(w);

@@ -51,6 +51,11 @@ class HeterogeneousEngine final : public Engine {
   /// The modeled seconds per epoch (instrumented lazily; alpha-independent).
   double epoch_seconds(std::span<const real_t> w_sample) override;
 
+  /// Forwards to both inner device engines so their GPU/pool counters
+  /// land in the same session.
+  void set_telemetry(
+      std::shared_ptr<telemetry::TelemetrySession> s) override;
+
   /// The GPU share in effect (the auto-chosen one after first use).
   double gpu_fraction() const { return phi_; }
   /// Single-device epoch times the split was derived from.

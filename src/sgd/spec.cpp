@@ -75,11 +75,26 @@ std::string format_double(double v) {
 
 }  // namespace
 
-std::optional<EngineSpec> try_parse_spec(const std::string& text) {
+namespace {
+
+/// Sets *error (when non-null) and returns nullopt, so every parse
+/// failure names the offending token.
+std::optional<EngineSpec> parse_fail(std::string* error, std::string why) {
+  if (error != nullptr) *error = std::move(why);
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::optional<EngineSpec> try_parse_spec(const std::string& text,
+                                         std::string* error) {
   const std::size_t colon = text.find(':');
   const std::string head = text.substr(0, colon);
   const std::vector<std::string> parts = split(head, '/');
-  if (parts.size() != 3) return std::nullopt;
+  if (parts.size() != 3) {
+    return parse_fail(error, "expected update/arch/layout, got '" + head +
+                                 "'");
+  }
 
   EngineSpec s;
   if (parts[0] == "sync") {
@@ -87,7 +102,8 @@ std::optional<EngineSpec> try_parse_spec(const std::string& text) {
   } else if (parts[0] == "async") {
     s.update = Update::kAsync;
   } else {
-    return std::nullopt;
+    return parse_fail(error, "unknown update strategy '" + parts[0] +
+                                 "' (expected sync or async)");
   }
 
   if (parts[1] == "cpu-seq") {
@@ -98,11 +114,15 @@ std::optional<EngineSpec> try_parse_spec(const std::string& text) {
     s.arch = Arch::kGpu;
   } else if (parts[1] == "cpu+gpu") {
     // The heterogeneous engine reports kGpu as its device, mirror that.
-    if (s.update != Update::kSync) return std::nullopt;
+    if (s.update != Update::kSync) {
+      return parse_fail(error, "'cpu+gpu' requires the sync update");
+    }
     s.heterogeneous = true;
     s.arch = Arch::kGpu;
   } else {
-    return std::nullopt;
+    return parse_fail(error,
+                      "unknown arch '" + parts[1] +
+                          "' (expected cpu-seq, cpu-par, gpu or cpu+gpu)");
   }
 
   if (parts[2] == "sparse") {
@@ -110,41 +130,73 @@ std::optional<EngineSpec> try_parse_spec(const std::string& text) {
   } else if (parts[2] == "dense") {
     s.layout = Layout::kDense;
   } else {
-    return std::nullopt;
+    return parse_fail(error, "unknown layout '" + parts[2] +
+                                 "' (expected sparse or dense)");
   }
 
   if (colon != std::string::npos) {
     const std::string tail = text.substr(colon + 1);
-    if (tail.empty()) return std::nullopt;
+    if (tail.empty()) return parse_fail(error, "empty option list after ':'");
     for (const std::string& kv : split(tail, ',')) {
       const std::size_t eq = kv.find('=');
-      if (eq == std::string::npos) return std::nullopt;
+      if (eq == std::string::npos) {
+        return parse_fail(error, "option '" + kv + "' is not key=value");
+      }
       const std::string key = kv.substr(0, eq);
       const std::string val = kv.substr(eq + 1);
       if (key == "batch") {
-        if (!parse_size(val, &s.batch)) return std::nullopt;
+        if (!parse_size(val, &s.batch)) {
+          return parse_fail(error, "bad value in '" + kv + "'");
+        }
       } else if (key == "threads") {
         std::size_t t = 0;
-        if (!parse_size(val, &t) || t > 100000) return std::nullopt;
+        if (!parse_size(val, &t) || t > 100000) {
+          return parse_fail(error, "bad value in '" + kv + "'");
+        }
         s.threads = static_cast<int>(t);
       } else if (key == "calib") {
         if (val == "linear") s.calibration = Calibration::kLinear;
         else if (val == "mlp") s.calibration = Calibration::kMlp;
         else if (val == "none") s.calibration = Calibration::kNone;
-        else return std::nullopt;
+        else {
+          return parse_fail(error, "bad value in '" + kv +
+                                       "' (expected linear, mlp or none)");
+        }
       } else if (key == "delay") {
-        if (!parse_size(val, &s.delay_units)) return std::nullopt;
+        if (!parse_size(val, &s.delay_units)) {
+          return parse_fail(error, "bad value in '" + kv + "'");
+        }
       } else if (key == "gemmth") {
-        if (!parse_size(val, &s.gemm_parallel_threshold)) return std::nullopt;
+        if (!parse_size(val, &s.gemm_parallel_threshold)) {
+          return parse_fail(error, "bad value in '" + kv + "'");
+        }
       } else if (key == "phi") {
-        if (!s.heterogeneous) return std::nullopt;
-        if (!parse_double(val, &s.gpu_fraction)) return std::nullopt;
-        if (s.gpu_fraction < 0 || s.gpu_fraction > 1) return std::nullopt;
+        if (!s.heterogeneous) {
+          return parse_fail(error,
+                            "'phi=' only applies to cpu+gpu engines");
+        }
+        if (!parse_double(val, &s.gpu_fraction) || s.gpu_fraction < 0 ||
+            s.gpu_fraction > 1) {
+          return parse_fail(error, "bad value in '" + kv +
+                                       "' (expected phi in [0, 1])");
+        }
+      } else if (key == "telemetry") {
+        const std::optional<telemetry::TelemetryMode> mode =
+            telemetry::parse_telemetry_mode(val);
+        if (!mode.has_value()) {
+          return parse_fail(error,
+                            "bad value in '" + kv +
+                                "' (expected off, metrics or trace)");
+        }
+        s.telemetry = *mode;
       } else {
         switch (parse_fault_key(key, val, &s.faults)) {
           case FaultKeyParse::kParsed: break;
+          case FaultKeyParse::kMalformed:
+            return parse_fail(error, "bad value in fault option '" + kv +
+                                         "'");
           case FaultKeyParse::kNotFault:
-          case FaultKeyParse::kMalformed: return std::nullopt;
+            return parse_fail(error, "unknown option key '" + key + "'");
         }
       }
     }
@@ -152,12 +204,17 @@ std::optional<EngineSpec> try_parse_spec(const std::string& text) {
   return s;
 }
 
+std::optional<EngineSpec> try_parse_spec(const std::string& text) {
+  return try_parse_spec(text, nullptr);
+}
+
 EngineSpec parse_spec(const std::string& text) {
-  const std::optional<EngineSpec> s = try_parse_spec(text);
+  std::string error;
+  const std::optional<EngineSpec> s = try_parse_spec(text, &error);
   PARSGD_CHECK(s.has_value(),
                "malformed engine spec '"
-                   << text
-                   << "' (expected update/arch/layout[:key=value,...], "
+                   << text << "': " << error
+                   << " (expected update/arch/layout[:key=value,...], "
                       "e.g. async/cpu-par/sparse or "
                       "sync/cpu+gpu/dense:phi=0.6)");
   return *s;
@@ -181,6 +238,9 @@ std::string format_spec(const EngineSpec& spec) {
   }
   if (spec.threads != 0) {
     kv.push_back("threads=" + std::to_string(spec.threads));
+  }
+  if (spec.telemetry != telemetry::TelemetryMode::kOff) {
+    kv.push_back(std::string("telemetry=") + to_string(spec.telemetry));
   }
   for (std::string& frag : format_fault_options(spec.faults)) {
     kv.push_back(std::move(frag));
@@ -356,6 +416,15 @@ std::unique_ptr<Engine> make_engine(const EngineSpec& spec,
   // decorrelates fault draws from every training stream.
   const FaultPlan& plan = spec.faults.any() ? spec.faults : ctx.faults;
   if (plan.any()) engine->install_faults(plan, ctx.seed ^ 0xFA175EEDULL);
+  // Telemetry after faults so the injector also reports into the session.
+  // A shared context session wins (one registry for a whole Study); a
+  // telemetry= spec key on a bare context gets a standalone session.
+  std::shared_ptr<telemetry::TelemetrySession> session = ctx.telemetry;
+  if (session == nullptr &&
+      spec.telemetry != telemetry::TelemetryMode::kOff) {
+    session = std::make_shared<telemetry::TelemetrySession>(spec.telemetry);
+  }
+  if (session != nullptr) engine->set_telemetry(std::move(session));
   return engine;
 }
 

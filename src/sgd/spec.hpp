@@ -27,6 +27,7 @@
 #include "faults/fault_plan.hpp"
 #include "sgd/engine.hpp"
 #include "sgd/timing.hpp"
+#include "telemetry/session.hpp"
 
 namespace parsgd {
 
@@ -68,6 +69,10 @@ struct EngineSpec {
   /// Injected faults (faults=/straggler=/drop= spec keys, DESIGN.md §11).
   /// Empty by default; overrides EngineContext::faults when non-empty.
   FaultPlan faults;
+  /// Telemetry mode (telemetry= spec key, DESIGN.md §12). When the
+  /// context has no session and this is not kOff, make_engine creates a
+  /// standalone session owned by the engine (Engine::telemetry()).
+  telemetry::TelemetryMode telemetry = telemetry::TelemetryMode::kOff;
 
   /// Registry key: update/arch, e.g. "sync/cpu-par" or "sync/cpu+gpu".
   std::string family() const;
@@ -76,9 +81,13 @@ struct EngineSpec {
 };
 
 /// Parses a spec string; throws CheckError with the offending token on
-/// malformed input. try_parse_spec is the non-throwing variant.
+/// malformed input. try_parse_spec is the non-throwing variant; the
+/// two-argument overload reports *why* parsing failed (the offending
+/// token) into `error` so drivers can fail loudly on mistyped keys.
 EngineSpec parse_spec(const std::string& text);
 std::optional<EngineSpec> try_parse_spec(const std::string& text);
+std::optional<EngineSpec> try_parse_spec(const std::string& text,
+                                         std::string* error);
 
 /// Canonical string form (defaults omitted, options in fixed order).
 std::string format_spec(const EngineSpec& spec);
@@ -101,6 +110,11 @@ struct EngineContext {
   /// Default fault plan installed into every engine made from this context
   /// (EngineSpec::faults, when non-empty, wins). Empty = no injection.
   FaultPlan faults;
+  /// Shared telemetry session installed into every engine made from this
+  /// context (so a Study's engines all report into one registry). When
+  /// null, EngineSpec::telemetry != off makes make_engine create a
+  /// standalone per-engine session instead.
+  std::shared_ptr<telemetry::TelemetrySession> telemetry;
 };
 
 /// Builds the context for a generated dataset: train views, scale context

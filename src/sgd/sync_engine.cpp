@@ -105,17 +105,34 @@ double SyncEngine::epoch_seconds(std::span<const real_t> w_sample) {
   return *epoch_seconds_;
 }
 
+void SyncEngine::set_telemetry(
+    std::shared_ptr<telemetry::TelemetrySession> s) {
+  Engine::set_telemetry(std::move(s));
+  if (device_ != nullptr) device_->set_telemetry(telemetry_.get());
+}
+
 double SyncEngine::run_epoch(std::span<real_t> w, real_t alpha, Rng& rng) {
   const double secs = epoch_seconds(w);
   faults_.begin_epoch(w);
-  ChunkHookGuard straggle_guard(
-      opts_.pool != nullptr ? *opts_.pool : ThreadPool::global(), faults_);
+  ThreadPool& epoch_pool =
+      opts_.pool != nullptr ? *opts_.pool : ThreadPool::global();
+  ChunkHookGuard straggle_guard(epoch_pool, faults_);
+  // Session attached per epoch so per-worker chunk spans and pool.*
+  // counters flow while this engine runs; detached (off) runs never
+  // touch the pool's telemetry seam.
+  std::optional<PoolTelemetryGuard> tel_guard;
+  if (telemetry_ != nullptr) tel_guard.emplace(epoch_pool, telemetry_.get());
   // Functional trajectory: deterministic CPU path, identical for every
   // architecture (synchronous statistical efficiency is arch-independent).
+  telemetry::Counter* c_updates =
+      telemetry_ != nullptr && telemetry_->metrics_enabled()
+          ? &telemetry_->metrics().counter("sync.updates")
+          : nullptr;
   if (opts_.minibatch == 0) {
     traj_cost_.reset();
     model_.sync_epoch(traj_backend_, data_, opts_.use_dense, alpha, w);
     faults_.after_update(w);
+    if (c_updates != nullptr) c_updates->inc();
   } else {
     // Synchronized mini-batch updates, shuffled batch order per epoch.
     // Each batch's heavy per-example work fans out on the process pool;
@@ -141,6 +158,7 @@ double SyncEngine::run_epoch(std::span<real_t> w, real_t alpha, Rng& rng) {
       model_.batch_step_pooled(pool, data_, begin, end, opts_.use_dense,
                                alpha, w, w);
       faults_.after_update(w);
+      if (c_updates != nullptr) c_updates->inc();
     }
   }
   return secs;

@@ -98,6 +98,10 @@ class SyncEngine final : public Engine {
   /// The modeled seconds per epoch (instrumented lazily; alpha-independent).
   double epoch_seconds(std::span<const real_t> w_sample) override;
 
+  /// Also mirrors the simulated GPU's kernel counters (kGpu only).
+  void set_telemetry(
+      std::shared_ptr<telemetry::TelemetrySession> s) override;
+
  private:
   void instrument(std::span<const real_t> w_sample);
 

@@ -1,0 +1,149 @@
+// MetricsRegistry — named Counter/Gauge/Histogram instruments with
+// lock-free hot paths (DESIGN.md §12).
+//
+// Design constraints, in order:
+//  * Zero overhead when telemetry is off: consumers hold a nullable
+//    TelemetrySession* (or cached instrument pointers) and the disabled
+//    path is a single pointer test — no atomics, no allocation, no RNG.
+//  * Recordable from pool workers: Counter and Histogram shard their
+//    state into cache-line-padded per-thread slots (relaxed atomics, no
+//    sharing between writers on distinct slots) and aggregate on read.
+//    More live threads than slots simply share slots — still correct,
+//    just with some cross-thread cache traffic.
+//  * Handles are stable: the registry owns instruments behind unique_ptr,
+//    so a Counter* fetched once stays valid for the registry's lifetime
+//    and can be cached in hot structures (ThreadPool does this).
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace parsgd::telemetry {
+
+/// Dense per-thread slot index in [0, kMaxThreadSlots). Assigned on a
+/// thread's first call and stable for its lifetime; threads beyond the
+/// slot count wrap around (sharing a slot is safe — all slot state is
+/// atomic). The trace recorder uses the same index as its lane id.
+inline constexpr std::size_t kMaxThreadSlots = 64;
+std::size_t thread_slot();
+
+/// Monotonically increasing sum, sharded per thread.
+class Counter {
+ public:
+  void add(double v) {
+    slots_[thread_slot()].v.fetch_add(v, std::memory_order_relaxed);
+  }
+  void inc() { add(1.0); }
+
+  /// Aggregate over all slots (racy-by-design against live writers: the
+  /// value is a consistent lower bound, exact once writers quiesce).
+  double value() const {
+    double total = 0;
+    for (const Slot& s : slots_) {
+      total += s.v.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+ private:
+  struct alignas(64) Slot {
+    std::atomic<double> v{0};
+  };
+  std::array<Slot, kMaxThreadSlots> slots_;
+};
+
+/// Last-written value. A gauge's semantics ("the current level") do not
+/// decompose into per-thread shards, so it is a single relaxed atomic —
+/// sets are rare (per job / per epoch), never per update.
+class Gauge {
+ public:
+  void set(double v) { v_.store(v, std::memory_order_relaxed); }
+  double value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> v_{0};
+};
+
+/// Power-of-two-bucketed histogram of non-negative samples (ns timings,
+/// sizes), sharded per thread like Counter. Bucket b counts samples in
+/// [2^(b-1), 2^b); quantiles resolve to a bucket's upper edge, which is
+/// the right fidelity for "is queue wait 2us or 2ms".
+class Histogram {
+ public:
+  static constexpr std::size_t kBuckets = 64;
+
+  void record(double v);
+
+  std::uint64_t count() const;
+  double sum() const;
+  double max_seen() const;
+  /// Upper edge of the bucket holding the q-quantile (q in [0, 1]).
+  double quantile(double q) const;
+
+ private:
+  struct alignas(64) Slot {
+    std::array<std::atomic<std::uint64_t>, kBuckets> buckets{};
+    std::atomic<double> sum{0};
+    /// Monotonic max via CAS on the bit pattern (samples are >= 0, so
+    /// IEEE ordering matches integer ordering of the bits).
+    std::atomic<std::uint64_t> max_bits{0};
+  };
+  std::array<Slot, kMaxThreadSlots> slots_;
+};
+
+enum class MetricKind : std::uint8_t { kCounter, kGauge, kHistogram };
+const char* to_string(MetricKind k);
+
+/// One aggregated instrument, ready for export. Counters/gauges fill
+/// `value`; histograms fill count/sum/quantiles (`value` = sum).
+struct MetricSample {
+  std::string name;
+  MetricKind kind = MetricKind::kCounter;
+  double value = 0;
+  std::uint64_t count = 0;
+  double p50 = 0, p90 = 0, p99 = 0, max = 0;
+};
+
+struct MetricsSnapshot {
+  std::vector<MetricSample> samples;  ///< sorted by name
+
+  /// Sample by exact name; nullptr when absent.
+  const MetricSample* find(const std::string& name) const;
+};
+
+/// Name -> instrument map. Lookup takes a mutex (cold path: consumers
+/// resolve handles once and cache the pointer); recording never locks.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Finds or creates. A name is bound to one kind for the registry's
+  /// lifetime; re-requesting it as a different kind throws CheckError.
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name);
+
+  MetricsSnapshot snapshot() const;
+
+ private:
+  struct Entry {
+    MetricKind kind;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+  Entry& entry(const std::string& name, MetricKind kind);
+
+  mutable std::mutex mutex_;
+  std::map<std::string, Entry> entries_;
+};
+
+}  // namespace parsgd::telemetry

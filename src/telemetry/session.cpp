@@ -1,0 +1,21 @@
+#include "telemetry/session.hpp"
+
+namespace parsgd::telemetry {
+
+const char* to_string(TelemetryMode m) {
+  switch (m) {
+    case TelemetryMode::kOff: return "off";
+    case TelemetryMode::kMetrics: return "metrics";
+    case TelemetryMode::kTrace: return "trace";
+  }
+  return "?";
+}
+
+std::optional<TelemetryMode> parse_telemetry_mode(const std::string& s) {
+  if (s == "off") return TelemetryMode::kOff;
+  if (s == "metrics") return TelemetryMode::kMetrics;
+  if (s == "trace") return TelemetryMode::kTrace;
+  return std::nullopt;
+}
+
+}  // namespace parsgd::telemetry

@@ -1,0 +1,51 @@
+#include "telemetry/trace.hpp"
+
+#include <algorithm>
+
+namespace parsgd::telemetry {
+
+void TraceRecorder::record(TraceEvent&& ev) {
+  const std::size_t slot = thread_slot();
+  ev.tid = static_cast<std::uint32_t>(slot);
+  Buf& buf = bufs_[slot];
+  std::lock_guard<std::mutex> lock(buf.m);
+  if (buf.events.size() >= cap_) {
+    ++buf.dropped;
+    return;
+  }
+  buf.events.push_back(std::move(ev));
+}
+
+void TraceRecorder::instant(std::string name,
+                            std::initializer_list<TraceArg> args) {
+  TraceEvent ev;
+  ev.name = std::move(name);
+  ev.instant = true;
+  ev.start_ns = monotonic_ns();
+  for (const TraceArg& a : args) ev.add_arg(a.key, a.value);
+  record(std::move(ev));
+}
+
+std::vector<TraceEvent> TraceRecorder::events() const {
+  std::vector<TraceEvent> out;
+  for (const Buf& buf : bufs_) {
+    std::lock_guard<std::mutex> lock(buf.m);
+    out.insert(out.end(), buf.events.begin(), buf.events.end());
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     return a.start_ns < b.start_ns;
+                   });
+  return out;
+}
+
+std::uint64_t TraceRecorder::dropped() const {
+  std::uint64_t total = 0;
+  for (const Buf& buf : bufs_) {
+    std::lock_guard<std::mutex> lock(buf.m);
+    total += buf.dropped;
+  }
+  return total;
+}
+
+}  // namespace parsgd::telemetry

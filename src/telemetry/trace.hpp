@@ -1,0 +1,134 @@
+// TraceRecorder — per-thread buffers of scoped spans and instant events,
+// exportable as Chrome `chrome://tracing` / Perfetto JSON (DESIGN.md §12).
+//
+// Recording model:
+//  * Every event carries the recording thread's telemetry slot id as its
+//    lane (`tid`), so pool-worker chunk spans land on per-worker lanes
+//    and run_training's epoch spans form their own lane.
+//  * Timestamps come from parsgd::monotonic_ns() — the same epoch the
+//    logger stamps `t=+1.2345s` with, so logs align with the timeline.
+//  * Buffers are per-slot vectors behind per-slot mutexes. The lock is
+//    effectively uncontended (one writer per slot) and only taken in
+//    trace mode; metrics-only and off modes never reach the recorder.
+//  * Buffers are capped: past `max_events_per_thread` new events are
+//    counted as dropped instead of recorded, so a pathological span rate
+//    degrades the trace, never the run.
+//
+// The PARSGD_TRACE_SPAN macro is the intended entry point:
+//
+//   PARSGD_TRACE_SPAN(span, session, "epoch");
+//   span.arg("loss", loss);   // annotates the span on close
+//
+// With a null/non-tracing session the span is two pointer tests.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <initializer_list>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/clock.hpp"
+#include "telemetry/metrics.hpp"  // kMaxThreadSlots, thread_slot()
+
+namespace parsgd::telemetry {
+
+/// Numeric annotation on an event. Keys must be string literals (or
+/// otherwise outlive the recorder) — they are not copied.
+struct TraceArg {
+  const char* key = nullptr;
+  double value = 0;
+};
+
+struct TraceEvent {
+  static constexpr std::size_t kMaxArgs = 4;
+
+  std::string name;
+  std::uint32_t tid = 0;        ///< telemetry thread slot (trace lane)
+  bool instant = false;         ///< false = complete span ("ph":"X")
+  std::uint64_t start_ns = 0;   ///< monotonic_ns() timebase
+  std::uint64_t dur_ns = 0;     ///< 0 for instants
+  std::array<TraceArg, kMaxArgs> args{};
+  std::size_t n_args = 0;
+
+  void add_arg(const char* key, double value) {
+    if (n_args < kMaxArgs) args[n_args++] = {key, value};
+  }
+};
+
+class TraceRecorder {
+ public:
+  explicit TraceRecorder(std::size_t max_events_per_thread = 1u << 16)
+      : cap_(max_events_per_thread) {}
+  TraceRecorder(const TraceRecorder&) = delete;
+  TraceRecorder& operator=(const TraceRecorder&) = delete;
+
+  /// Appends to the calling thread's buffer (thread-safe).
+  void record(TraceEvent&& ev);
+
+  /// Records a zero-duration instant event at now.
+  void instant(std::string name,
+               std::initializer_list<TraceArg> args = {});
+
+  /// All recorded events merged and sorted by start time. Safe to call
+  /// concurrently with writers; the result then simply misses in-flight
+  /// events.
+  std::vector<TraceEvent> events() const;
+
+  /// Events discarded because a thread buffer hit its cap.
+  std::uint64_t dropped() const;
+
+ private:
+  struct Buf {
+    mutable std::mutex m;
+    std::vector<TraceEvent> events;
+    std::uint64_t dropped = 0;
+  };
+  std::array<Buf, kMaxThreadSlots> bufs_;
+  std::size_t cap_;
+};
+
+/// RAII span: records a complete event from construction to destruction.
+/// A null recorder makes every member a no-op.
+class TraceSpan {
+ public:
+  TraceSpan(TraceRecorder* rec, const char* name) : rec_(rec) {
+    if (rec_ == nullptr) return;
+    ev_.name = name;
+    ev_.start_ns = monotonic_ns();
+  }
+  TraceSpan(TraceRecorder* rec, std::string name) : rec_(rec) {
+    if (rec_ == nullptr) return;
+    ev_.name = std::move(name);
+    ev_.start_ns = monotonic_ns();
+  }
+  ~TraceSpan() {
+    if (rec_ == nullptr) return;
+    ev_.dur_ns = monotonic_ns() - ev_.start_ns;
+    rec_->record(std::move(ev_));
+  }
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  /// Annotates the span (shows under "args" in the trace viewer). `key`
+  /// must be a string literal.
+  void arg(const char* key, double value) {
+    if (rec_ != nullptr) ev_.add_arg(key, value);
+  }
+
+ private:
+  TraceRecorder* rec_;
+  TraceEvent ev_;
+};
+
+}  // namespace parsgd::telemetry
+
+/// Declares a TraceSpan named `var` recording into `session` (any
+/// expression convertible to TelemetrySession*; null or non-trace mode =
+/// no-op). Defined here rather than in session.hpp so instrumented code
+/// needs one include.
+#define PARSGD_TRACE_SPAN(var, session, name)                            \
+  ::parsgd::telemetry::TraceSpan var(                                    \
+      ::parsgd::telemetry::detail::recorder_of(session), name)

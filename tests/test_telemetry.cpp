@@ -1,0 +1,325 @@
+// Tier-1 coverage of the telemetry subsystem (DESIGN.md §12): instrument
+// aggregation under real pool concurrency, quantile semantics, exporter
+// well-formedness, the telemetry= spec grammar, and the core contract
+// that telemetry never perturbs a training trajectory.
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <sstream>
+#include <string>
+
+#include "common/check.hpp"
+#include "core/export.hpp"
+#include "data/generator.hpp"
+#include "models/linear.hpp"
+#include "parallel/thread_pool.hpp"
+#include "sgd/convergence.hpp"
+#include "sgd/spec.hpp"
+#include "telemetry/session.hpp"
+
+namespace parsgd {
+namespace {
+
+using telemetry::TelemetryMode;
+using telemetry::TelemetrySession;
+
+// ---- minimal JSON well-formedness checker --------------------------------
+// Just enough of RFC 8259 to prove the Chrome trace writer emits a
+// machine-parseable document (objects, arrays, strings with escapes,
+// numbers, literals). Returns false instead of throwing.
+class JsonChecker {
+ public:
+  explicit JsonChecker(const std::string& text) : s_(text) {}
+
+  bool valid() {
+    skip_ws();
+    if (!value()) return false;
+    skip_ws();
+    return pos_ == s_.size();
+  }
+
+ private:
+  bool value() {
+    if (pos_ >= s_.size()) return false;
+    switch (s_[pos_]) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string();
+      case 't': return literal("true");
+      case 'f': return literal("false");
+      case 'n': return literal("null");
+      default: return number();
+    }
+  }
+  bool object() {
+    ++pos_;  // '{'
+    skip_ws();
+    if (peek() == '}') { ++pos_; return true; }
+    while (true) {
+      skip_ws();
+      if (!string()) return false;
+      skip_ws();
+      if (peek() != ':') return false;
+      ++pos_;
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == '}') { ++pos_; return true; }
+      return false;
+    }
+  }
+  bool array() {
+    ++pos_;  // '['
+    skip_ws();
+    if (peek() == ']') { ++pos_; return true; }
+    while (true) {
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == ']') { ++pos_; return true; }
+      return false;
+    }
+  }
+  bool string() {
+    if (peek() != '"') return false;
+    ++pos_;
+    while (pos_ < s_.size() && s_[pos_] != '"') {
+      if (s_[pos_] == '\\') {
+        ++pos_;
+        if (pos_ >= s_.size()) return false;
+      }
+      ++pos_;
+    }
+    if (pos_ >= s_.size()) return false;
+    ++pos_;  // closing quote
+    return true;
+  }
+  bool number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) != 0 ||
+            s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E' ||
+            s_[pos_] == '+' || s_[pos_] == '-')) {
+      ++pos_;
+    }
+    return pos_ > start;
+  }
+  bool literal(const char* word) {
+    const std::string w(word);
+    if (s_.compare(pos_, w.size(), w) != 0) return false;
+    pos_ += w.size();
+    return true;
+  }
+  char peek() const { return pos_ < s_.size() ? s_[pos_] : '\0'; }
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           std::isspace(static_cast<unsigned char>(s_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+struct Fixture {
+  Dataset ds;
+  LogisticRegression lr;
+  EngineContext ctx;
+  std::vector<real_t> w0;
+
+  explicit Fixture(const char* name)
+      : ds(generate_dataset(name,
+                            GeneratorOptions{.seed = 5, .scale = 500.0})),
+        lr(ds.d()) {
+    ctx = make_engine_context(ds, lr, Layout::kSparse);
+    w0 = lr.init_params(5);
+  }
+};
+
+// ---- metrics --------------------------------------------------------------
+
+TEST(TelemetryMetrics, CounterAggregatesAcrossPoolSizes) {
+  constexpr std::size_t kN = 1000;
+  for (const std::size_t threads : {1u, 2u, 8u}) {
+    TelemetrySession session(TelemetryMode::kMetrics);
+    telemetry::Counter& c = session.metrics().counter("test.items");
+    ThreadPool pool(threads);
+    PoolTelemetryGuard guard(pool, &session);
+    for (int job = 0; job < 3; ++job) {
+      pool.parallel_for(kN, [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i) c.inc();
+      });
+    }
+    EXPECT_DOUBLE_EQ(c.value(), 3.0 * kN) << threads << " threads";
+
+    // The pool's own instruments saw every job and chunk.
+    const telemetry::MetricsSnapshot snap = session.metrics().snapshot();
+    const telemetry::MetricSample* jobs = snap.find("pool.jobs");
+    ASSERT_NE(jobs, nullptr);
+    EXPECT_DOUBLE_EQ(jobs->value, 3.0);
+    const telemetry::MetricSample* chunks = snap.find("pool.chunks");
+    ASSERT_NE(chunks, nullptr);
+    EXPECT_GE(chunks->value, 3.0);  // at least one chunk per job
+    ASSERT_NE(snap.find("pool.queue_wait_ns"), nullptr);
+  }
+}
+
+TEST(TelemetryMetrics, HistogramQuantilesResolveToBucketEdges) {
+  telemetry::Histogram h;
+  for (int i = 0; i < 100; ++i) h.record(3.0);  // bucket [2, 4)
+  h.record(1000.0);                             // bucket [512, 1024)
+  EXPECT_EQ(h.count(), 101u);
+  EXPECT_DOUBLE_EQ(h.sum(), 300.0 + 1000.0);
+  EXPECT_DOUBLE_EQ(h.max_seen(), 1000.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 4.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.99), 4.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 1024.0);
+}
+
+TEST(TelemetryMetrics, RegistryKindMismatchThrows) {
+  TelemetrySession session(TelemetryMode::kMetrics);
+  session.metrics().counter("x");
+  EXPECT_THROW(session.metrics().gauge("x"), CheckError);
+}
+
+// ---- exporters ------------------------------------------------------------
+
+TEST(TelemetryExport, ChromeTraceParsesBack) {
+  TelemetrySession session(TelemetryMode::kTrace);
+  {
+    telemetry::TraceSpan span(&session.trace(), "epoch");
+    span.arg("epoch", 0.0);
+    span.arg("loss", 0.5);
+    ThreadPool pool(4);
+    PoolTelemetryGuard guard(pool, &session);
+    pool.parallel_for(256, [](std::size_t, std::size_t) {});
+  }
+  session.trace().instant("watchdog.rollback", {{"epoch", 3.0}});
+
+  std::ostringstream os;
+  write_chrome_trace(os, session);
+  const std::string json = os.str();
+  EXPECT_TRUE(JsonChecker(json).valid()) << json;
+  // Per-worker chunk spans, the epoch lane and the instant all survive.
+  EXPECT_NE(json.find("\"chunk\""), std::string::npos);
+  EXPECT_NE(json.find("\"epoch\""), std::string::npos);
+  EXPECT_NE(json.find("watchdog.rollback"), std::string::npos);
+  EXPECT_NE(json.find("thread_name"), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+}
+
+TEST(TelemetryExport, MetricsCsvAndPrometheus) {
+  TelemetrySession session(TelemetryMode::kMetrics);
+  session.metrics().counter("async.updates").add(7);
+  session.metrics().histogram("pool.queue_wait_ns").record(100.0);
+  const telemetry::MetricsSnapshot snap = session.metrics().snapshot();
+
+  std::ostringstream csv;
+  write_metrics_csv(csv, snap);
+  EXPECT_NE(csv.str().find("metric,kind,value,count,p50,p90,p99,max"),
+            std::string::npos);
+  EXPECT_NE(csv.str().find("async.updates,counter,7"), std::string::npos);
+  EXPECT_NE(csv.str().find("pool.queue_wait_ns,histogram"),
+            std::string::npos);
+
+  std::ostringstream prom;
+  write_metrics_prometheus(prom, snap);
+  EXPECT_NE(prom.str().find("# TYPE parsgd_async_updates counter"),
+            std::string::npos);
+  EXPECT_NE(prom.str().find("parsgd_pool_queue_wait_ns_count 1"),
+            std::string::npos);
+}
+
+// ---- spec grammar ---------------------------------------------------------
+
+TEST(TelemetrySpec, GrammarRoundTripsTelemetryKey) {
+  for (const char* text : {
+           "async/cpu-par/sparse:telemetry=metrics",
+           "async/cpu-par/sparse:telemetry=trace",
+           "sync/gpu/dense:batch=64,calib=mlp,telemetry=trace",
+           "async/cpu-seq/sparse:threads=8,telemetry=metrics",
+       }) {
+    EXPECT_EQ(format_spec(parse_spec(text)), text);
+  }
+  EXPECT_EQ(parse_spec("sync/cpu-seq/sparse:telemetry=trace").telemetry,
+            TelemetryMode::kTrace);
+  // off is the default and stays implicit in canonical text.
+  EXPECT_EQ(parse_spec("sync/cpu-seq/sparse:telemetry=off").telemetry,
+            TelemetryMode::kOff);
+  EXPECT_EQ(format_spec(parse_spec("sync/cpu-seq/sparse:telemetry=off")),
+            "sync/cpu-seq/sparse");
+}
+
+TEST(TelemetrySpec, MistypedKeysFailLoudlyWithOffendingToken) {
+  struct Case {
+    const char* text;
+    const char* token;  ///< must appear in the reported error
+  };
+  for (const Case& c : {
+           Case{"sync/cpu-par/sparse:telemetrie=trace", "telemetrie"},
+           Case{"sync/cpu-par/sparse:telemetry=verbose",
+                "telemetry=verbose"},
+           Case{"sync/tpu/sparse", "tpu"},
+           Case{"sync/cpu-par/sparse:batch=abc", "batch=abc"},
+       }) {
+    std::string error;
+    EXPECT_FALSE(try_parse_spec(c.text, &error).has_value()) << c.text;
+    EXPECT_NE(error.find(c.token), std::string::npos)
+        << c.text << " -> " << error;
+  }
+}
+
+// ---- trajectory invariance ------------------------------------------------
+
+TEST(TelemetryTrajectory, ModesAreBitIdentical) {
+  Fixture f("w8a");
+  auto losses = [&](const char* text,
+                    std::shared_ptr<TelemetrySession> session) {
+    EngineContext ctx = f.ctx;
+    ctx.telemetry = std::move(session);
+    const std::unique_ptr<Engine> engine = make_engine(parse_spec(text),
+                                                       ctx);
+    TrainOptions t;
+    t.max_epochs = 4;
+    return run_training(*engine, f.lr, ctx.data, f.w0, real_t(0.5), t)
+        .losses;
+  };
+  for (const char* text : {"sync/cpu-par/sparse", "async/cpu-par/sparse",
+                           "async/gpu/sparse"}) {
+    const std::vector<double> plain = losses(text, nullptr);
+    ASSERT_FALSE(plain.empty());
+    EXPECT_EQ(plain,
+              losses(text, std::make_shared<TelemetrySession>(
+                               TelemetryMode::kOff)))
+        << text;
+    EXPECT_EQ(plain,
+              losses(text, std::make_shared<TelemetrySession>(
+                               TelemetryMode::kTrace)))
+        << text;
+  }
+}
+
+TEST(TelemetryTrajectory, EngineRunsFeedTheRegistry) {
+  Fixture f("w8a");
+  auto session = std::make_shared<TelemetrySession>(TelemetryMode::kMetrics);
+  EngineContext ctx = f.ctx;
+  ctx.telemetry = session;
+  const std::unique_ptr<Engine> engine =
+      make_engine(parse_spec("async/cpu-par/sparse"), ctx);
+  TrainOptions t;
+  t.max_epochs = 3;
+  run_training(*engine, f.lr, ctx.data, f.w0, real_t(0.5), t);
+
+  const telemetry::MetricsSnapshot snap = session->metrics().snapshot();
+  const telemetry::MetricSample* updates = snap.find("async.updates");
+  ASSERT_NE(updates, nullptr);
+  EXPECT_GT(updates->value, 0.0);
+  ASSERT_NE(snap.find("async.write_conflicts"), nullptr);
+}
+
+}  // namespace
+}  // namespace parsgd
