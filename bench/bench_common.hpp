@@ -1,15 +1,22 @@
 // Shared plumbing for the table/figure reproduction binaries: CLI-driven
-// StudyOptions and small formatting helpers.
+// StudyOptions, small formatting helpers, and the run-report hookup that
+// drops a BENCH_<name>.json next to every table (DESIGN.md §13).
 #pragma once
 
 #include <cstdio>
+#include <iostream>
+#include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "common/check.hpp"
 #include "common/cli.hpp"
 #include "common/log.hpp"
+#include "common/timer.hpp"
 #include "core/report.hpp"
 #include "core/study.hpp"
+#include "report/report.hpp"
 
 namespace parsgd::benchutil {
 
@@ -20,9 +27,12 @@ inline const std::vector<std::string>& all_datasets() {
 }
 
 /// Builds StudyOptions from CLI flags:
-///   --scale=N     dataset downscale factor (default 200)
-///   --quick       tiny smoke configuration
-///   --verbose     progress logging
+///   --scale=N            dataset downscale factor (default 200)
+///   --quick              tiny smoke configuration
+///   --verbose            progress logging
+///   --heartbeat=SECS     live epoch/loss/ETA log lines (0 = off)
+///   --telemetry=MODE     off|metrics|trace; non-off sessions land in the
+///                        emitted report's metrics section
 inline StudyOptions study_options_from_cli(const Cli& cli) {
   StudyOptions opts;
   opts.scale = cli.get_double("scale", 200.0);
@@ -35,6 +45,17 @@ inline StudyOptions study_options_from_cli(const Cli& cli) {
   }
   if (cli.get_bool("verbose", false)) {
     set_log_level(LogLevel::kInfo);
+  }
+  opts.heartbeat_seconds = cli.get_double("heartbeat", 0.0);
+  if (opts.heartbeat_seconds > 0 &&
+      static_cast<int>(log_level()) > static_cast<int>(LogLevel::kInfo)) {
+    set_log_level(LogLevel::kInfo);  // heartbeat lines are INFO
+  }
+  const std::string mode = cli.get("telemetry", "off");
+  const auto parsed = telemetry::parse_telemetry_mode(mode);
+  PARSGD_CHECK(parsed.has_value(), "bad --telemetry=" << mode);
+  if (*parsed != telemetry::TelemetryMode::kOff) {
+    opts.telemetry = std::make_shared<telemetry::TelemetrySession>(*parsed);
   }
   return opts;
 }
@@ -55,6 +76,90 @@ inline void print_banner(const char* title, const StudyOptions& opts) {
               "cells show: ours | paper. 'inf' = no convergence "
               "(paper's \"∞\").\n\n",
               opts.scale);
+}
+
+/// Invokes fn(task) for every task selected by --tasks=LR,SVM,MLP.
+template <typename Fn>
+inline void for_each_task(const Cli& cli, Fn&& fn) {
+  const std::string tasks = cli.get("tasks", "LR,SVM,MLP");
+  for (const Task task : {Task::kLr, Task::kSvm, Task::kMlp}) {
+    if (tasks.find(to_string(task)) == std::string::npos) continue;
+    fn(task);
+  }
+}
+
+/// Runs the measurement body under a host-wall timer, then prints the
+/// table and the footer every table bench shares. Returns the host
+/// seconds (for RunReport::host_seconds).
+template <typename Fn>
+inline double timed_table(TableWriter& table, Fn&& body) {
+  double host_secs = 0;
+  {
+    ScopedTimer host_timer(&host_secs);
+    body();
+  }
+  table.print(std::cout);
+  std::printf("host wall time: %.2fs (modeled times above are paper-scale)\n",
+              host_secs);
+  return host_secs;
+}
+
+/// Fresh report pre-filled with the study's provenance fields.
+inline report::RunReport make_report(const std::string& name,
+                                     const StudyOptions& opts) {
+  report::RunReport rep(name);
+  rep.seed = opts.seed;
+  rep.threads = opts.cpu_threads;
+  rep.scale = opts.scale;
+  return rep;
+}
+
+/// Records the dataset manifest once per distinct dataset name.
+inline void add_dataset(report::RunReport& rep, const Dataset& ds) {
+  for (const report::DatasetInfo& d : rep.datasets) {
+    if (d.name == ds.profile.name) return;
+  }
+  rep.datasets.push_back(report::DatasetInfo::from(ds));
+}
+
+/// Report entry from one study configuration. ttc[0] is the 10% level,
+/// ttc[3] the 1% level (kConvergenceLevels).
+inline report::Entry entry_from(std::string label, Task task,
+                                const std::string& dataset, Update update,
+                                Arch arch, const ConfigResult& r) {
+  report::Entry e;
+  e.label = std::move(label);
+  e.task = to_string(task);
+  e.dataset = dataset;
+  e.spec = std::string(to_string(update)) + "/" + to_string(arch);
+  e.alpha = r.alpha;
+  e.diverged = r.diverged;
+  e.axes.sec_per_epoch = r.sec_per_epoch;
+  if (r.run) {
+    e.axes.modeled_total_seconds = r.run->total_seconds();
+  }
+  if (r.ttc[0].reached) {
+    e.axes.epochs_to_10pct = static_cast<double>(r.ttc[0].epochs);
+    e.axes.ttc_10pct = r.ttc[0].seconds;
+  }
+  if (r.ttc[3].reached) {
+    e.axes.epochs_to_1pct = static_cast<double>(r.ttc[3].epochs);
+    e.axes.ttc_1pct = r.ttc[3].seconds;
+  }
+  return e;
+}
+
+/// Stamps host time + telemetry into `rep` and writes it as
+/// BENCH_<name>.json (--report-dir overrides the directory; --no-report
+/// skips the file). Returns the written path or "".
+inline std::string emit_report(const Cli& cli, const StudyOptions& opts,
+                               report::RunReport& rep, double host_secs) {
+  rep.host_seconds = host_secs;
+  rep.add_metrics(opts.telemetry.get());
+  if (cli.get_bool("no-report", false)) return "";
+  const std::string path = report::emit(rep, cli.get("report-dir", ""));
+  std::printf("report: %s\n", path.c_str());
+  return path;
 }
 
 }  // namespace parsgd::benchutil

@@ -1,16 +1,20 @@
 // Reproduces Fig. 5: the hardware specification table of the two modeled
 // architectures (dual-socket Xeon E5-2660 v4 and Tesla K80/GK210), plus
-// the derived model constants the timing models use.
+// the derived model constants the timing models use. Emits
+// BENCH_fig5_hwspec.json so constant drift is caught by parsgd_compare.
 #include <iostream>
 
+#include "common/cli.hpp"
 #include "common/format.hpp"
 #include "core/report.hpp"
 #include "hwmodel/cpu_model.hpp"
 #include "hwmodel/spec.hpp"
+#include "report/report.hpp"
 
 using namespace parsgd;
 
-int main() {
+int main(int argc, char** argv) {
+  const Cli cli(argc, argv);
   const CpuSpec& cpu = paper_cpu();
   const GpuSpec& gpu = paper_gpu();
 
@@ -42,19 +46,39 @@ int main() {
   table.print(std::cout);
 
   const CpuModel model(cpu);
+  const double eff_cores = model.effective_cores(56);
+  const double fork_join = model.fork_join_seconds(56);
+  const double gpu_bpc_sm = gpu.global_bw_gbs / gpu.sms / gpu.clock_ghz;
+  const double launch_s = gpu.cycles_kernel_launch / (gpu.clock_ghz * 1e9);
   std::cout << "\nderived model constants:\n";
   std::cout << "  cpu effective cores @56 threads : "
-            << fmt_sig3(model.effective_cores(56)) << "\n";
+            << fmt_sig3(eff_cores) << "\n";
   std::cout << "  cpu fork/join per primitive @56 : "
-            << format_seconds(model.fork_join_seconds(56)) << "\n";
+            << format_seconds(fork_join) << "\n";
   std::cout << "  gpu bandwidth                   : "
             << fmt_sig3(gpu.global_bw_gbs) << " GB/s ("
-            << fmt_sig3(gpu.global_bw_gbs / gpu.sms /
-                        gpu.clock_ghz)
-            << " B/cycle/SM)\n";
+            << fmt_sig3(gpu_bpc_sm) << " B/cycle/SM)\n";
   std::cout << "  gpu kernel-launch overhead      : "
-            << format_seconds(gpu.cycles_kernel_launch /
-                              (gpu.clock_ghz * 1e9))
-            << "\n";
+            << format_seconds(launch_s) << "\n";
+
+  // The model constants as a comparable report: any change to the hardware
+  // model shows up as extras drift in parsgd_compare.
+  report::RunReport rep("fig5_hwspec");
+  report::Entry e;
+  e.label = "model_constants";
+  e.extras = {
+      {"cpu_effective_cores_56", eff_cores},
+      {"cpu_fork_join_seconds_56", fork_join},
+      {"gpu_bandwidth_gbs", gpu.global_bw_gbs},
+      {"gpu_bytes_per_cycle_per_sm", gpu_bpc_sm},
+      {"gpu_kernel_launch_seconds", launch_s},
+      {"cpu_clock_ghz", cpu.clock_ghz},
+      {"gpu_clock_ghz", gpu.clock_ghz},
+  };
+  rep.add_entry(std::move(e));
+  if (!cli.get_bool("no-report", false)) {
+    std::printf("report: %s\n",
+                report::emit(rep, cli.get("report-dir", "")).c_str());
+  }
   return 0;
 }

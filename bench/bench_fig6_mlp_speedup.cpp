@@ -22,6 +22,10 @@ int main(int argc, char** argv) {
   const double scale = cli.get_double("scale", 100.0);
   std::printf("=== Fig. 6: sync-SGD speedup on real-sim vs MLP size ===\n\n");
 
+  report::RunReport rep("fig6_mlp_speedup");
+  rep.scale = scale;
+  const Timer host_timer;
+
   GeneratorOptions gen;
   gen.scale = scale;
   const Dataset base = generate_dataset("real-sim", gen);
@@ -54,16 +58,17 @@ int main(int argc, char** argv) {
                                                   Layout::kDense);
     const auto w0 = mlp.init_params(3);
 
-    auto secs = [&](Arch a) {
+    auto engine_for = [&](Arch a) {
       EngineSpec spec;
       spec.update = Update::kSync;
       spec.arch = a;
       spec.layout = Layout::kDense;
-      return make_engine(spec, ctx)->epoch_seconds(w0);
+      return make_engine(spec, ctx);
     };
-    const double seq = secs(Arch::kCpuSeq);
-    const double par = secs(Arch::kCpuPar);
-    const double gpu = secs(Arch::kGpu);
+    const double seq = engine_for(Arch::kCpuSeq)->epoch_seconds(w0);
+    const double par = engine_for(Arch::kCpuPar)->epoch_seconds(w0);
+    const auto gpu_engine = engine_for(Arch::kGpu);
+    const double gpu = gpu_engine->epoch_seconds(w0);
 
     std::string name;
     for (const std::size_t l : arch) {
@@ -75,8 +80,35 @@ int main(int argc, char** argv) {
     table.add_row({name, fmt_msec(seq), fmt_msec(par), fmt_msec(gpu),
                    fmt_sig3(seq / par), fmt_sig3(par / gpu),
                    dw_parallel ? "yes" : "no"});
+
+    add_dataset(rep, grouped);
+    report::Entry e;
+    e.label = name;
+    e.task = "MLP";
+    e.dataset = "real-sim";
+    e.spec = "sync";
+    e.extras = {
+        {"tpi_cpu_seq", seq},
+        {"tpi_cpu_par", par},
+        {"tpi_gpu", gpu},
+        {"speedup_seq_par", seq / par},
+        {"speedup_par_gpu", par / gpu},
+    };
+    rep.add_entry(std::move(e));
+    // Per-kernel cycle attribution of the largest net only (the last
+    // row's breakdown is the interesting one — GEMM-bound).
+    if (&arch == &architectures.back()) {
+      if (const gpusim::Device* dev = gpu_engine->device()) {
+        rep.add_kernels(*dev);
+      }
+    }
   }
   table.print(std::cout);
+  rep.host_seconds = host_timer.seconds();
+  if (!cli.get_bool("no-report", false)) {
+    std::printf("report: %s\n",
+                report::emit(rep, cli.get("report-dir", "")).c_str());
+  }
   std::cout << "\npaper shape: speedup ~2x for the small net, rising to "
                "~26x for the largest; gpu/cpu-par roughly constant.\n";
   return 0;

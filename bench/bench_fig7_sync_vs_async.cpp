@@ -46,11 +46,11 @@ int main(int argc, char** argv) {
   Study study(opts);
   print_banner("Fig. 7: sync GPU vs async CPU, loss over modeled time",
                opts);
-  const std::string tasks = cli.get("tasks", "LR,SVM,MLP");
+  report::RunReport rep = make_report("fig7_sync_vs_async", opts);
+  const Timer host_timer;
 
   int sync_wins = 0, async_wins = 0;
-  for (const Task task : {Task::kLr, Task::kSvm, Task::kMlp}) {
-    if (tasks.find(to_string(task)) == std::string::npos) continue;
+  for_each_task(cli, [&](Task task) {
     for (const auto& ds : all_datasets()) {
       const ConfigResult sync_gpu =
           study.config_result(task, ds, Update::kSync, Arch::kGpu);
@@ -76,11 +76,23 @@ int main(int argc, char** argv) {
       (ts < ta ? sync_wins : async_wins) += 1;
       std::printf("  -> to 1%%: sync gpu %s vs async cpu %s — %s wins\n\n",
                   fmt_sec(ts).c_str(), fmt_sec(ta).c_str(), winner);
+
+      add_dataset(rep, study.dataset(task, ds));
+      const std::string key = std::string(to_string(task)) + "/" + ds;
+      rep.add_entry(entry_from(key + "/sync/gpu", task, ds, Update::kSync,
+                               Arch::kGpu, sync_gpu));
+      const Arch best_arch =
+          &async_cpu == &async_par ? Arch::kCpuPar : Arch::kCpuSeq;
+      report::Entry e = entry_from(key + "/async/cpu-best", task, ds,
+                                   Update::kAsync, best_arch, async_cpu);
+      e.extras = {{"sync_wins", ts < ta ? 1.0 : 0.0}};
+      rep.add_entry(std::move(e));
     }
-  }
+  });
   std::printf("summary: sync gpu wins %d pairs, async cpu wins %d pairs.\n"
               "paper shape: no single winner — the choice mirrors BGD vs "
               "SGD and is task/dataset dependent.\n",
               sync_wins, async_wins);
+  emit_report(cli, opts, rep, host_timer.seconds());
   return 0;
 }

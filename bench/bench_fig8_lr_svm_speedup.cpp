@@ -21,6 +21,8 @@ int main(int argc, char** argv) {
 
   TableWriter table({"task", "dataset", "ours sync | paper",
                      "ours async | paper", "BIDMach sync"});
+  report::RunReport rep = make_report("fig8_lr_svm_speedup", opts);
+  const Timer host_timer;
   for (const Task task : {Task::kLr, Task::kSvm}) {
     for (const auto& ds : all_datasets()) {
       const ConfigResult sg =
@@ -46,10 +48,23 @@ int main(int argc, char** argv) {
                    1.0 / aref->ratio_gpu_par),
           fmt_sig3(bm_par / bm_gpu),
       });
+
+      add_dataset(rep, study.dataset(task, ds));
+      report::Entry e;
+      e.label = std::string(to_string(task)) + "/" + ds + "/gpu-speedup";
+      e.task = to_string(task);
+      e.dataset = ds;
+      e.extras = {
+          {"sync_speedup", sp.sec_per_epoch / sg.sec_per_epoch},
+          {"async_speedup", ap.sec_per_epoch / ag.sec_per_epoch},
+          {"bidmach_speedup", bm_par / bm_gpu},
+      };
+      rep.add_entry(std::move(e));
     }
     table.add_rule();
   }
   table.print(std::cout);
+  emit_report(cli, opts, rep, host_timer.seconds());
   std::cout << "\npaper shape: our sync speedup >= BIDMach's on sparse "
                "datasets; async GPU 'speedup' is below 1 on sparse data "
                "(parallel CPU is faster per iteration).\n";

@@ -2,12 +2,12 @@
 // error — time to convergence, time per iteration, epochs, and the two
 // headline speedups (cpu-seq/cpu-par and cpu-par/gpu) for LR, SVM and MLP
 // on all five datasets, side by side with the paper's published values.
+// Emits BENCH_table2_sync.json (see bench_common.hpp for the report flags).
 //
 //   ./bench_table2_sync [--scale=100] [--quick] [--tasks=LR,SVM,MLP]
 #include <iostream>
 
 #include "bench_common.hpp"
-#include "common/timer.hpp"
 #include "paper_reference.hpp"
 
 using namespace parsgd;
@@ -19,17 +19,13 @@ int main(int argc, char** argv) {
   Study study(opts);
   print_banner("Table II: synchronous SGD (to 1% of optimal loss)", opts);
 
-  const std::string tasks = cli.get("tasks", "LR,SVM,MLP");
-
   TableWriter table({"task", "dataset", "ttc gpu (s)", "ttc cpu-par (s)",
                      "tpi gpu (ms)", "tpi cpu-seq (ms)", "tpi cpu-par (ms)",
                      "epochs", "seq/par", "par/gpu"});
+  report::RunReport rep = make_report("table2_sync", opts);
 
-  double host_secs = 0;
-  {
-    ScopedTimer host_timer(&host_secs);
-    for (const Task task : {Task::kLr, Task::kSvm, Task::kMlp}) {
-      if (tasks.find(to_string(task)) == std::string::npos) continue;
+  const double host_secs = timed_table(table, [&] {
+    for_each_task(cli, [&](Task task) {
       for (const auto& ds : all_datasets()) {
         const ConfigResult gpu =
             study.config_result(task, ds, Update::kSync, Arch::kGpu);
@@ -39,7 +35,6 @@ int main(int argc, char** argv) {
             study.config_result(task, ds, Update::kSync, Arch::kCpuPar);
         const auto* ref = paperref::find_sync(to_string(task), ds);
 
-        const double e = static_cast<double>(gpu.ttc[3].epochs);
         table.add_row({
             to_string(task), ds,
             vs_paper(gpu.ttc[3].seconds, ref->ttc_gpu),
@@ -47,22 +42,26 @@ int main(int argc, char** argv) {
             vs_paper(gpu.sec_per_epoch * 1e3, ref->tpi_gpu),
             vs_paper(seq.sec_per_epoch * 1e3, ref->tpi_seq),
             vs_paper(par.sec_per_epoch * 1e3, ref->tpi_par),
-            (gpu.ttc[3].reached ? std::to_string(gpu.ttc[3].epochs)
-                                : std::string("inf")) +
-                " | " + fmt_sig3(ref->epochs),
+            epochs_str(gpu.ttc[3]) + " | " + fmt_sig3(ref->epochs),
             vs_paper(seq.sec_per_epoch / par.sec_per_epoch,
                      ref->speedup_seq_par),
             vs_paper(par.sec_per_epoch / gpu.sec_per_epoch,
                      ref->speedup_par_gpu),
         });
-        (void)e;
+
+        add_dataset(rep, study.dataset(task, ds));
+        const std::string key = std::string(to_string(task)) + "/" + ds;
+        rep.add_entry(entry_from(key + "/sync/gpu", task, ds, Update::kSync,
+                                 Arch::kGpu, gpu));
+        rep.add_entry(entry_from(key + "/sync/cpu-seq", task, ds,
+                                 Update::kSync, Arch::kCpuSeq, seq));
+        rep.add_entry(entry_from(key + "/sync/cpu-par", task, ds,
+                                 Update::kSync, Arch::kCpuPar, par));
       }
       table.add_rule();
-    }
-  }
-  table.print(std::cout);
-  std::printf("host wall time: %.2fs (modeled times above are paper-scale)\n",
-              host_secs);
+    });
+  });
+  emit_report(cli, opts, rep, host_secs);
 
   std::cout << "\nheadline checks (paper section IV-C):\n"
                "  * gpu column should always beat cpu-par (sync: GPU wins)\n"

@@ -1,13 +1,12 @@
 // Reproduces Table III: asynchronous SGD performance to 1% convergence
 // error — Hogwild (LR/SVM) and Hogbatch (MLP) on gpu / cpu-seq / cpu-par,
 // with per-architecture statistical efficiency, side by side with the
-// paper's published values.
+// paper's published values. Emits BENCH_table3_async.json.
 //
 //   ./bench_table3_async [--scale=100] [--quick] [--tasks=LR,SVM,MLP]
 #include <iostream>
 
 #include "bench_common.hpp"
-#include "common/timer.hpp"
 #include "paper_reference.hpp"
 
 using namespace parsgd;
@@ -19,18 +18,14 @@ int main(int argc, char** argv) {
   Study study(opts);
   print_banner("Table III: asynchronous SGD (to 1% of optimal loss)", opts);
 
-  const std::string tasks = cli.get("tasks", "LR,SVM,MLP");
-
   TableWriter table({"task", "dataset", "ttc gpu (s)", "ttc cpu-seq (s)",
                      "ttc cpu-par (s)", "tpi gpu (ms)", "tpi cpu-seq (ms)",
                      "tpi cpu-par (ms)", "ep gpu", "ep seq", "ep par",
                      "seq/par", "gpu/par"});
+  report::RunReport rep = make_report("table3_async", opts);
 
-  double host_secs = 0;
-  {
-    ScopedTimer host_timer(&host_secs);
-    for (const Task task : {Task::kLr, Task::kSvm, Task::kMlp}) {
-      if (tasks.find(to_string(task)) == std::string::npos) continue;
+  const double host_secs = timed_table(table, [&] {
+    for_each_task(cli, [&](Task task) {
       for (const auto& ds : all_datasets()) {
         const ConfigResult gpu =
             study.config_result(task, ds, Update::kAsync, Arch::kGpu);
@@ -56,13 +51,20 @@ int main(int argc, char** argv) {
             vs_paper(gpu.sec_per_epoch / par.sec_per_epoch,
                      ref->ratio_gpu_par),
         });
+
+        add_dataset(rep, study.dataset(task, ds));
+        const std::string key = std::string(to_string(task)) + "/" + ds;
+        rep.add_entry(entry_from(key + "/async/gpu", task, ds,
+                                 Update::kAsync, Arch::kGpu, gpu));
+        rep.add_entry(entry_from(key + "/async/cpu-seq", task, ds,
+                                 Update::kAsync, Arch::kCpuSeq, seq));
+        rep.add_entry(entry_from(key + "/async/cpu-par", task, ds,
+                                 Update::kAsync, Arch::kCpuPar, par));
       }
       table.add_rule();
-    }
-  }
-  table.print(std::cout);
-  std::printf("host wall time: %.2fs (modeled times above are paper-scale)\n",
-              host_secs);
+    });
+  });
+  emit_report(cli, opts, rep, host_secs);
 
   std::cout << "\nheadline checks (paper section IV-C):\n"
                "  * CPU (best of seq/par) should beat gpu in ttc everywhere\n"

@@ -17,11 +17,14 @@
 
 #include "common/cli.hpp"
 #include "common/format.hpp"
+#include "common/log.hpp"
+#include "common/timer.hpp"
 #include "core/export.hpp"
 #include "data/generator.hpp"
 #include "data/mlp_view.hpp"
 #include "models/linear.hpp"
 #include "models/mlp.hpp"
+#include "report/report.hpp"
 #include "sgd/checkpoint.hpp"
 #include "sgd/convergence.hpp"
 #include "sgd/spec.hpp"
@@ -46,6 +49,8 @@ namespace {
                " [--trace-out=trace.json]\n"
                "       [--metrics-out=metrics.csv] [--prom-out=<path>]"
                " [--verbose]\n"
+               "       [--report-out=<path>] [--heartbeat=<secs>]\n"
+               "       [--version] [--build-info]\n"
                "engine spec examples: async/cpu-par/sparse,\n"
                "  sync/gpu/dense:calib=mlp,batch=64,"
                " sync/cpu+gpu/dense:phi=0.6\n",
@@ -64,8 +69,25 @@ void write_file(const std::string& path, const char* what, Fn&& fn) {
   std::printf("  wrote %s to %s\n", what, path.c_str());
 }
 
+/// --version / --build-info: print the baked-in build provenance (the
+/// same manifest every RunReport carries) and exit.
+void print_build_info(bool verbose) {
+  const report::BuildInfo& b = report::build_info();
+  std::printf("parsgd_cli %s (%s, report schema v%d)\n", b.git_sha.c_str(),
+              b.git_state.c_str(), report::kSchemaVersion);
+  if (!verbose) return;
+  std::printf("  compiler   : %s\n", b.compiler.c_str());
+  std::printf("  build type : %s\n", b.build_type.c_str());
+  std::printf("  C++ std    : %s\n", b.cxx_standard.c_str());
+  std::printf("  flags      : %s\n", b.flags.c_str());
+}
+
 int run(int argc, char** argv) {
   const Cli cli(argc, argv);
+  if (cli.has("version") || cli.has("build-info")) {
+    print_build_info(cli.has("build-info"));
+    return 0;
+  }
   const std::string task = cli.get("task", "LR");
   const std::string dataset = cli.get("dataset", "covtype");
   const std::string engine_arg = cli.get("engine", "");
@@ -160,6 +182,11 @@ int run(int argc, char** argv) {
   TrainOptions t;
   t.max_epochs = epochs;
   t.prefer_dense = spec.layout == Layout::kDense;
+  t.heartbeat_seconds = cli.get_double("heartbeat", 0.0);
+  if (t.heartbeat_seconds > 0 &&
+      static_cast<int>(log_level()) > static_cast<int>(LogLevel::kInfo)) {
+    set_log_level(LogLevel::kInfo);  // heartbeats log at INFO
+  }
   t.watchdog.enabled = cli.get_bool("watchdog", false);
   t.checkpoint_path = cli.get("checkpoint", "");
   std::optional<TrainCheckpoint> ck;
@@ -170,8 +197,10 @@ int run(int argc, char** argv) {
     std::printf("  resuming from %s at epoch %zu\n", resume_path.c_str(),
                 ck->next_epoch);
   }
+  const Timer host_timer;
   const RunResult run = run_training(*engine, *model, ctx.data, w0,
                                      static_cast<real_t>(alpha), t);
+  const double host_secs = host_timer.seconds();
   for (const RecoveryEvent& ev : run.recoveries) {
     std::printf("  watchdog: recovered at epoch %zu (%s, loss %.4g), "
                 "alpha scale now %g\n",
@@ -202,6 +231,35 @@ int run(int argc, char** argv) {
                     static_cast<std::size_t>(session->trace().dropped()));
       }
     }
+  }
+
+  // --report-out: drop the full provenance + three-axis + telemetry
+  // manifest next to the console summary (DESIGN.md §13).
+  const std::string report_out = cli.get("report-out", "");
+  if (!report_out.empty()) {
+    report::RunReport rep("cli");
+    rep.engine_spec = format_spec(spec);
+    rep.seed = gen.seed;
+    rep.threads = threads;
+    rep.scale = gen.scale;
+    rep.host_seconds = host_secs;
+    rep.datasets.push_back(report::DatasetInfo::from(ds));
+    report::Entry e;
+    e.label = task + "/" + dataset + "/" + rep.engine_spec;
+    e.task = task;
+    e.dataset = dataset;
+    e.spec = rep.engine_spec;
+    e.alpha = alpha;
+    e.diverged = run.diverged;
+    e.axes = report::Axes::from(run, run.best_loss());
+    rep.add_entry(std::move(e));
+    rep.add_metrics(session.get());
+    if (const gpusim::Device* dev = engine->device()) {
+      rep.add_kernels(*dev);
+    }
+    write_file(report_out, "run report", [&](std::ostream& os) {
+      report::write_report(os, rep);
+    });
   }
 
   const ConvergencePoint p1 = convergence_point(run, run.best_loss(), 0.01);

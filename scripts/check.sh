@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# The repo's verification gate (ROADMAP.md): configure + build with
+# warnings-as-errors, run the tier-1 ctest label, then smoke the
+# perf-regression tooling end to end — a quick bench emits its
+# BENCH_*.json run report and parsgd_compare self-diffs it (a report can
+# never regress against itself, so any non-zero exit is a tooling bug).
+#
+#   scripts/check.sh            # uses ./build
+#   BUILD_DIR=out scripts/check.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${BUILD_DIR:-build}"
+cmake -B "$BUILD_DIR" -S . -DPARSGD_WERROR=ON
+cmake --build "$BUILD_DIR" -j
+ctest --test-dir "$BUILD_DIR" -L tier1 --output-on-failure -j"$(nproc)"
+
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+"$BUILD_DIR/bench/bench_fig5_hwspec" --report-dir="$tmp" >/dev/null
+"$BUILD_DIR/examples/parsgd_compare" \
+    "$tmp/BENCH_fig5_hwspec.json" "$tmp/BENCH_fig5_hwspec.json" \
+    --require-same-sha
+echo "check.sh: tier-1 gate + regression-gate smoke OK"

@@ -52,7 +52,7 @@ void GpuHogwild::instrument(std::span<const real_t> w) {
 
   device_.reset_stats();
   const KernelStats sample = gpusim::launch(
-      device_, {blocks, warps_per_block * kWarpSize},
+      device_, {blocks, warps_per_block * kWarpSize, "hogwild"},
       [&](gpusim::BlockCtx& blk) {
         for (int wi = 0; wi < blk.num_warps(); ++wi) {
           const std::size_t warp_id =

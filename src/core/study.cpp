@@ -163,6 +163,7 @@ StepSearchOptions make_search_options(const StudyOptions& study, Task task,
   s.full_epochs = full_epochs;
   s.train.prefer_dense = dense;
   s.train.max_epochs = full_epochs;
+  s.train.heartbeat_seconds = study.heartbeat_seconds;
   (void)task;
   return s;
 }

@@ -59,6 +59,9 @@ struct StudyOptions {
   std::size_t hogbatch_paper_batch = 512;  ///< scaled by `scale`
   std::vector<double> step_grid = {1e-6, 1e-5, 1e-4, 1e-3, 1e-2,
                                    1e-1, 1.0,  10.0, 100.0};
+  /// Forwarded to TrainOptions::heartbeat_seconds for every run the study
+  /// launches (0 = off; logging only, trajectories are unaffected).
+  double heartbeat_seconds = 0;
 };
 
 /// Everything the benches report for one configuration.

@@ -10,7 +10,9 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <map>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "common/check.hpp"
@@ -45,8 +47,16 @@ class Device {
     return allocated_ + bytes <= spec_.global_bytes;
   }
 
-  void record_kernel(const KernelStats& s) {
+  void record_kernel(const KernelStats& s) { record_kernel(nullptr, s); }
+
+  /// Named variant: also accumulates into the per-kernel breakdown that
+  /// run reports export (DESIGN.md §13). A null/empty name lands in the
+  /// "kernel" bucket. Like the telemetry mirror, the named breakdown
+  /// survives reset_stats(), so sampled-epoch simulators that reset their
+  /// own accounting still report every launch.
+  void record_kernel(const char* name, const KernelStats& s) {
     totals_ += s;
+    named_[(name != nullptr && *name != '\0') ? name : "kernel"] += s;
     // Telemetry mirror (per launch, a handful of relaxed adds): the
     // simulated execution-pathology counters of DESIGN.md §12, which
     // survive the engines' own reset_stats() bookkeeping.
@@ -88,6 +98,11 @@ class Device {
 
   /// Aggregate stats since construction / last reset_stats().
   const KernelStats& totals() const { return totals_; }
+  /// Per-kernel-name breakdown since construction (never reset; sorted by
+  /// name, so report output is deterministic).
+  const std::map<std::string, KernelStats>& named_stats() const {
+    return named_;
+  }
   std::size_t transfer_bytes() const { return transfer_bytes_; }
   void reset_stats() {
     totals_ = KernelStats{};
@@ -107,6 +122,7 @@ class Device {
   std::size_t allocated_ = 0;
   std::size_t transfer_bytes_ = 0;
   KernelStats totals_;
+  std::map<std::string, KernelStats> named_;  ///< survives reset_stats()
   /// Telemetry mirror handles (set_telemetry); null when detached.
   telemetry::Counter* c_launches_ = nullptr;
   telemetry::Counter* c_mem_transactions_ = nullptr;

@@ -25,7 +25,8 @@ double reduce_sum(Device& dev, const DeviceBuffer<real_t>& data,
   DeviceBuffer<real_t> out(dev, 1);
   out.fill(0);
 
-  const KernelStats s = launch(dev, {blocks, kThreads}, [&](BlockCtx& blk) {
+  const KernelStats s = launch(dev, {blocks, kThreads, "reduce_sum"},
+                               [&](BlockCtx& blk) {
     auto partial = blk.alloc_shared<real_t>(kWarpsPerBlock);
     // Phase 1: each warp loads coalesced elements and shuffle-reduces.
     for (int wi = 0; wi < blk.num_warps(); ++wi) {
@@ -83,7 +84,8 @@ std::vector<std::uint32_t> histogram_impl(
   DeviceBuffer<real_t> counts(dev, bins);
   counts.fill(0);
 
-  const KernelStats s = launch(dev, {blocks, kThreads}, [&](BlockCtx& blk) {
+  const KernelStats s = launch(dev, {blocks, kThreads, "histogram"},
+                               [&](BlockCtx& blk) {
     SharedArray<real_t> local = privatized
                                     ? blk.alloc_shared<real_t>(bins)
                                     : SharedArray<real_t>(0);
@@ -187,7 +189,8 @@ DenseMatrix transpose(Device& dev, const DenseMatrix& in, bool padded,
   const int blocks = std::max(1, static_cast<int>(tiles_r * tiles_c));
   const std::size_t stride = kTile + (padded ? 1 : 0);
 
-  const KernelStats s = launch(dev, {blocks, kThreads}, [&](BlockCtx& blk) {
+  const KernelStats s = launch(dev, {blocks, kThreads, "transpose"},
+                               [&](BlockCtx& blk) {
     auto tile = blk.alloc_shared<real_t>(kTile * stride);
     const std::size_t tr =
         static_cast<std::size_t>(blk.block_idx()) / tiles_c;

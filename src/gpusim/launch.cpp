@@ -84,6 +84,7 @@ KernelStats schedule(const GpuSpec& spec, const std::vector<WarpCost>& blocks,
                           latency_exposed;
     worst = std::max(worst, cycles);
 
+    s.atomic_serial_cycles += sm.atomic_cycles;
     s.issue_cycles += sm.issue_cycles;
     s.mem_transactions += sm.global_transactions + sm.l2_transactions;
     s.mem_bytes += sm.mem_bytes;
@@ -114,7 +115,7 @@ KernelStats launch(Device& dev, const LaunchConfig& cfg,
   }
   KernelStats s =
       schedule(dev.spec(), block_costs, cfg.block_threads, shared_bytes);
-  dev.record_kernel(s);
+  dev.record_kernel(cfg.name, s);
   return s;
 }
 
@@ -136,7 +137,7 @@ KernelStats launch_analytic(Device& dev, const AnalyticKernel& k) {
       k.shared_accesses * spec.cycles_shared_access / n;
   std::vector<WarpCost> blocks(k.blocks, per_block);
   KernelStats s = schedule(spec, blocks, k.block_threads, 0);
-  dev.record_kernel(s);
+  dev.record_kernel(k.name, s);
   return s;
 }
 

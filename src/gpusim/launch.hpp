@@ -34,6 +34,9 @@ namespace parsgd::gpusim {
 struct LaunchConfig {
   int blocks = 1;
   int block_threads = 128;  ///< must be a multiple check <= 1024
+  /// Kernel name for the device's per-kernel report breakdown; must be a
+  /// string literal (not copied). Null lands in the "kernel" bucket.
+  const char* name = nullptr;
 };
 
 /// Execution context of one thread block.
@@ -92,6 +95,7 @@ struct AnalyticKernel {
   double shared_accesses = 0;
   int blocks = 1;
   int block_threads = 128;
+  const char* name = nullptr;  ///< see LaunchConfig::name
 };
 KernelStats launch_analytic(Device& dev, const AnalyticKernel& k);
 

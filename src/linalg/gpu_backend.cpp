@@ -48,6 +48,7 @@ void GpuBackend::charge_elementwise(std::size_t n, double flops_per_elem,
   k.blocks = std::max<int>(
       1, static_cast<int>((n + opts_.block_threads - 1) /
                           opts_.block_threads));
+  k.name = "elementwise";
   charge(gpusim::launch_analytic(device_, k));
 }
 
@@ -68,6 +69,7 @@ void GpuBackend::gemv(const DenseMatrix& a, std::span<const real_t> x,
   k.l2_bytes = static_cast<double>((x.size() + y.size()) * sizeof(real_t));
   k.block_threads = opts_.block_threads;
   k.blocks = std::max<int>(1, static_cast<int>(a.rows() / 4 + 1));
+  k.name = "gemv";
   charge(gpusim::launch_analytic(device_, k));
 }
 
@@ -96,7 +98,8 @@ void GpuBackend::spmv(const CsrMatrix& a, std::span<const real_t> x,
     const int blocks = static_cast<int>(
         (m + warps_per_block - 1) / std::max(1, warps_per_block));
     stats = gpusim::launch(
-        device_, LaunchConfig{std::max(1, blocks), opts_.block_threads},
+        device_,
+        LaunchConfig{std::max(1, blocks), opts_.block_threads, "spmv"},
         [&](gpusim::BlockCtx& blk) {
           for (int w = 0; w < blk.num_warps(); ++w) {
             auto& warp = blk.warp(w);
@@ -150,7 +153,8 @@ void GpuBackend::spmv(const CsrMatrix& a, std::span<const real_t> x,
     const int blocks = static_cast<int>(
         (warps_needed + warps_per_block - 1) / std::max(1, warps_per_block));
     stats = gpusim::launch(
-        device_, LaunchConfig{std::max(1, blocks), opts_.block_threads},
+        device_,
+        LaunchConfig{std::max(1, blocks), opts_.block_threads, "spmv_t"},
         [&](gpusim::BlockCtx& blk) {
           for (int w = 0; w < blk.num_warps(); ++w) {
             auto& warp = blk.warp(w);
@@ -210,6 +214,7 @@ void GpuBackend::gemm(const DenseMatrix& a, const DenseMatrix& b,
   ak.block_threads = static_cast<int>(tile * tile);
   ak.blocks = std::max<int>(1, static_cast<int>(std::ceil(m / tile) *
                                                 std::ceil(n / tile)));
+  ak.name = "gemm";
   charge(gpusim::launch_analytic(device_, ak));
 }
 
@@ -235,6 +240,7 @@ void GpuBackend::spmm(const CsrMatrix& a, const DenseMatrix& b,
   ak.block_threads = opts_.block_threads;
   ak.blocks = std::max<int>(
       1, static_cast<int>(a.rows() * kWarpSize / opts_.block_threads + 1));
+  ak.name = "spmm";
   charge(gpusim::launch_analytic(device_, ak));
 }
 
@@ -260,6 +266,7 @@ void GpuBackend::spmm_at_b(const CsrMatrix& a, const DenseMatrix& b,
   ak.block_threads = opts_.block_threads;
   ak.blocks = std::max<int>(
       1, static_cast<int>(a.rows() * kWarpSize / opts_.block_threads + 1));
+  ak.name = "spmm_at_b";
   charge(gpusim::launch_analytic(device_, ak));
 }
 

@@ -88,6 +88,8 @@ class AsyncGpuEngine final : public Engine {
   void set_telemetry(
       std::shared_ptr<telemetry::TelemetrySession> s) override;
 
+  const gpusim::Device* device() const override { return device_.get(); }
+
  private:
   const Model& model_;
   ScaleContext scale_;

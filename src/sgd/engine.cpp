@@ -4,6 +4,8 @@
 #include <cmath>
 
 #include "common/check.hpp"
+#include "common/clock.hpp"
+#include "common/log.hpp"
 #include "sgd/checkpoint.hpp"
 
 namespace parsgd {
@@ -100,6 +102,12 @@ RunResult run_training(Engine& engine, const Model& model,
 
   telemetry::TelemetrySession* tel = engine.telemetry();
 
+  // Heartbeat bookkeeping (host wall time; see TrainOptions). Counts only
+  // epochs finished in *this* call so the ETA stays honest on resume.
+  const double hb_start = monotonic_seconds();
+  double hb_last = hb_start;
+  std::size_t hb_epochs_done = 0;
+
   std::size_t e = start_epoch;
   while (e < opts.max_epochs) {
     const real_t epoch_alpha = static_cast<real_t>(
@@ -150,6 +158,19 @@ RunResult run_training(Engine& engine, const Model& model,
 
     res.losses.push_back(loss);
     res.epoch_seconds.push_back(secs);
+    ++hb_epochs_done;
+    if (opts.heartbeat_seconds > 0) {
+      const double now = monotonic_seconds();
+      if (now - hb_last >= opts.heartbeat_seconds) {
+        hb_last = now;
+        const double per_epoch = (now - hb_start) / hb_epochs_done;
+        const double eta =
+            per_epoch * static_cast<double>(opts.max_epochs - (e + 1));
+        PARSGD_INFO << engine.name() << " epoch " << (e + 1) << "/"
+                    << opts.max_epochs << " loss=" << loss
+                    << " eta=" << eta << "s";
+      }
+    }
     if (bad) {
       res.diverged = true;
       break;

@@ -21,6 +21,10 @@
 
 namespace parsgd {
 
+namespace gpusim {
+class Device;
+}
+
 struct TrainCheckpoint;
 
 enum class Arch { kCpuSeq, kCpuPar, kGpu };
@@ -68,6 +72,10 @@ class Engine {
     faults_.set_telemetry(telemetry_.get());
   }
   telemetry::TelemetrySession* telemetry() const { return telemetry_.get(); }
+
+  /// The simulated GPU this engine runs on, or null for CPU engines.
+  /// Reports harvest the per-kernel stats breakdown through this.
+  virtual const gpusim::Device* device() const { return nullptr; }
 
  protected:
   /// Engines call the hooks of this injector from their run_epoch paths.
@@ -146,6 +154,11 @@ struct TrainOptions {
   /// When set, the run continues from this checkpoint instead of from w0,
   /// bit-identically to the uninterrupted run. Must outlive the call.
   const TrainCheckpoint* resume = nullptr;
+  /// Live progress heartbeat: when > 0, an INFO log line with epoch, loss
+  /// and a wall-clock ETA is emitted at most every this-many host seconds.
+  /// Pure logging off the monotonic clock — the trajectory is bit-identical
+  /// with the heartbeat on or off. 0 (default) disables.
+  double heartbeat_seconds = 0;
 };
 
 /// Runs `engine` from a copy of `w0`, recording the loss after every

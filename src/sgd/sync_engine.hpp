@@ -102,6 +102,8 @@ class SyncEngine final : public Engine {
   void set_telemetry(
       std::shared_ptr<telemetry::TelemetrySession> s) override;
 
+  const gpusim::Device* device() const override { return device_.get(); }
+
  private:
   void instrument(std::span<const real_t> w_sample);
 

@@ -1,0 +1,80 @@
+// Edge cases of the core/export writers (DESIGN.md §12): empty metric
+// registries, histograms that never saw a sample, and Prometheus name
+// sanitization for the dotted/hyphenated instrument names the codebase
+// uses internally.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "core/export.hpp"
+#include "telemetry/metrics.hpp"
+
+namespace parsgd {
+namespace {
+
+using telemetry::MetricsRegistry;
+using telemetry::MetricsSnapshot;
+
+TEST(ExportMetrics, EmptyRegistryProducesHeaderOnlyCsv) {
+  const MetricsRegistry reg;
+  std::ostringstream os;
+  write_metrics_csv(os, reg.snapshot());
+  EXPECT_EQ(os.str(), "metric,kind,value,count,p50,p90,p99,max\n");
+}
+
+TEST(ExportMetrics, EmptyRegistryProducesEmptyPrometheus) {
+  const MetricsRegistry reg;
+  std::ostringstream os;
+  write_metrics_prometheus(os, reg.snapshot());
+  EXPECT_EQ(os.str(), "");
+}
+
+TEST(ExportMetrics, ZeroSampleHistogramExportsZeroQuantiles) {
+  MetricsRegistry reg;
+  reg.histogram("pool.queue_wait_ns");  // registered, never observed
+  const MetricsSnapshot snap = reg.snapshot();
+  ASSERT_EQ(snap.samples.size(), 1u);
+  EXPECT_EQ(snap.samples[0].count, 0u);
+
+  std::ostringstream csv;
+  write_metrics_csv(csv, snap);
+  EXPECT_NE(csv.str().find("pool.queue_wait_ns,histogram,0,0,0,0,0,0"),
+            std::string::npos);
+
+  std::ostringstream prom;
+  write_metrics_prometheus(prom, snap);
+  const std::string text = prom.str();
+  // A summary with zero observations must still be well-formed: the
+  // TYPE line, all three quantiles, and a zero count.
+  EXPECT_NE(text.find("# TYPE parsgd_pool_queue_wait_ns summary"),
+            std::string::npos);
+  EXPECT_NE(text.find("{quantile=\"0.99\"} 0"), std::string::npos);
+}
+
+TEST(ExportMetrics, PrometheusSanitizesDottedAndHyphenatedNames) {
+  MetricsRegistry reg;
+  reg.counter("gpu.kernel-launches").inc();
+  reg.gauge("engine.threads-active").set(3);
+  std::ostringstream prom;
+  write_metrics_prometheus(prom, reg.snapshot());
+  const std::string text = prom.str();
+  // Dots and hyphens both become underscores; the parsgd_ prefix keeps
+  // the names collision-free in a shared scrape.
+  EXPECT_NE(text.find("parsgd_gpu_kernel_launches 1"), std::string::npos);
+  EXPECT_NE(text.find("parsgd_engine_threads_active 3"), std::string::npos);
+  EXPECT_EQ(text.find("gpu.kernel-launches"), std::string::npos);
+  // No unsanitized character survives anywhere in a metric-name position.
+  for (const char c : {'.', '-'}) {
+    EXPECT_EQ(text.find(std::string("parsgd_") + c), std::string::npos);
+  }
+}
+
+TEST(ExportMetrics, CsvEscapesReservedCharacters) {
+  EXPECT_EQ(csv_escape("plain"), "plain");
+  EXPECT_EQ(csv_escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+}
+
+}  // namespace
+}  // namespace parsgd

@@ -1,0 +1,321 @@
+// Tier-1 coverage of the run-report subsystem (DESIGN.md §13): JSON
+// round-trip bit-stability, the three-axis math against a hand-computed
+// trajectory, the regression comparator's tolerance gates, schema-version
+// rejection, and the contract that reporting/heartbeat never perturbs a
+// training trajectory.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <memory>
+#include <sstream>
+#include <string>
+
+#include "common/check.hpp"
+#include "common/log.hpp"
+#include "data/generator.hpp"
+#include "models/linear.hpp"
+#include "report/json.hpp"
+#include "report/report.hpp"
+#include "sgd/sync_engine.hpp"
+#include "telemetry/session.hpp"
+
+namespace parsgd {
+namespace {
+
+using report::Axes;
+using report::CompareOptions;
+using report::CompareResult;
+using report::Entry;
+using report::RunReport;
+
+/// A fully-populated synthetic report exercising every serialized field.
+RunReport sample_report() {
+  RunReport r("unit");
+  r.engine_spec = "sync/gpu/sparse";
+  r.seed = 42;
+  r.threads = 56;
+  r.scale = 500;
+  r.host_seconds = 1.25;
+
+  report::DatasetInfo ds;
+  ds.name = "w8a";
+  ds.rows = 512;
+  ds.paper_rows = 64700;
+  ds.cols = 300;
+  ds.nnz = 5966;
+  ds.nnz_avg = 11.65234375;
+  ds.sparsity_percent = 3.8833333333333333;
+  r.datasets.push_back(ds);
+
+  Entry e;
+  e.label = "LR/w8a/sync/gpu";
+  e.task = "LR";
+  e.dataset = "w8a";
+  e.spec = "sync/gpu/sparse";
+  e.alpha = 0.1;
+  e.axes.sec_per_epoch = 2.0;
+  e.axes.epochs_to_10pct = 3;
+  e.axes.epochs_to_1pct = 7;
+  e.axes.ttc_10pct = 6.0;
+  e.axes.ttc_1pct = 14.0;
+  e.axes.modeled_total_seconds = 20.0;
+  e.extras = {{"speedup", 4.5}, {"oddly.named-extra", 1.0 / 3.0}};
+  r.add_entry(e);
+
+  Entry unreached;
+  unreached.label = "LR/w8a/async/cpu-par";
+  unreached.task = "LR";
+  unreached.dataset = "w8a";
+  unreached.alpha = 10.0;
+  unreached.diverged = true;
+  unreached.axes.sec_per_epoch = 0.5;  // the ε fields stay -1
+  r.add_entry(unreached);
+
+  telemetry::MetricSample m;
+  m.name = "gpu.kernel_launches";
+  m.kind = telemetry::MetricKind::kCounter;
+  m.value = 17;
+  r.metrics.push_back(m);
+  telemetry::MetricSample h;
+  h.name = "pool.queue_wait_ns";
+  h.kind = telemetry::MetricKind::kHistogram;
+  h.value = 123456;
+  h.count = 10;
+  h.p50 = 8;
+  h.p90 = 64;
+  h.p99 = 128;
+  h.max = 130;
+  r.metrics.push_back(h);
+
+  report::KernelReport k;
+  k.name = "gemv";
+  k.launches = 17;
+  k.sm_cycles = 1e6;
+  k.mem_transactions = 4096;
+  k.atomic_conflicts = 3;
+  k.memory_cycles = 5e5;
+  k.compute_cycles = 4e5;
+  k.atomic_cycles = 300;
+  k.divergence_cycles = 1e3;
+  r.kernels.push_back(k);
+  return r;
+}
+
+std::string dump(const RunReport& r) {
+  std::ostringstream os;
+  report::write_report(os, r);
+  return os.str();
+}
+
+// ---- serialization -------------------------------------------------------
+
+TEST(ReportJson, RoundTripIsBitStable) {
+  const RunReport a = sample_report();
+  const std::string first = dump(a);
+  std::istringstream is(first);
+  const RunReport b = report::read_report(is);
+  // write(read(write(r))) == write(r): every field survives, numbers are
+  // re-printed identically (max_digits10 formatting is injective on
+  // doubles), member order is deterministic.
+  EXPECT_EQ(dump(b), first);
+  EXPECT_EQ(b.name, "unit");
+  EXPECT_EQ(b.seed, 42u);
+  EXPECT_EQ(b.entries.size(), 2u);
+  ASSERT_NE(b.find("LR/w8a/sync/gpu"), nullptr);
+  EXPECT_DOUBLE_EQ(b.find("LR/w8a/sync/gpu")->axes.ttc_1pct, 14.0);
+  EXPECT_EQ(b.find("LR/w8a/async/cpu-par")->axes.epochs_to_1pct, -1);
+  EXPECT_TRUE(b.find("LR/w8a/async/cpu-par")->diverged);
+  ASSERT_EQ(b.metrics.size(), 2u);
+  EXPECT_EQ(b.metrics[1].count, 10u);
+  ASSERT_EQ(b.kernels.size(), 1u);
+  EXPECT_DOUBLE_EQ(b.kernels[0].atomic_cycles, 300.0);
+}
+
+TEST(ReportJson, RejectsForeignSchemaVersion) {
+  RunReport r = sample_report();
+  r.schema_version = report::kSchemaVersion + 1;
+  std::istringstream is(dump(r));
+  EXPECT_THROW(report::read_report(is), CheckError);
+}
+
+TEST(ReportJson, RejectsMalformedDocument) {
+  std::istringstream is("{\"schema_version\": 1, \"name\": ");
+  EXPECT_THROW(report::read_report(is), CheckError);
+}
+
+TEST(ReportJson, EmitWritesLoadableFile) {
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() / "parsgd_report_test";
+  std::filesystem::remove_all(dir);
+  const RunReport r = sample_report();
+  const std::string path = report::emit(r, dir.string());
+  EXPECT_EQ(std::filesystem::path(path).filename(), "BENCH_unit.json");
+  const RunReport back = report::load_report(path);
+  EXPECT_EQ(dump(back), dump(r));
+  std::filesystem::remove_all(dir);
+}
+
+// ---- three-axis math -----------------------------------------------------
+
+TEST(ReportAxes, MatchesHandComputedTrajectory) {
+  // Loss 100 -> 12 -> 4 -> 2 -> 2, 2.0 modeled seconds per epoch, optimum
+  // 2.0. Within 10% means <= 2.2 (epoch 3); within 1% means <= 2.02
+  // (epoch 3 as well — loss 2 IS the optimum).
+  RunResult run;
+  run.initial_loss = 100;
+  run.losses = {12, 4, 2, 2};
+  run.epoch_seconds = {2, 2, 2, 2};
+  const Axes a = Axes::from(run, 2.0);
+  EXPECT_DOUBLE_EQ(a.sec_per_epoch, 2.0);
+  EXPECT_DOUBLE_EQ(a.modeled_total_seconds, 8.0);
+  EXPECT_DOUBLE_EQ(a.epochs_to_10pct, 3);
+  EXPECT_DOUBLE_EQ(a.epochs_to_1pct, 3);
+  EXPECT_DOUBLE_EQ(a.ttc_10pct, 6.0);
+  EXPECT_DOUBLE_EQ(a.ttc_1pct, 6.0);
+}
+
+TEST(ReportAxes, UnreachedLevelsStayNegative) {
+  RunResult run;
+  run.initial_loss = 100;
+  run.losses = {50, 40};
+  run.epoch_seconds = {1, 1};
+  const Axes a = Axes::from(run, 2.0);  // never gets near the optimum
+  EXPECT_DOUBLE_EQ(a.sec_per_epoch, 1.0);
+  EXPECT_EQ(a.epochs_to_10pct, -1);
+  EXPECT_EQ(a.ttc_1pct, -1);
+}
+
+TEST(ReportAxes, EmptyRunIsAllSentinels) {
+  const Axes a = Axes::from(RunResult{}, 1.0);
+  EXPECT_EQ(a.sec_per_epoch, -1);
+  EXPECT_EQ(a.modeled_total_seconds, -1);
+}
+
+// ---- regression comparator -----------------------------------------------
+
+TEST(ReportCompare, SelfDiffIsClean) {
+  const RunReport r = sample_report();
+  CompareOptions opts;
+  opts.require_same_sha = true;
+  const CompareResult res = report::compare_reports(r, r, opts);
+  EXPECT_TRUE(res.ok());
+  EXPECT_TRUE(res.regressions.empty());
+}
+
+TEST(ReportCompare, FlagsInjectedSecPerEpochRegression) {
+  const RunReport base = sample_report();
+  RunReport cur = sample_report();
+  // 20% slower per epoch: past the 10% hardware-efficiency tolerance.
+  cur.entries[0].axes.sec_per_epoch *= 1.20;
+  const CompareResult res = report::compare_reports(base, cur);
+  ASSERT_FALSE(res.ok());
+  ASSERT_EQ(res.regressions.size(), 1u);
+  EXPECT_EQ(res.regressions[0].axis, "sec_per_epoch");
+  EXPECT_EQ(res.regressions[0].label, "LR/w8a/sync/gpu");
+  EXPECT_NEAR(res.regressions[0].rel, 0.20, 1e-12);
+}
+
+TEST(ReportCompare, AcceptsWithinToleranceNoise) {
+  const RunReport base = sample_report();
+  RunReport cur = sample_report();
+  cur.entries[0].axes.sec_per_epoch *= 1.05;     // +5% < 10% tol
+  cur.entries[0].axes.epochs_to_1pct *= 1.08;    // +8% < 10% tol
+  cur.entries[0].axes.ttc_1pct *= 1.12;          // +12% < 15% tol
+  cur.entries[0].extras[0].second *= 1.20;       // ±20% < 25% tol
+  EXPECT_TRUE(report::compare_reports(base, cur).ok());
+}
+
+TEST(ReportCompare, ImprovementsNeverRegress) {
+  const RunReport base = sample_report();
+  RunReport cur = sample_report();
+  cur.entries[0].axes.sec_per_epoch *= 0.5;  // 2x faster
+  cur.entries[0].axes.epochs_to_1pct = 2;
+  cur.entries[0].axes.ttc_1pct = 4;
+  const CompareResult res = report::compare_reports(base, cur);
+  EXPECT_TRUE(res.ok());
+  EXPECT_FALSE(res.notes.empty());  // improvements are reported as notes
+}
+
+TEST(ReportCompare, ReachedBecomingUnreachedRegresses) {
+  const RunReport base = sample_report();
+  RunReport cur = sample_report();
+  cur.entries[0].axes.epochs_to_1pct = -1;
+  cur.entries[0].axes.ttc_1pct = -1;
+  const CompareResult res = report::compare_reports(base, cur);
+  EXPECT_FALSE(res.ok());
+}
+
+TEST(ReportCompare, DisappearedEntryRegresses) {
+  const RunReport base = sample_report();
+  RunReport cur = sample_report();
+  cur.entries.erase(cur.entries.begin());
+  const CompareResult res = report::compare_reports(base, cur);
+  ASSERT_FALSE(res.ok());
+  EXPECT_EQ(res.regressions[0].axis, "entry disappeared");
+}
+
+TEST(ReportCompare, FreshDivergenceRegresses) {
+  const RunReport base = sample_report();
+  RunReport cur = sample_report();
+  cur.entries[0].diverged = true;
+  EXPECT_FALSE(report::compare_reports(base, cur).ok());
+}
+
+TEST(ReportCompare, ShaMismatchOnlyWhenRequired) {
+  const RunReport base = sample_report();
+  RunReport cur = sample_report();
+  cur.build.git_sha = "deadbeef0000";
+  EXPECT_TRUE(report::compare_reports(base, cur).ok());
+  CompareOptions strict;
+  strict.require_same_sha = true;
+  EXPECT_FALSE(report::compare_reports(base, cur, strict).ok());
+}
+
+TEST(ReportCompare, DifferentBenchesAreNotComparable) {
+  const RunReport base = sample_report();
+  RunReport cur = sample_report();
+  cur.name = "other_bench";
+  EXPECT_THROW(report::compare_reports(base, cur), CheckError);
+}
+
+// ---- observation does not perturb the experiment -------------------------
+
+TEST(ReportTraining, HeartbeatAndReportingPreserveTrajectory) {
+  Dataset ds = generate_dataset(
+      "w8a", GeneratorOptions{.seed = 7, .scale = 500.0});
+  LogisticRegression lr(ds.d());
+  TrainData data;
+  data.sparse = &ds.x;
+  data.y = ds.y;
+  const ScaleContext scale = make_scale_context(ds, lr, false);
+  const auto w0 = lr.init_params(7);
+
+  const LogLevel saved = log_level();
+  set_log_level(LogLevel::kOff);  // heartbeat fires every epoch; mute it
+  auto losses = [&](double heartbeat, bool telemetry) {
+    SyncEngine e(lr, data, scale, SyncEngineOptions{});
+    TrainOptions t;
+    t.max_epochs = 8;
+    t.heartbeat_seconds = heartbeat;
+    if (telemetry) {
+      e.set_telemetry(std::make_shared<telemetry::TelemetrySession>(
+          telemetry::TelemetryMode::kMetrics));
+    }
+    return run_training(e, lr, data, w0, real_t(0.5), t).losses;
+  };
+  const auto plain = losses(0, false);
+  EXPECT_EQ(plain, losses(1e-9, false));  // heartbeat every epoch
+  EXPECT_EQ(plain, losses(1e-9, true));   // + metrics collection
+  set_log_level(saved);
+
+  // And the report built from a run is pure observation too: identical
+  // runs produce byte-identical entry serializations.
+  SyncEngine e(lr, data, scale, SyncEngineOptions{});
+  TrainOptions t;
+  t.max_epochs = 8;
+  const RunResult run = run_training(e, lr, data, w0, real_t(0.5), t);
+  EXPECT_EQ(run.losses, plain);
+}
+
+}  // namespace
+}  // namespace parsgd
