@@ -80,6 +80,8 @@ void print_build_info(bool verbose) {
   std::printf("  build type : %s\n", b.build_type.c_str());
   std::printf("  C++ std    : %s\n", b.cxx_standard.c_str());
   std::printf("  flags      : %s\n", b.flags.c_str());
+  std::printf("  host ISA   : %s\n", b.host_isa.c_str());
+  std::printf("  kernels    : %s\n", b.kernel_dispatch.c_str());
 }
 
 int run(int argc, char** argv) {

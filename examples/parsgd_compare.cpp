@@ -11,6 +11,7 @@
 // unreadable or mismatched reports.
 #include <cstdio>
 #include <exception>
+#include <fstream>
 #include <string>
 
 #include "common/cli.hpp"
@@ -27,6 +28,7 @@ namespace {
                "       [--tol-hw=0.10] [--tol-stat=0.10] [--tol-ttc=0.15]\n"
                "       [--tol-extra=0.25] [--no-extras]"
                " [--require-same-sha]\n"
+               "       [--junit=<path>]   write the result as JUnit XML\n"
                "exit: 0 ok, 1 regressions, 2 bad input\n",
                msg);
   std::exit(2);
@@ -61,6 +63,14 @@ int run(int argc, char** argv) {
 
   const report::CompareResult res =
       report::compare_reports(baseline, current, opts);
+  if (const std::string junit = cli.get("junit", ""); !junit.empty()) {
+    std::ofstream os(junit);
+    if (!os) usage(("cannot open --junit path '" + junit + "'").c_str());
+    report::write_junit(os, "parsgd_compare." + current.name, res);
+    os.flush();
+    if (!os) usage(("short write on --junit path '" + junit + "'").c_str());
+    std::printf("  junit: %s\n", junit.c_str());
+  }
   for (const std::string& note : res.notes) {
     std::printf("  note: %s\n", note.c_str());
   }

@@ -1,11 +1,16 @@
 #!/usr/bin/env bash
 # The repo's verification gate (ROADMAP.md): configure + build with
-# warnings-as-errors, run the tier-1 ctest label, then smoke the
-# perf-regression tooling end to end — a quick bench emits its
-# BENCH_*.json run report and parsgd_compare self-diffs it (a report can
-# never regress against itself, so any non-zero exit is a tooling bug).
+# warnings-as-errors, run the tier-1 ctest label (twice: once on the
+# dispatched SIMD kernels, once forced to the scalar reference — the
+# determinism contract says both runs must pass identically), run the
+# kernel-equivalence suite under AddressSanitizer (the SIMD tails and
+# unaligned loads are exactly where out-of-bounds reads would hide),
+# then smoke the perf-regression tooling end to end — a quick bench
+# emits its BENCH_*.json run report and parsgd_compare self-diffs it (a
+# report can never regress against itself, so any non-zero exit is a
+# tooling bug).
 #
-#   scripts/check.sh            # uses ./build
+#   scripts/check.sh            # uses ./build (+ ./build-asan)
 #   BUILD_DIR=out scripts/check.sh
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -14,6 +19,17 @@ BUILD_DIR="${BUILD_DIR:-build}"
 cmake -B "$BUILD_DIR" -S . -DPARSGD_WERROR=ON
 cmake --build "$BUILD_DIR" -j
 ctest --test-dir "$BUILD_DIR" -L tier1 --output-on-failure -j"$(nproc)"
+# Same gate with the SIMD dispatch pinned to the scalar reference: any
+# divergence between the two runs is a kernel-equivalence bug.
+PARSGD_FORCE_SCALAR=1 \
+    ctest --test-dir "$BUILD_DIR" -L tier1 --output-on-failure -j"$(nproc)"
+
+# Kernel-equivalence suite under ASan+UBSan (separate build tree so the
+# main gate binaries stay uninstrumented).
+ASAN_BUILD_DIR="${ASAN_BUILD_DIR:-${BUILD_DIR}-asan}"
+cmake -B "$ASAN_BUILD_DIR" -S . -DPARSGD_WERROR=ON -DPARSGD_SANITIZE=address
+cmake --build "$ASAN_BUILD_DIR" -j --target test_kernels
+"$ASAN_BUILD_DIR/tests/test_kernels"
 
 tmp="$(mktemp -d)"
 trap 'rm -rf "$tmp"' EXIT
@@ -21,4 +37,4 @@ trap 'rm -rf "$tmp"' EXIT
 "$BUILD_DIR/examples/parsgd_compare" \
     "$tmp/BENCH_fig5_hwspec.json" "$tmp/BENCH_fig5_hwspec.json" \
     --require-same-sha
-echo "check.sh: tier-1 gate + regression-gate smoke OK"
+echo "check.sh: tier-1 (simd + scalar) + ASan kernels + regression smoke OK"

@@ -173,11 +173,13 @@ StepSearchOptions make_search_options(const StudyOptions& study, Task task,
 /// mini-batch updates, and async CPU Hogbatch carries the gradient delay
 /// that preserves the paper's in-flight fraction (see Study::group).
 EngineSpec study_spec(Task task, Update update, Arch arch, bool dense,
-                      std::size_t hog_batch, std::size_t hog_delay) {
+                      std::size_t hog_batch, std::size_t hog_delay,
+                      bool deterministic) {
   EngineSpec s;
   s.update = update;
   s.arch = arch;
   s.layout = dense ? Layout::kDense : Layout::kSparse;
+  s.deterministic = deterministic;
   if (task == Task::kMlp) {
     s.calibration = Calibration::kMlp;
     s.batch = hog_batch;
@@ -214,7 +216,8 @@ ConfigResult Study::config_result(Task task, const std::string& name,
     return search_step_size(make_run, sopts);
   };
   auto spec_of = [&](Update u, Arch a) {
-    return study_spec(task, u, a, g.dense, g.hog_batch, g.hog_delay);
+    return study_spec(task, u, a, g.dense, g.hog_batch, g.hog_delay,
+                      opts_.deterministic);
   };
 
   if (update == Update::kSync) {

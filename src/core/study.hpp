@@ -62,6 +62,11 @@ struct StudyOptions {
   /// Forwarded to TrainOptions::heartbeat_seconds for every run the study
   /// launches (0 = off; logging only, trajectories are unaffected).
   double heartbeat_seconds = 0;
+  /// Forwarded to every spec the study builds (EngineSpec::deterministic,
+  /// spec key `det=`). On (the default) pins the order-sensitive SIMD
+  /// reductions to scalar order for bit-exact trajectories; benches run
+  /// det=off to measure the fully vectorized kernels.
+  bool deterministic = true;
 };
 
 /// Everything the benches report for one configuration.

@@ -1,0 +1,28 @@
+// Feedback path from measured microkernel speedups into the calibrated
+// cost model (DESIGN.md §14 "calibration feedback").
+//
+// SyncCalibration::cpu_kernel_efficiency (0.12 for the linear tasks) was
+// fit against the paper's ViennaCL driver, whose dense kernels run far
+// below the roofline the mechanistic model predicts. bench_micro_linalg
+// measures how much faster the dispatched SIMD microkernels are than the
+// scalar reference on the *host*; that ratio is the fraction of the
+// ViennaCL inefficiency our own kernels recover, so the efficiency a
+// host-measured run should charge is baseline * speedup, clamped into
+// [baseline, 1]: a speedup below 1 never makes the model slower than the
+// calibrated floor, and no speedup can push past the roofline.
+#pragma once
+
+#include <algorithm>
+
+namespace parsgd {
+
+/// Efficiency to charge when the measured scalar→dispatched speedup of the
+/// dense microkernels is `measured_speedup` (>= 0; values <= 1 keep the
+/// baseline). `baseline` is the ViennaCL-fit efficiency (e.g. 0.12).
+inline double calibrated_cpu_kernel_efficiency(double baseline,
+                                               double measured_speedup) {
+  const double lo = std::min(baseline, 1.0);
+  return std::clamp(baseline * measured_speedup, lo, 1.0);
+}
+
+}  // namespace parsgd

@@ -1,0 +1,36 @@
+// CPU feature detection for the microkernel dispatch. Uses the compiler
+// runtime's __builtin_cpu_supports, which folds in the OS XSAVE state
+// (XGETBV): a feature it reports is safe to execute, not merely present
+// in CPUID. Non-x86 hosts report no features and dispatch stays scalar.
+#include "kernel/kernels.hpp"
+
+namespace parsgd::kernel {
+
+namespace {
+
+CpuFeatures query_features() {
+  CpuFeatures f;
+#if (defined(__x86_64__) || defined(__i386__)) && \
+    (defined(__GNUC__) || defined(__clang__))
+  __builtin_cpu_init();
+  f.avx2 = __builtin_cpu_supports("avx2");
+  f.fma = __builtin_cpu_supports("fma");
+  f.avx512f = __builtin_cpu_supports("avx512f");
+#endif
+  return f;
+}
+
+}  // namespace
+
+const CpuFeatures& detect_cpu_features() {
+  static const CpuFeatures f = query_features();
+  return f;
+}
+
+std::string isa_name(const CpuFeatures& f) {
+  if (f.avx512f) return "avx512f";
+  if (f.avx2 && f.fma) return "avx2+fma";
+  return "baseline";
+}
+
+}  // namespace parsgd::kernel

@@ -1,0 +1,96 @@
+// Runtime dispatch: resolves the microkernel table once at first use from
+// CPUID feature detection, the set of variants the toolchain compiled,
+// and two environment overrides —
+//   PARSGD_FORCE_SCALAR=1          pin the scalar reference kernels (the
+//                                  CI both-paths gate, scripts/check.sh);
+//   PARSGD_KERNEL_VARIANT=<name>   cap the tier at scalar | avx2 | avx512.
+// Requests above the host's capability clamp down to the best available
+// tier, never up, so a forced variant cannot crash on an older CPU.
+#include "kernel/kernels.hpp"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace parsgd::kernel {
+
+const char* to_string(KernelVariant v) {
+  switch (v) {
+    case KernelVariant::kScalar: return "scalar";
+    case KernelVariant::kAvx2: return "avx2";
+    case KernelVariant::kAvx512: return "avx512";
+  }
+  return "?";
+}
+
+bool variant_available(KernelVariant v) {
+  const CpuFeatures& f = detect_cpu_features();
+  switch (v) {
+    case KernelVariant::kScalar:
+      return true;
+    case KernelVariant::kAvx2:
+      return avx2_kernels() != nullptr && f.avx2 && f.fma;
+    case KernelVariant::kAvx512:
+      return avx512_kernels() != nullptr && f.avx512f;
+  }
+  return false;
+}
+
+std::string compiled_variants() {
+  std::string out = "scalar";
+  if (avx2_kernels() != nullptr) out += ",avx2";
+  if (avx512_kernels() != nullptr) out += ",avx512";
+  return out;
+}
+
+const Kernels& kernels(KernelVariant v) {
+  // Fall through to the next lower available tier: avx512 → avx2 → scalar.
+  if (v == KernelVariant::kAvx512 && variant_available(v)) {
+    return *avx512_kernels();
+  }
+  if (v >= KernelVariant::kAvx2 &&
+      variant_available(KernelVariant::kAvx2)) {
+    return *avx2_kernels();
+  }
+  return scalar_kernels();
+}
+
+namespace {
+
+KernelVariant resolve_variant() {
+  const char* force = std::getenv("PARSGD_FORCE_SCALAR");
+  if (force != nullptr && std::strcmp(force, "0") != 0 &&
+      std::strcmp(force, "") != 0) {
+    return KernelVariant::kScalar;
+  }
+  KernelVariant cap = KernelVariant::kAvx512;
+  if (const char* req = std::getenv("PARSGD_KERNEL_VARIANT")) {
+    if (std::strcmp(req, "scalar") == 0) cap = KernelVariant::kScalar;
+    else if (std::strcmp(req, "avx2") == 0) cap = KernelVariant::kAvx2;
+    else if (std::strcmp(req, "avx512") == 0) cap = KernelVariant::kAvx512;
+    // Unknown names keep the full cap — the summary string shows what ran.
+  }
+  for (KernelVariant v : {KernelVariant::kAvx512, KernelVariant::kAvx2}) {
+    if (v <= cap && variant_available(v)) return v;
+  }
+  return KernelVariant::kScalar;
+}
+
+}  // namespace
+
+KernelVariant selected_variant() {
+  static const KernelVariant v = resolve_variant();
+  return v;
+}
+
+const Kernels& active_kernels() {
+  static const Kernels& k = kernels(selected_variant());
+  return k;
+}
+
+std::string dispatch_summary() {
+  return std::string(to_string(active_kernels().variant)) + " (host " +
+         isa_name(detect_cpu_features()) + "; compiled " +
+         compiled_variants() + ")";
+}
+
+}  // namespace parsgd::kernel

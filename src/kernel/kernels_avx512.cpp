@@ -1,0 +1,138 @@
+// AVX-512F microkernels. This TU is the only place in the tree compiled
+// with -mavx512f (plus -ffp-contract=off, see kernels_avx2.cpp for why the
+// scalar tails must not contract). Only the F subset is used: 256-bit
+// half extraction goes through the bit-preserving f64x4 cast because
+// extractf32x8 would need AVX512DQ. The table is constant-initialized —
+// querying it executes no AVX-512 instruction.
+//
+// Same accumulation strategy as AVX2 (see that TU), at twice the width:
+// dot / spmv_row keep two 8-lane double partials combined acc0+acc1 then
+// lanes low→high; axpy / scale / gemv_t_band stay mul+add in float;
+// gemm_tile FMAs exact double-widened products.
+#include "kernel/kernels.hpp"
+
+#if defined(__AVX512F__)
+
+#include <immintrin.h>
+
+namespace parsgd::kernel {
+namespace {
+
+inline __m256 lo256(__m512 v) { return _mm512_castps512_ps256(v); }
+inline __m256 hi256(__m512 v) {
+  return _mm256_castpd_ps(_mm512_extractf64x4_pd(_mm512_castps_pd(v), 1));
+}
+
+/// Horizontal sum, lanes low→high — the documented reduction order.
+inline double reduce8(__m512d v) {
+  alignas(64) double lane[8];
+  _mm512_store_pd(lane, v);
+  double acc = lane[0];
+  for (int i = 1; i < 8; ++i) acc += lane[i];
+  return acc;
+}
+
+double dot_avx512(const real_t* x, const real_t* y, std::size_t n) {
+  __m512d acc0 = _mm512_setzero_pd();
+  __m512d acc1 = _mm512_setzero_pd();
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    acc0 = _mm512_fmadd_pd(_mm512_cvtps_pd(_mm256_loadu_ps(x + i)),
+                           _mm512_cvtps_pd(_mm256_loadu_ps(y + i)), acc0);
+    acc1 = _mm512_fmadd_pd(_mm512_cvtps_pd(_mm256_loadu_ps(x + i + 8)),
+                           _mm512_cvtps_pd(_mm256_loadu_ps(y + i + 8)),
+                           acc1);
+  }
+  double acc = reduce8(_mm512_add_pd(acc0, acc1));
+  for (; i < n; ++i) acc += static_cast<double>(x[i]) * y[i];
+  return acc;
+}
+
+void axpy_avx512(real_t alpha, const real_t* x, real_t* y, std::size_t n) {
+  const __m512 av = _mm512_set1_ps(alpha);
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m512 prod = _mm512_mul_ps(av, _mm512_loadu_ps(x + i));
+    _mm512_storeu_ps(y + i, _mm512_add_ps(_mm512_loadu_ps(y + i), prod));
+  }
+  for (; i < n; ++i) y[i] += alpha * x[i];
+}
+
+void scale_avx512(real_t* x, real_t alpha, std::size_t n) {
+  const __m512 av = _mm512_set1_ps(alpha);
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    _mm512_storeu_ps(x + i, _mm512_mul_ps(av, _mm512_loadu_ps(x + i)));
+  }
+  for (; i < n; ++i) x[i] *= alpha;
+}
+
+void gemm_tile_avx512(const real_t* a, const real_t* b, std::size_t ldb,
+                      double* acc, std::size_t kc, std::size_t nc) {
+  for (std::size_t p = 0; p < kc; ++p) {
+    const double ad = static_cast<double>(a[p]);
+    const __m512d av = _mm512_set1_pd(ad);
+    const real_t* brow = b + p * ldb;
+    std::size_t j = 0;
+    for (; j + 8 <= nc; j += 8) {
+      const __m512d bv = _mm512_cvtps_pd(_mm256_loadu_ps(brow + j));
+      const __m512d cv = _mm512_loadu_pd(acc + j);
+      _mm512_storeu_pd(acc + j, _mm512_fmadd_pd(av, bv, cv));
+    }
+    for (; j < nc; ++j) acc[j] += ad * static_cast<double>(brow[j]);
+  }
+}
+
+void gemv_t_band_avx512(const real_t* a, std::size_t lda, std::size_t m,
+                        const real_t* x, real_t* y, std::size_t band) {
+  for (std::size_t r = 0; r < m; ++r, a += lda) {
+    const real_t s = x[r];
+    if (s == real_t(0)) continue;
+    const __m512 sv = _mm512_set1_ps(s);
+    std::size_t j = 0;
+    for (; j + 16 <= band; j += 16) {
+      const __m512 prod = _mm512_mul_ps(sv, _mm512_loadu_ps(a + j));
+      _mm512_storeu_ps(y + j, _mm512_add_ps(_mm512_loadu_ps(y + j), prod));
+    }
+    for (; j < band; ++j) y[j] += s * a[j];
+  }
+}
+
+double spmv_row_avx512(const real_t* val, const index_t* idx,
+                       std::size_t nnz, const real_t* x) {
+  __m512d acc0 = _mm512_setzero_pd();
+  __m512d acc1 = _mm512_setzero_pd();
+  std::size_t k = 0;
+  for (; k + 16 <= nnz; k += 16) {
+    const __m512i iv = _mm512_loadu_si512(idx + k);
+    const __m512 xv = _mm512_i32gather_ps(iv, x, sizeof(real_t));
+    const __m512 vv = _mm512_loadu_ps(val + k);
+    acc0 = _mm512_fmadd_pd(_mm512_cvtps_pd(lo256(vv)),
+                           _mm512_cvtps_pd(lo256(xv)), acc0);
+    acc1 = _mm512_fmadd_pd(_mm512_cvtps_pd(hi256(vv)),
+                           _mm512_cvtps_pd(hi256(xv)), acc1);
+  }
+  double acc = reduce8(_mm512_add_pd(acc0, acc1));
+  for (; k < nnz; ++k) acc += static_cast<double>(val[k]) * x[idx[k]];
+  return acc;
+}
+
+constexpr Kernels kAvx512Table = {
+    KernelVariant::kAvx512, 16,           dot_avx512,
+    axpy_avx512,            scale_avx512, gemm_tile_avx512,
+    gemv_t_band_avx512,     spmv_row_avx512,
+};
+
+}  // namespace
+
+const Kernels* avx512_kernels() { return &kAvx512Table; }
+
+}  // namespace parsgd::kernel
+
+#else  // toolchain without AVX-512F support for this TU
+
+namespace parsgd::kernel {
+const Kernels* avx512_kernels() { return nullptr; }
+}  // namespace parsgd::kernel
+
+#endif

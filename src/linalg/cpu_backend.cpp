@@ -48,13 +48,14 @@ const real_t* resolve_operand(const DenseMatrix& src, bool trans,
 }
 
 /// C rows [lo, hi) of the m x n product A' (m x k) * B' (k x n), both
-/// row-major with transposes already resolved. Blocked over i/k/j with a
-/// register-tiled inner loop; each output element accumulates its k
-/// products into one double in increasing-k order, so the result is
-/// bit-identical to the naive triple loop.
-void gemm_block_rows(const real_t* ap, const real_t* bp, DenseMatrix& c,
-                     std::size_t lo, std::size_t hi, std::size_t n,
-                     std::size_t k) {
+/// row-major with transposes already resolved. Blocked over i/k/j with the
+/// dispatched micro-tile kernel in the middle; each output element
+/// accumulates its k products into one double in increasing-k order, so
+/// the result is bit-identical to the naive triple loop (the vectorized
+/// micro-tile preserves that order exactly, see kernel/kernels.hpp).
+void gemm_block_rows(const kernel::Kernels& kn, const real_t* ap,
+                     const real_t* bp, DenseMatrix& c, std::size_t lo,
+                     std::size_t hi, std::size_t n, std::size_t k) {
   double acc[kGemmMc * kGemmNc];
   for (std::size_t jb = 0; jb < n; jb += kGemmNc) {
     const std::size_t nc = std::min(kGemmNc, n - jb);
@@ -64,15 +65,8 @@ void gemm_block_rows(const real_t* ap, const real_t* bp, DenseMatrix& c,
       for (std::size_t pb = 0; pb < k; pb += kGemmKc) {
         const std::size_t kc = std::min(kGemmKc, k - pb);
         for (std::size_t i = 0; i < mc; ++i) {
-          const real_t* arow = ap + (ib + i) * k + pb;
-          double* crow = acc + i * nc;
-          for (std::size_t p = 0; p < kc; ++p) {
-            const double av = static_cast<double>(arow[p]);
-            const real_t* brow = bp + (pb + p) * n + jb;
-            for (std::size_t j = 0; j < nc; ++j) {
-              crow[j] += av * static_cast<double>(brow[j]);
-            }
-          }
+          kn.gemm_tile(ap + (ib + i) * k + pb, bp + pb * n + jb, n,
+                       acc + i * nc, kc, nc);
         }
       }
       for (std::size_t i = 0; i < mc; ++i) {
@@ -88,6 +82,8 @@ void gemm_block_rows(const real_t* ap, const real_t* bp, DenseMatrix& c,
 
 CpuBackend::CpuBackend(const CpuBackendOptions& opts) : opts_(opts) {
   PARSGD_CHECK(opts_.threads >= 1);
+  simd_ = &kernel::active_kernels();
+  reduce_ = opts_.deterministic ? &kernel::scalar_kernels() : simd_;
 }
 
 std::string CpuBackend::name() const {
@@ -102,11 +98,8 @@ void CpuBackend::gemv(const DenseMatrix& a, std::span<const real_t> x,
     PARSGD_CHECK(x.size() == n && y.size() == m);
     pool().parallel_for(m, [&](std::size_t lo, std::size_t hi) {
       for (std::size_t r = lo; r < hi; ++r) {
-        double acc = 0;
-        const auto row = a.row(r);
-        for (std::size_t c = 0; c < n; ++c)
-          acc += static_cast<double>(row[c]) * x[c];
-        y[r] = static_cast<real_t>(acc);
+        y[r] = static_cast<real_t>(
+            reduce_->dot(a.row(r).data(), x.data(), n));
       }
     });
   } else {
@@ -118,12 +111,8 @@ void CpuBackend::gemv(const DenseMatrix& a, std::span<const real_t> x,
     // matrix element is still streamed exactly once.
     pool().parallel_for(n, [&](std::size_t lo, std::size_t hi) {
       std::fill(y.begin() + lo, y.begin() + hi, real_t(0));
-      for (std::size_t r = 0; r < m; ++r) {
-        const real_t s = x[r];
-        if (s == real_t(0)) continue;
-        const real_t* row = a.row(r).data();
-        for (std::size_t c = lo; c < hi; ++c) y[c] += s * row[c];
-      }
+      simd_->gemv_t_band(a.data().data() + lo, n, m, x.data(),
+                         y.data() + lo, hi - lo);
     });
   }
   sink().flops += 2.0 * static_cast<double>(m) * static_cast<double>(n);
@@ -141,10 +130,9 @@ void CpuBackend::spmv(const CsrMatrix& a, std::span<const real_t> x,
     pool().parallel_for(m, [&](std::size_t lo, std::size_t hi) {
       for (std::size_t r = lo; r < hi; ++r) {
         const auto rv = a.row(r);
-        double acc = 0;
-        for (std::size_t k = 0; k < rv.nnz(); ++k)
-          acc += static_cast<double>(rv.val[k]) * x[rv.idx[k]];
-        y[r] = static_cast<real_t>(acc);
+        y[r] = static_cast<real_t>(
+            reduce_->spmv_row(rv.val.data(), rv.idx.data(), rv.nnz(),
+                              x.data()));
       }
     });
     // Gathers from x are random at the granularity of the column pattern.
@@ -223,10 +211,10 @@ void CpuBackend::gemm(const DenseMatrix& a, const DenseMatrix& b,
 
   if (last_gemm_parallel_) {
     pool().parallel_for(m, [&](std::size_t lo, std::size_t hi) {
-      gemm_block_rows(ap, bp, c, lo, hi, n, k);
+      gemm_block_rows(*simd_, ap, bp, c, lo, hi, n, k);
     });
   } else {
-    gemm_block_rows(ap, bp, c, 0, m, n, k);
+    gemm_block_rows(*simd_, ap, bp, c, 0, m, n, k);
     if (opts_.threads > 1) {
       gemm_serial_flops_ += 2.0 * static_cast<double>(m) * n * k;
     }
@@ -251,9 +239,8 @@ void CpuBackend::spmm(const CsrMatrix& a, const DenseMatrix& b,
           std::fill(out.begin(), out.end(), real_t(0));
           const auto rv = a.row(r);
           for (std::size_t kk = 0; kk < rv.nnz(); ++kk) {
-            const real_t v = rv.val[kk];
-            const auto brow = b.row(rv.idx[kk]);
-            for (std::size_t j = 0; j < n; ++j) out[j] += v * brow[j];
+            simd_->axpy(rv.val[kk], b.row(rv.idx[kk]).data(), out.data(),
+                        n);
           }
         }
       });
@@ -277,9 +264,7 @@ void CpuBackend::spmm_at_b(const CsrMatrix& a, const DenseMatrix& b,
     const auto rv = a.row(r);
     const auto brow = b.row(r);
     for (std::size_t k = 0; k < rv.nnz(); ++k) {
-      auto crow = c.row(rv.idx[k]);
-      const real_t v = rv.val[k];
-      for (std::size_t j = 0; j < m; ++j) crow[j] += v * brow[j];
+      simd_->axpy(rv.val[k], brow.data(), c.row(rv.idx[k]).data(), m);
     }
   }
   sink().flops += 2.0 * static_cast<double>(a.nnz()) * m;
@@ -292,7 +277,7 @@ void CpuBackend::axpy(real_t alpha, std::span<const real_t> x,
                       std::span<real_t> y) {
   sink().kernel_launches += 1;  // primitive invocation (fork/join unit)
   PARSGD_CHECK(x.size() == y.size());
-  for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+  simd_->axpy(alpha, x.data(), y.data(), x.size());
   sink().flops += 2.0 * static_cast<double>(x.size());
   sink().bytes_streamed += 3.0 * static_cast<double>(x.size()) *
                            sizeof(real_t);
@@ -300,7 +285,7 @@ void CpuBackend::axpy(real_t alpha, std::span<const real_t> x,
 
 void CpuBackend::scale(std::span<real_t> x, real_t alpha) {
   sink().kernel_launches += 1;  // primitive invocation (fork/join unit)
-  for (auto& v : x) v *= alpha;
+  simd_->scale(x.data(), alpha, x.size());
   sink().flops += static_cast<double>(x.size());
   sink().bytes_streamed += 2.0 * static_cast<double>(x.size()) *
                            sizeof(real_t);
@@ -310,9 +295,7 @@ double CpuBackend::dot(std::span<const real_t> x,
                        std::span<const real_t> y) {
   sink().kernel_launches += 1;  // primitive invocation (fork/join unit)
   PARSGD_CHECK(x.size() == y.size());
-  double acc = 0;
-  for (std::size_t i = 0; i < x.size(); ++i)
-    acc += static_cast<double>(x[i]) * y[i];
+  const double acc = reduce_->dot(x.data(), y.data(), x.size());
   sink().flops += 2.0 * static_cast<double>(x.size());
   sink().bytes_streamed += 2.0 * static_cast<double>(x.size()) *
                            sizeof(real_t);

@@ -9,13 +9,17 @@
 // cache-blocked GEMM over operands resolved once per call, and
 // parallelized transposed gemv/spmv whose reduction grids depend only on
 // the problem shape, so results are bit-identical for every pool size.
-// The CostBreakdown accounting is byte-for-byte the same as the naive
-// kernels — the fast path changes wall-clock only, never modeled cost.
+// The innermost loops of those paths route through the dispatched SIMD
+// microkernel table (src/kernel/, DESIGN.md §14) selected once at startup
+// from CPUID. The CostBreakdown accounting is byte-for-byte the same as
+// the naive kernels — the fast path changes wall-clock only, never
+// modeled cost.
 #pragma once
 
 #include <memory>
 #include <vector>
 
+#include "kernel/kernels.hpp"
 #include "linalg/backend.hpp"
 #include "parallel/thread_pool.hpp"
 
@@ -34,6 +38,13 @@ struct CpuBackendOptions {
   /// Results are bit-identical for every pool size (deterministic
   /// reduction grids), so this is an execution knob, not a semantic one.
   ThreadPool* pool = nullptr;
+  /// Pin the order-sensitive reductions (dot, spmv row products) to the
+  /// scalar reference kernels so trajectories are bit-identical to the
+  /// pre-SIMD arithmetic. The remaining microkernels (axpy, scale,
+  /// transposed-gemv bands, the GEMM micro-tile) stay vectorized in every
+  /// mode because their contract guarantees bit-identical results to the
+  /// scalar reference (kernel/kernels.hpp). Spec grammar: `det=on|off`.
+  bool deterministic = true;
 };
 
 class CpuBackend final : public Backend {
@@ -96,6 +107,11 @@ class CpuBackend final : public Backend {
   }
 
   CpuBackendOptions opts_;
+  // Microkernel tables resolved once at construction: simd_ for the ops
+  // whose vectorization is bit-exact vs scalar, reduce_ for the
+  // order-sensitive reductions (== scalar table when deterministic).
+  const kernel::Kernels* simd_ = nullptr;
+  const kernel::Kernels* reduce_ = nullptr;
   bool last_gemm_parallel_ = false;
   double gemm_serial_flops_ = 0;
   // Scratch reused across calls (grow-only): packed transposed operands

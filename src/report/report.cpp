@@ -7,6 +7,7 @@
 #include <sstream>
 
 #include "common/check.hpp"
+#include "kernel/kernels.hpp"
 #include "report/build_info.hpp"
 #include "report/json.hpp"
 #include "sgd/convergence.hpp"
@@ -75,6 +76,8 @@ const BuildInfo& build_info() {
     b.build_type = PARSGD_BUILD_TYPE;
     b.flags = PARSGD_BUILD_FLAGS;
     b.cxx_standard = PARSGD_BUILD_CXX_STANDARD;
+    b.host_isa = kernel::isa_name(kernel::detect_cpu_features());
+    b.kernel_dispatch = kernel::dispatch_summary();
     return b;
   }();
   return info;
@@ -168,6 +171,8 @@ void write_report(std::ostream& os, const RunReport& report) {
   build.set("build_type", report.build.build_type);
   build.set("flags", report.build.flags);
   build.set("cxx_standard", report.build.cxx_standard);
+  build.set("host_isa", report.build.host_isa);
+  build.set("kernel_dispatch", report.build.kernel_dispatch);
   doc.set("build", std::move(build));
 
   doc.set("engine_spec", report.engine_spec);
@@ -268,6 +273,9 @@ RunReport read_report(std::istream& is) {
     r.build.build_type = get_str(*b, "build_type");
     r.build.flags = get_str(*b, "flags");
     r.build.cxx_standard = get_str(*b, "cxx_standard");
+    // Absent in pre-SIMD reports (additive-field policy): stays "".
+    r.build.host_isa = get_str(*b, "host_isa");
+    r.build.kernel_dispatch = get_str(*b, "kernel_dispatch");
   }
 
   r.engine_spec = get_str(doc, "engine_spec");
@@ -499,6 +507,62 @@ CompareResult compare_reports(const RunReport& baseline,
     }
   }
   return out;
+}
+
+// ---- JUnit export --------------------------------------------------------
+
+namespace {
+
+std::string xml_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '&': out += "&amp;"; break;
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      case '"': out += "&quot;"; break;
+      case '\'': out += "&apos;"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+void write_junit(std::ostream& os, const std::string& suite,
+                 const CompareResult& result) {
+  const std::size_t failures = result.regressions.size();
+  const std::size_t tests = failures == 0 ? 1 : failures;
+  os << "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n";
+  os << "<testsuites tests=\"" << tests << "\" failures=\"" << failures
+     << "\">\n";
+  os << "  <testsuite name=\"" << xml_escape(suite) << "\" tests=\""
+     << tests << "\" failures=\"" << failures << "\">\n";
+  if (failures == 0) {
+    os << "    <testcase name=\"no-regressions\" classname=\""
+       << xml_escape(suite) << "\"/>\n";
+  }
+  for (const Regression& reg : result.regressions) {
+    const std::string name =
+        (reg.label.empty() ? std::string("report") : reg.label) + "/" +
+        reg.axis;
+    os << "    <testcase name=\"" << xml_escape(name) << "\" classname=\""
+       << xml_escape(suite) << "\">\n";
+    os << "      <failure message=\"" << xml_escape(reg.describe())
+       << "\"/>\n";
+    os << "    </testcase>\n";
+  }
+  if (!result.notes.empty()) {
+    os << "    <system-out>";
+    for (const std::string& note : result.notes) {
+      os << xml_escape(note) << "&#10;";
+    }
+    os << "</system-out>\n";
+  }
+  os << "  </testsuite>\n";
+  os << "</testsuites>\n";
 }
 
 }  // namespace parsgd::report

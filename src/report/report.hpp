@@ -36,7 +36,11 @@ namespace parsgd::report {
 /// fields may ride on the same version, readers must tolerate absence.
 inline constexpr int kSchemaVersion = 1;
 
-/// Compile-time provenance, baked in by CMake (build_info.hpp).
+/// Compile-time provenance, baked in by CMake (build_info.hpp), plus the
+/// runtime microkernel provenance resolved once at startup: which ISA the
+/// host reports and which kernel variant set the dispatch selected
+/// (src/kernel/). Host-measured numbers are only comparable across runs
+/// that dispatched the same kernels, so both ride in every RunReport.
 struct BuildInfo {
   std::string git_sha;        ///< short SHA at configure time
   std::string git_state;      ///< "clean" / "dirty" / "unknown"
@@ -44,6 +48,8 @@ struct BuildInfo {
   std::string build_type;     ///< e.g. "RelWithDebInfo"
   std::string flags;          ///< CMAKE_CXX_FLAGS incl. build-type flags
   std::string cxx_standard;   ///< e.g. "20"
+  std::string host_isa;       ///< CPUID: "avx512f" / "avx2+fma" / "baseline"
+  std::string kernel_dispatch;///< kernel::dispatch_summary()
 };
 
 /// The binary's baked-in build provenance.
@@ -199,5 +205,13 @@ struct CompareResult {
 CompareResult compare_reports(const RunReport& baseline,
                               const RunReport& current,
                               const CompareOptions& opts = {});
+
+/// Writes `result` as a JUnit XML document (one <testcase> per regression
+/// with a <failure>, or a single passing case when clean; notes land in
+/// <system-out>), so CI dashboards can ingest parsgd_compare runs
+/// (`parsgd_compare --junit=<path>`). `suite` names the testsuite —
+/// conventionally "parsgd_compare.<bench name>".
+void write_junit(std::ostream& os, const std::string& suite,
+                 const CompareResult& result);
 
 }  // namespace parsgd::report

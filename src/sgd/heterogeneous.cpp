@@ -16,6 +16,7 @@ SyncEngineOptions device_options(const HeterogeneousOptions& opts,
   o.cpu_threads = opts.cpu_threads;
   o.calibration = opts.calibration;
   o.pool = opts.pool;
+  o.deterministic = opts.deterministic;
   return o;
 }
 
@@ -29,7 +30,8 @@ HeterogeneousEngine::HeterogeneousEngine(const Model& model,
       gpu_engine_(model, data, scale, device_options(opts, Arch::kGpu)),
       cpu_engine_(model, data, scale,
                   device_options(opts, Arch::kCpuPar)),
-      traj_backend_(linalg::CpuBackendOptions{.pool = opts.pool}) {
+      traj_backend_(linalg::CpuBackendOptions{
+          .pool = opts.pool, .deterministic = opts.deterministic}) {
   PARSGD_CHECK(opts_.gpu_fraction <= 1.0);
   traj_backend_.set_sink(&traj_cost_);
 }

@@ -33,6 +33,9 @@ struct HeterogeneousOptions {
   /// Execution pool for both device engines and the trajectory backend;
   /// nullptr = the process-global pool.
   ThreadPool* pool = nullptr;
+  /// Pin the CPU backend's order-sensitive reductions to the scalar
+  /// reference order (CpuBackendOptions::deterministic; spec key `det=`).
+  bool deterministic = true;
 };
 
 class HeterogeneousEngine final : public Engine {

@@ -166,6 +166,13 @@ std::optional<EngineSpec> try_parse_spec(const std::string& text,
         if (!parse_size(val, &s.delay_units)) {
           return parse_fail(error, "bad value in '" + kv + "'");
         }
+      } else if (key == "det") {
+        if (val == "on") s.deterministic = true;
+        else if (val == "off") s.deterministic = false;
+        else {
+          return parse_fail(error, "bad value in '" + kv +
+                                       "' (expected on or off)");
+        }
       } else if (key == "gemmth") {
         if (!parse_size(val, &s.gemm_parallel_threshold)) {
           return parse_fail(error, "bad value in '" + kv + "'");
@@ -230,6 +237,7 @@ std::string format_spec(const EngineSpec& spec) {
   if (spec.delay_units != 0) {
     kv.push_back("delay=" + std::to_string(spec.delay_units));
   }
+  if (!spec.deterministic) kv.push_back("det=off");
   if (spec.gemm_parallel_threshold != kDefaultGemmThreshold) {
     kv.push_back("gemmth=" + std::to_string(spec.gemm_parallel_threshold));
   }
@@ -293,6 +301,7 @@ std::unique_ptr<Engine> make_sync(const EngineSpec& spec,
   o.calibration = sync_calibration(spec.calibration);
   o.minibatch = spec.batch;
   o.pool = ctx.pool;
+  o.deterministic = spec.deterministic;
   return std::make_unique<SyncEngine>(*ctx.model, ctx.data, ctx.scale, o);
 }
 
@@ -339,6 +348,7 @@ std::unique_ptr<Engine> make_heterogeneous(const EngineSpec& spec,
   o.calibration = sync_calibration(spec.calibration);
   o.gpu_fraction = spec.gpu_fraction;
   o.pool = ctx.pool;
+  o.deterministic = spec.deterministic;
   return std::make_unique<HeterogeneousEngine>(*ctx.model, ctx.data,
                                                ctx.scale, o);
 }

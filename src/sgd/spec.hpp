@@ -62,6 +62,12 @@ struct EngineSpec {
   Calibration calibration = Calibration::kLinear;
   /// Async gradient-delay override in units (0 = auto; see AsyncSimOptions).
   std::size_t delay_units = 0;
+  /// det=on|off: pin the order-sensitive reductions of the CPU microkernel
+  /// layer to the scalar reference order so trajectories are bit-identical
+  /// run-to-run and to the pre-SIMD seed (CpuBackendOptions::deterministic).
+  /// Default on — tests and regression gates rely on exact trajectories;
+  /// benches pass det=off to measure the fully vectorized reductions.
+  bool deterministic = true;
   /// ViennaCL GEMM parallelization threshold for sync CPU engines.
   std::size_t gemm_parallel_threshold = 5000;
   /// Heterogeneous GPU example share; negative = auto (equalize devices).

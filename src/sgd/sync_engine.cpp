@@ -13,7 +13,8 @@ SyncEngine::SyncEngine(const Model& model, const TrainData& data,
                        const ScaleContext& scale,
                        const SyncEngineOptions& opts)
     : model_(model), data_(data), scale_(scale), opts_(opts),
-      traj_backend_(linalg::CpuBackendOptions{.pool = opts.pool}) {
+      traj_backend_(linalg::CpuBackendOptions{
+          .pool = opts.pool, .deterministic = opts.deterministic}) {
   if (opts_.arch == Arch::kGpu) {
     device_ = std::make_unique<gpusim::Device>(paper_gpu());
   }
@@ -60,6 +61,7 @@ void SyncEngine::instrument(std::span<const real_t> w_sample) {
     bopts.threads = threads;
     bopts.gemm_parallel_threshold = opts_.gemm_parallel_threshold;
     bopts.pool = opts_.pool;
+    bopts.deterministic = opts_.deterministic;
     linalg::CpuBackend backend(bopts);
     backend.set_sink(&cost);
     model_.sync_epoch(backend, data_, opts_.use_dense, real_t(0), scratch);

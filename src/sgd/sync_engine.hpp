@@ -80,6 +80,9 @@ struct SyncEngineOptions {
   /// nullptr = the process-global pool. Execution-only: results are
   /// bit-identical for every pool (deterministic reduction grids).
   ThreadPool* pool = nullptr;
+  /// Pin the CPU backend's order-sensitive reductions to the scalar
+  /// reference order (CpuBackendOptions::deterministic; spec key `det=`).
+  bool deterministic = true;
 };
 
 class SyncEngine final : public Engine {
