@@ -143,6 +143,8 @@ inline report::Entry entry_from(std::string label, Task task,
   e.axes.sec_per_epoch = r.sec_per_epoch;
   if (r.run) {
     e.axes.modeled_total_seconds = r.run->total_seconds();
+    e.series_loss = r.run->losses;
+    e.series_seconds = r.run->epoch_seconds;
   }
   if (r.ttc[0].reached) {
     e.axes.epochs_to_10pct = static_cast<double>(r.ttc[0].epochs);

@@ -19,13 +19,16 @@
 #include <thread>
 
 #include "common/rng.hpp"
+#include "faults/injector.hpp"
 #include "gpusim/device.hpp"
 #include "hwmodel/calibration.hpp"
 #include "kernel/kernels.hpp"
 #include "linalg/cpu_backend.hpp"
 #include "linalg/gpu_backend.hpp"
+#include "models/linear.hpp"
 #include "parallel/thread_pool.hpp"
 #include "report/report.hpp"
+#include "sgd/step_path.hpp"
 #include "sgd/sync_engine.hpp"
 
 namespace parsgd::linalg {
@@ -424,6 +427,77 @@ void BM_KernelSpmvRow(benchmark::State& state) {
 }
 BENCHMARK(BM_KernelSpmvRow)->Arg(0)->Arg(1)->Arg(2);
 
+// ---- mini-batch step path: fork-join barrier vs dataflow graph ----
+// The same synchronized mini-batch epoch (sgd/step_path) under both
+// schedulers: the legacy pooled loop (one fork-join barrier per batch)
+// and the TaskGraph path (the whole epoch as one dependency graph, no
+// per-batch barrier; DESIGN.md §15). Sparse LR with deliberately light
+// per-batch arithmetic so the scheduling floor dominates. Reproduce the
+// committed numbers:
+//   ./bench/bench_micro_linalg --benchmark_filter=StepPath
+//       --benchmark_out=micro_linalg_steppath.json
+//       --benchmark_out_format=json
+
+constexpr std::size_t kStepPathRows = 16384;
+constexpr std::size_t kStepPathCols = 512;
+constexpr std::size_t kStepPathNnzRow = 32;
+constexpr std::size_t kStepPathBatch = 2048;  ///< >= decomposition floor
+
+struct StepPathProblem {
+  CsrMatrix x;
+  std::vector<real_t> y;
+  LogisticRegression model;
+  TrainData data;
+
+  StepPathProblem()
+      : x([] {
+          Rng rng(21);
+          return random_csr_fixed_nnz(kStepPathRows, kStepPathCols,
+                                      kStepPathNnzRow, rng);
+        }()),
+        y(kStepPathRows),
+        model(kStepPathCols) {
+    Rng rng(22);
+    for (auto& v : y) v = rng.bernoulli(0.5) ? real_t(1) : real_t(-1);
+    data.sparse = &x;
+    data.y = y;
+  }
+};
+
+void step_path_epoch_bench(benchmark::State& state, GraphMode mode) {
+  const StepPathProblem p;
+  const std::vector<real_t> w0 = p.model.init_params(5);
+  std::vector<real_t> w = w0;
+  ThreadPool pool(static_cast<std::size_t>(state.range(0)));
+  FaultInjector faults;
+  MinibatchEpochOptions opts;
+  opts.minibatch = kStepPathBatch;
+  opts.pool = &pool;
+  opts.graph = mode;
+  Rng order(31);
+  for (auto _ : state) {
+    w = w0;  // keep every epoch numerically identical
+    run_minibatch_epoch(p.model, p.data, real_t(0.05), w, order, faults,
+                        nullptr, opts);
+    benchmark::DoNotOptimize(w.data());
+  }
+  const auto batches =
+      (kStepPathRows + kStepPathBatch - 1) / kStepPathBatch;
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(kStepPathRows));
+  state.counters["batches_per_epoch"] = static_cast<double>(batches);
+}
+
+void BM_StepPath_Barrier(benchmark::State& state) {
+  step_path_epoch_bench(state, GraphMode::kOff);
+}
+BENCHMARK(BM_StepPath_Barrier)->Arg(2)->Arg(8)->Unit(benchmark::kMicrosecond);
+
+void BM_StepPath_Graph(benchmark::State& state) {
+  step_path_epoch_bench(state, GraphMode::kOn);
+}
+BENCHMARK(BM_StepPath_Graph)->Arg(2)->Arg(8)->Unit(benchmark::kMicrosecond);
+
 // GPU-simulated SpMV: measures simulator overhead per nonzero and reports
 // the modeled kernel cycles as a counter.
 void BM_GpuSimSpmv(benchmark::State& state) {
@@ -618,6 +692,47 @@ int run_calibration_report(const std::string& dir) {
                                                          gemm_best_speedup),
               gemm_best_speedup);
   rep.add_entry(std::move(cal));
+
+  // Step-path scheduling overhead: the same mini-batch epoch under the
+  // per-batch fork-join barrier vs the dataflow task graph, so the
+  // barrier/graph delta is diffable across commits like the kernel
+  // speedups above.
+  {
+    const StepPathProblem p;
+    const std::vector<real_t> w0 = p.model.init_params(5);
+    std::vector<real_t> w = w0;
+    ThreadPool pool(8);
+    FaultInjector faults;
+    Rng order(31);
+    const double batches = static_cast<double>(
+        (kStepPathRows + kStepPathBatch - 1) / kStepPathBatch);
+    auto epoch_secs = [&](GraphMode mode) {
+      MinibatchEpochOptions opts;
+      opts.minibatch = kStepPathBatch;
+      opts.pool = &pool;
+      opts.graph = mode;
+      return best_secs_per_call(
+          [&] {
+            w = w0;
+            run_minibatch_epoch(p.model, p.data, real_t(0.05), w, order,
+                                faults, nullptr, opts);
+          },
+          /*reps=*/40, /*trials=*/5);
+    };
+    const double barrier_secs = epoch_secs(GraphMode::kOff);
+    const double graph_secs = epoch_secs(GraphMode::kOn);
+    report::Entry sp;
+    sp.label = "step_path/minibatch";
+    sp.extras.emplace_back("barrier_us_per_batch",
+                           barrier_secs * 1e6 / batches);
+    sp.extras.emplace_back("graph_us_per_batch", graph_secs * 1e6 / batches);
+    sp.extras.emplace_back("graph_speedup", barrier_secs / graph_secs);
+    std::printf("  step_path     barrier %8.1f us/batch  graph %8.1f "
+                "us/batch  (%.2fx)\n",
+                barrier_secs * 1e6 / batches, graph_secs * 1e6 / batches,
+                barrier_secs / graph_secs);
+    rep.add_entry(std::move(sp));
+  }
 
   const std::string path = report::emit(rep, dir);
   std::printf("report: %s\n", path.c_str());

@@ -254,6 +254,8 @@ int run(int argc, char** argv) {
     e.alpha = alpha;
     e.diverged = run.diverged;
     e.axes = report::Axes::from(run, run.best_loss());
+    e.series_loss = run.losses;
+    e.series_seconds = run.epoch_seconds;
     rep.add_entry(std::move(e));
     rep.add_metrics(session.get());
     if (const gpusim::Device* dev = engine->device()) {

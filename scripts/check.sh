@@ -24,12 +24,27 @@ ctest --test-dir "$BUILD_DIR" -L tier1 --output-on-failure -j"$(nproc)"
 PARSGD_FORCE_SCALAR=1 \
     ctest --test-dir "$BUILD_DIR" -L tier1 --output-on-failure -j"$(nproc)"
 
+# Same gate once more with the task-graph step path disabled (graph=auto
+# resolves to the legacy pooled loop), so both schedulers stay green.
+PARSGD_GRAPH=off \
+    ctest --test-dir "$BUILD_DIR" -L tier1 --output-on-failure -j"$(nproc)"
+
 # Kernel-equivalence suite under ASan+UBSan (separate build tree so the
-# main gate binaries stay uninstrumented).
+# main gate binaries stay uninstrumented). The task-graph executor runs
+# there too (lifetime/overflow bugs in lane queues and scratch buffers).
 ASAN_BUILD_DIR="${ASAN_BUILD_DIR:-${BUILD_DIR}-asan}"
 cmake -B "$ASAN_BUILD_DIR" -S . -DPARSGD_WERROR=ON -DPARSGD_SANITIZE=address
-cmake --build "$ASAN_BUILD_DIR" -j --target test_kernels
+cmake --build "$ASAN_BUILD_DIR" -j --target test_kernels --target test_task_graph
 "$ASAN_BUILD_DIR/tests/test_kernels"
+"$ASAN_BUILD_DIR/tests/test_task_graph"
+
+# The executor's concurrency (work-stealing deques, park/wake protocol,
+# atomic in-degree release) under ThreadSanitizer.
+TSAN_BUILD_DIR="${TSAN_BUILD_DIR:-${BUILD_DIR}-tsan}"
+cmake -B "$TSAN_BUILD_DIR" -S . -DPARSGD_WERROR=ON -DPARSGD_SANITIZE=thread
+cmake --build "$TSAN_BUILD_DIR" -j --target test_task_graph --target test_thread_pool
+"$TSAN_BUILD_DIR/tests/test_task_graph"
+"$TSAN_BUILD_DIR/tests/test_thread_pool"
 
 tmp="$(mktemp -d)"
 trap 'rm -rf "$tmp"' EXIT
@@ -37,4 +52,5 @@ trap 'rm -rf "$tmp"' EXIT
 "$BUILD_DIR/examples/parsgd_compare" \
     "$tmp/BENCH_fig5_hwspec.json" "$tmp/BENCH_fig5_hwspec.json" \
     --require-same-sha
-echo "check.sh: tier-1 (simd + scalar) + ASan kernels + regression smoke OK"
+echo "check.sh: tier-1 (simd + scalar + graph-off) + ASan kernels/graph" \
+     "+ TSan graph/pool + regression smoke OK"

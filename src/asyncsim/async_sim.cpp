@@ -1,11 +1,13 @@
 #include "asyncsim/async_sim.hpp"
 
 #include <algorithm>
+#include <optional>
 #include <unordered_map>
 #include <vector>
 
 #include "common/check.hpp"
 #include "faults/injector.hpp"
+#include "parallel/task_graph.hpp"
 #include "parallel/thread_pool.hpp"
 
 namespace parsgd {
@@ -129,9 +131,9 @@ CostBreakdown AsyncSim::run_epoch(std::span<real_t> w, real_t alpha,
   PARSGD_CHECK(w.size() == model_.dim());
   if (faults != nullptr && !faults->active()) faults = nullptr;
   last_stale_units_ = 0;
-  const CostBreakdown cost = snapshot_mode_
-                                 ? epoch_snapshot(w, alpha, rng, faults)
-                                 : epoch_inplace(w, alpha, rng, faults);
+  const CostBreakdown cost =
+      snapshot_mode_ ? epoch_snapshot(w, alpha, rng, faults, telemetry)
+                     : epoch_inplace(w, alpha, rng, faults, telemetry);
   if (telemetry != nullptr && telemetry->metrics_enabled()) {
     telemetry::MetricsRegistry& reg = telemetry->metrics();
     const std::size_t units =
@@ -144,7 +146,8 @@ CostBreakdown AsyncSim::run_epoch(std::span<real_t> w, real_t alpha,
 }
 
 CostBreakdown AsyncSim::epoch_inplace(std::span<real_t> w, real_t alpha,
-                                      Rng& rng, FaultInjector* faults) {
+                                      Rng& rng, FaultInjector* faults,
+                                      telemetry::TelemetrySession* telemetry) {
   CostBreakdown cost;
   const std::size_t n = data_.n();
   const std::size_t units = (n + opts_.batch - 1) / opts_.batch;
@@ -157,6 +160,18 @@ CostBreakdown AsyncSim::epoch_inplace(std::span<real_t> w, real_t alpha,
   // Scratch target for dropped updates: the work is computed (and costed)
   // but the result never reaches the shared model.
   std::vector<real_t> lost;
+  // Hogbatch step path: one task graph reused per unit (DESIGN.md §15).
+  ThreadPool& pool =
+      opts_.pool != nullptr ? *opts_.pool : ThreadPool::global();
+  std::optional<TaskGraph> graph;
+  BatchGraphScratch gscratch;
+  if (opts_.batch > 1 && graph_enabled(opts_.graph)) {
+    graph.emplace(pool, telemetry);
+    if (faults != nullptr && faults->plan().straggler_prob > 0) {
+      graph->set_task_hook(
+          [faults](std::size_t task) { faults->chunk_hook(task); });
+    }
+  }
   while (!part.exhausted()) {
     window.clear();
     for (int t = 0; t < workers; ++t) {
@@ -190,12 +205,18 @@ CostBreakdown AsyncSim::epoch_inplace(std::span<real_t> w, real_t alpha,
           cost.bytes_streamed += example_bytes(data_, begin,
                                                opts_.prefer_dense);
         } else {
-          ThreadPool& pool =
-              opts_.pool != nullptr ? *opts_.pool : ThreadPool::global();
-          model_.batch_step_pooled(pool, data_, begin, end,
-                                   opts_.prefer_dense, alpha, w,
-                                   drop ? std::span<real_t>(lost)
-                                        : w);
+          if (graph.has_value()) {
+            model_.batch_step_graph(*graph, gscratch, data_, begin, end,
+                                    opts_.prefer_dense, alpha, w,
+                                    drop ? std::span<real_t>(lost) : w,
+                                    TaskGraph::kNoTask);
+            graph->run();
+          } else {
+            model_.batch_step_pooled(pool, data_, begin, end,
+                                     opts_.prefer_dense, alpha, w,
+                                     drop ? std::span<real_t>(lost)
+                                          : w);
+          }
           if (drop) std::fill(lost.begin(), lost.end(), real_t(0));
           for (std::size_t i = begin; i < end; ++i) {
             const std::size_t k =
@@ -222,7 +243,8 @@ CostBreakdown AsyncSim::epoch_inplace(std::span<real_t> w, real_t alpha,
 }
 
 CostBreakdown AsyncSim::epoch_snapshot(std::span<real_t> w, real_t alpha,
-                                       Rng& rng, FaultInjector* faults) {
+                                       Rng& rng, FaultInjector* faults,
+                                       telemetry::TelemetrySession* telemetry) {
   // Delayed-gradient ("perturbed iterate") simulation: units execute in a
   // globally interleaved order; unit i computes its gradient from the
   // model state as of unit i - tau (tau = workers - 1: while one worker
@@ -259,6 +281,18 @@ CostBreakdown AsyncSim::epoch_snapshot(std::span<real_t> w, real_t alpha,
   std::vector<index_t> touched;
   std::vector<std::uint32_t> lines_scratch;
   std::size_t units_in_window = 0;
+  // Hogbatch step path: one task graph reused per unit (DESIGN.md §15).
+  ThreadPool& pool =
+      opts_.pool != nullptr ? *opts_.pool : ThreadPool::global();
+  std::optional<TaskGraph> graph;
+  BatchGraphScratch gscratch;
+  if (opts_.batch > 1 && graph_enabled(opts_.graph)) {
+    graph.emplace(pool, telemetry);
+    if (faults != nullptr && faults->plan().straggler_prob > 0) {
+      graph->set_task_hook(
+          [faults](std::size_t task) { faults->chunk_hook(task); });
+    }
+  }
 
   // Globally interleaved unit order: round-robin over workers.
   bool any = true;
@@ -306,10 +340,15 @@ CostBreakdown AsyncSim::epoch_snapshot(std::span<real_t> w, real_t alpha,
         cost.bytes_streamed += example_bytes(data_, begin,
                                              opts_.prefer_dense);
       } else {
-        ThreadPool& pool =
-            opts_.pool != nullptr ? *opts_.pool : ThreadPool::global();
-        model_.batch_step_pooled(pool, data_, begin, end,
-                                 opts_.prefer_dense, alpha, view, delta);
+        if (graph.has_value()) {
+          model_.batch_step_graph(*graph, gscratch, data_, begin, end,
+                                  opts_.prefer_dense, alpha, view, delta,
+                                  TaskGraph::kNoTask);
+          graph->run();
+        } else {
+          model_.batch_step_pooled(pool, data_, begin, end,
+                                   opts_.prefer_dense, alpha, view, delta);
+        }
         for (std::size_t i = begin; i < end; ++i) {
           const std::size_t k =
               data_.example(i, opts_.prefer_dense).touched();

@@ -57,6 +57,13 @@ struct AsyncSimOptions {
   /// (batch_step_pooled, bit-identical to the sequential step for every
   /// pool size); nullptr = the process-global pool.
   ThreadPool* pool = nullptr;
+  /// Step path for Hogbatch units (batch > 1): per-unit task graphs
+  /// (batch_step_graph) vs pooled fork-join steps. Units still execute in
+  /// the simulator's deterministic interleaved order — cross-unit order
+  /// *is* the staleness semantics — so the graph replaces only the
+  /// intra-unit barrier structure (DESIGN.md §15). kAuto defers to
+  /// PARSGD_GRAPH.
+  GraphMode graph = GraphMode::kAuto;
 };
 
 /// Simulates asynchronous epochs of `model` over `data`.
@@ -83,9 +90,11 @@ class AsyncSim {
 
  private:
   CostBreakdown epoch_snapshot(std::span<real_t> w, real_t alpha, Rng& rng,
-                               FaultInjector* faults);
+                               FaultInjector* faults,
+                               telemetry::TelemetrySession* telemetry);
   CostBreakdown epoch_inplace(std::span<real_t> w, real_t alpha, Rng& rng,
-                              FaultInjector* faults);
+                              FaultInjector* faults,
+                              telemetry::TelemetrySession* telemetry);
 
   const Model& model_;
   const TrainData& data_;

@@ -20,4 +20,21 @@ void Model::batch_step_pooled(ThreadPool& pool, const TrainData& data,
   batch_step(data, begin, end, prefer_dense, alpha, w_read, w_write);
 }
 
+TaskGraph::TaskId Model::batch_step_graph(
+    TaskGraph& graph, BatchGraphScratch& scratch, const TrainData& data,
+    std::size_t begin, std::size_t end, bool prefer_dense, real_t alpha,
+    std::span<const real_t> w_read, std::span<real_t> w_write,
+    TaskGraph::TaskId after) const {
+  // Default: the whole batch as one task, bit-identical to batch_step.
+  // Even undecomposed this removes the per-batch fork-join barrier —
+  // consecutive batches chain on the dependency edge alone.
+  (void)scratch;
+  const TrainData* dp = &data;
+  return graph.add(
+      [this, dp, begin, end, prefer_dense, alpha, w_read, w_write] {
+        batch_step(*dp, begin, end, prefer_dense, alpha, w_read, w_write);
+      },
+      {after}, "batch_step");
+}
+
 }  // namespace parsgd

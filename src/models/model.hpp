@@ -20,10 +20,21 @@
 #include "hwmodel/cost.hpp"
 #include "linalg/backend.hpp"
 #include "matrix/example_view.hpp"
+#include "parallel/task_graph.hpp"
 
 namespace parsgd {
 
 class ThreadPool;
+
+/// Reusable buffers for batch_step_graph: per-chunk partial gradients (and
+/// per-chunk coefficient slices for models that stage them). One scratch
+/// serves a whole epoch graph — the update-task chain guarantees at most
+/// one batch's tasks are in flight, so buffers are recycled batch to
+/// batch. Task bodies capture the scratch by pointer and index it at run
+/// time (the outer vectors may grow while later batches are being built).
+struct BatchGraphScratch {
+  std::vector<std::vector<double>> partial;  ///< per-chunk dense gradients
+};
 
 /// The training input handed to engines: sparse features always, dense
 /// when materialized, labels in {-1,+1}.
@@ -97,6 +108,28 @@ class Model {
                                  bool prefer_dense, real_t alpha,
                                  std::span<const real_t> w_read,
                                  std::span<real_t> w_write) const;
+
+  /// Builds the tasks of one mini-batch step into `graph` (DESIGN.md §15)
+  /// instead of executing it: gradient chunks over a *fixed* example grid,
+  /// partial reductions merged in a fixed fan-in order, and one model
+  /// update task. Returns the update task's id — the dependency of the
+  /// next batch's gradient tasks, so consecutive batches overlap with no
+  /// barrier between them. `after` (kNoTask for the first batch) orders
+  /// this batch's reads of `w_read` after the previous update.
+  ///
+  /// Determinism contract: the decomposition depends only on (batch size,
+  /// dim) — never on pool size — and merges in a fixed order, so
+  /// trajectories are bit-identical across worker counts and run-to-run.
+  /// Small batches fall back to one task running the sequential
+  /// batch_step, bit-identical to the pooled path. The default builds that
+  /// single task for every batch; models with a profitable decomposition
+  /// override it. Spans captured by the tasks must stay valid until the
+  /// graph runs.
+  virtual TaskGraph::TaskId batch_step_graph(
+      TaskGraph& graph, BatchGraphScratch& scratch, const TrainData& data,
+      std::size_t begin, std::size_t end, bool prefer_dense, real_t alpha,
+      std::span<const real_t> w_read, std::span<real_t> w_write,
+      TaskGraph::TaskId after) const;
 
   /// One full-batch gradient-descent epoch (Algorithm 2) expressed in
   /// linalg primitives on `backend`. Returns the loss evaluated *before*

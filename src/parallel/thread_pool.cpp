@@ -235,6 +235,20 @@ void ThreadPool::run_on_all(const std::function<void(std::size_t)>& fn) {
   finish_job();
 }
 
+void ThreadPool::run_on_all_with_caller(
+    const std::function<void(std::size_t)>& fn) {
+  publish_job(JobKind::kRunOnAll, nullptr, &fn, 0, 0);
+  // The caller participates under worker index size(); its run does not
+  // touch the dispatch counters (remaining_ tracks workers only), so
+  // finish_job still waits for every worker to return.
+  try {
+    fn(workers_.size());
+  } catch (...) {
+    record_error();
+  }
+  finish_job();
+}
+
 void ThreadPool::set_chunk_hook(std::function<void(std::size_t)> hook) {
   std::lock_guard<std::mutex> lock(mutex_);
   PARSGD_CHECK(!job_live_,

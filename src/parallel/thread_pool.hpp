@@ -60,6 +60,13 @@ class ThreadPool {
   /// Runs fn(worker_index) once on each of size() workers and blocks.
   void run_on_all(const std::function<void(std::size_t)>& fn);
 
+  /// run_on_all with the calling thread enlisted too: fn runs on every
+  /// worker (indices [0, size())) and on the caller (index size()), so a
+  /// cooperative run — e.g. a TaskGraph drain — gets size() + 1
+  /// participants instead of leaving the caller blocked. Exceptions from
+  /// any participant propagate after all have returned (first one wins).
+  void run_on_all_with_caller(const std::function<void(std::size_t)>& fn);
+
   /// Installs (or clears, with nullptr) a hook invoked with the chunk
   /// index before every parallel_for chunk body — the fault-injection
   /// seam for straggling workers (DESIGN.md §11). Must not be called

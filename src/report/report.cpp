@@ -211,6 +211,16 @@ void write_report(std::ostream& os, const RunReport& report) {
     Json extras{JsonMembers{}};
     for (const auto& [k, v] : e.extras) extras.set(k, num(v));
     o.set("extras", std::move(extras));
+    if (!e.series_loss.empty() || !e.series_seconds.empty()) {
+      Json series{JsonMembers{}};
+      Json loss{JsonArray{}};
+      for (double v : e.series_loss) loss.push(Json{num(v)});
+      series.set("loss", std::move(loss));
+      Json seconds{JsonArray{}};
+      for (double v : e.series_seconds) seconds.push(Json{num(v)});
+      series.set("seconds", std::move(seconds));
+      o.set("series", std::move(series));
+    }
     entries.push(std::move(o));
   }
   doc.set("entries", std::move(entries));
@@ -312,6 +322,19 @@ RunReport read_report(std::istream& is) {
       if (const Json* extras = o.find("extras")) {
         for (const auto& [k, v] : extras->as_object()) {
           e.extras.emplace_back(k, v.as_number());
+        }
+      }
+      // Absent in pre-series reports (additive-field policy): stays empty.
+      if (const Json* series = o.find("series")) {
+        if (const Json* loss = series->find("loss")) {
+          for (const Json& v : loss->as_array()) {
+            e.series_loss.push_back(v.as_number());
+          }
+        }
+        if (const Json* seconds = series->find("seconds")) {
+          for (const Json& v : seconds->as_array()) {
+            e.series_seconds.push_back(v.as_number());
+          }
         }
       }
       r.entries.push_back(std::move(e));

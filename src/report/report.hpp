@@ -95,6 +95,13 @@ struct Entry {
   /// Bench-specific named scalars (speedups, model constants, shape
   /// stats). Compared with the extras tolerance; order is preserved.
   std::vector<std::pair<std::string, double>> extras;
+  /// Optional per-epoch trajectory (schema v2 slice, additive): loss and
+  /// modeled seconds per epoch, parallel vectors. Empty = absent (the
+  /// "series" object is omitted from the JSON). Round-trips through
+  /// write_report/read_report; compare_reports ignores it entirely — the
+  /// series is provenance for plotting, not a regression axis.
+  std::vector<double> series_loss;
+  std::vector<double> series_seconds;
 };
 
 /// Per-kernel simulator statistics with the modeled cycles attributed to

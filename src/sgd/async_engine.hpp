@@ -37,6 +37,9 @@ struct AsyncCpuOptions {
   /// Execution pool for pooled Hogbatch steps (forwarded to the
   /// simulator); nullptr = the process-global pool.
   ThreadPool* pool = nullptr;
+  /// Hogbatch step path (forwarded to AsyncSimOptions::graph; spec key
+  /// `graph=`, DESIGN.md §15).
+  GraphMode graph = GraphMode::kAuto;
 };
 
 class AsyncCpuEngine final : public Engine {

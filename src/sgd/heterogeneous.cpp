@@ -1,8 +1,11 @@
 #include "sgd/heterogeneous.hpp"
 
 #include <algorithm>
+#include <optional>
 
 #include "linalg/cpu_backend.hpp"
+#include "parallel/thread_pool.hpp"
+#include "sgd/step_path.hpp"
 
 namespace parsgd {
 
@@ -67,14 +70,34 @@ void HeterogeneousEngine::set_telemetry(
 }
 
 double HeterogeneousEngine::run_epoch(std::span<real_t> w, real_t alpha,
-                                      Rng&) {
+                                      Rng& rng) {
   if (!epoch_seconds_) instrument(w);
   faults_.begin_epoch(w);
-  // The combined gradient equals the single-device batch gradient, so the
-  // functional trajectory is the plain synchronous epoch.
-  traj_cost_.reset();
-  model_.sync_epoch(traj_backend_, data_, opts_.use_dense, alpha, w);
-  faults_.after_update(w);
+  if (opts_.minibatch == 0) {
+    // The combined gradient equals the single-device batch gradient, so
+    // the functional trajectory is the plain synchronous epoch.
+    traj_cost_.reset();
+    model_.sync_epoch(traj_backend_, data_, opts_.use_dense, alpha, w);
+    faults_.after_update(w);
+  } else {
+    // Mini-batch schedule: same trajectory as the sync engine's minibatch
+    // path (the split only changes where gradient work executes), run
+    // through the shared step-path runner (DESIGN.md §15).
+    ThreadPool& epoch_pool =
+        opts_.pool != nullptr ? *opts_.pool : ThreadPool::global();
+    ChunkHookGuard straggle_guard(epoch_pool, faults_);
+    std::optional<PoolTelemetryGuard> tel_guard;
+    if (telemetry_ != nullptr) {
+      tel_guard.emplace(epoch_pool, telemetry_.get());
+    }
+    MinibatchEpochOptions mo;
+    mo.minibatch = opts_.minibatch;
+    mo.use_dense = opts_.use_dense;
+    mo.pool = opts_.pool;
+    mo.graph = opts_.graph;
+    run_minibatch_epoch(model_, data_, alpha, w, rng, faults_,
+                        telemetry_.get(), mo);
+  }
   return *epoch_seconds_;
 }
 

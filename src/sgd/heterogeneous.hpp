@@ -36,6 +36,16 @@ struct HeterogeneousOptions {
   /// Pin the CPU backend's order-sensitive reductions to the scalar
   /// reference order (CpuBackendOptions::deterministic; spec key `det=`).
   bool deterministic = true;
+  /// Model updates per epoch: 0 (default) = one full-batch update per
+  /// epoch — the classic split-gradient schedule, whose trajectory is
+  /// identical to plain synchronous SGD. >0 = synchronized mini-batch
+  /// updates of this size (spec key `batch=`), sharing the sync engine's
+  /// step-path runner; the modeled epoch time still comes from the
+  /// split-device instrumentation (per-batch device costs scale the same
+  /// way the full pass does).
+  std::size_t minibatch = 0;
+  /// Mini-batch step path (spec key `graph=`; DESIGN.md §15).
+  GraphMode graph = GraphMode::kAuto;
 };
 
 class HeterogeneousEngine final : public Engine {

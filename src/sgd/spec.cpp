@@ -173,6 +173,14 @@ std::optional<EngineSpec> try_parse_spec(const std::string& text,
           return parse_fail(error, "bad value in '" + kv +
                                        "' (expected on or off)");
         }
+      } else if (key == "graph") {
+        if (val == "on") s.graph = GraphMode::kOn;
+        else if (val == "off") s.graph = GraphMode::kOff;
+        else if (val == "auto") s.graph = GraphMode::kAuto;
+        else {
+          return parse_fail(error, "bad value in '" + kv +
+                                       "' (expected on, off or auto)");
+        }
       } else if (key == "gemmth") {
         if (!parse_size(val, &s.gemm_parallel_threshold)) {
           return parse_fail(error, "bad value in '" + kv + "'");
@@ -241,6 +249,9 @@ std::string format_spec(const EngineSpec& spec) {
   if (spec.gemm_parallel_threshold != kDefaultGemmThreshold) {
     kv.push_back("gemmth=" + std::to_string(spec.gemm_parallel_threshold));
   }
+  if (spec.graph != GraphMode::kAuto) {
+    kv.push_back(spec.graph == GraphMode::kOn ? "graph=on" : "graph=off");
+  }
   if (spec.heterogeneous && spec.gpu_fraction >= 0) {
     kv.push_back("phi=" + format_double(spec.gpu_fraction));
   }
@@ -302,6 +313,7 @@ std::unique_ptr<Engine> make_sync(const EngineSpec& spec,
   o.minibatch = spec.batch;
   o.pool = ctx.pool;
   o.deterministic = spec.deterministic;
+  o.graph = spec.graph;
   return std::make_unique<SyncEngine>(*ctx.model, ctx.data, ctx.scale, o);
 }
 
@@ -314,6 +326,7 @@ std::unique_ptr<Engine> make_async_cpu(const EngineSpec& spec,
   o.prefer_dense = spec.layout == Layout::kDense;
   o.delay_units = spec.delay_units;
   o.pool = ctx.pool;
+  o.graph = spec.graph;
   if (spec.calibration == Calibration::kMlp) {
     // ViennaCL-driver dispatch calibration for Hogbatch MLP
     // (EXPERIMENTS.md; paper Table III). Hogbatch propagates updates
@@ -349,6 +362,8 @@ std::unique_ptr<Engine> make_heterogeneous(const EngineSpec& spec,
   o.gpu_fraction = spec.gpu_fraction;
   o.pool = ctx.pool;
   o.deterministic = spec.deterministic;
+  o.minibatch = spec.batch;
+  o.graph = spec.graph;
   return std::make_unique<HeterogeneousEngine>(*ctx.model, ctx.data,
                                                ctx.scale, o);
 }

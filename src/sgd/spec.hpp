@@ -25,6 +25,7 @@
 
 #include "data/dataset.hpp"
 #include "faults/fault_plan.hpp"
+#include "parallel/task_graph.hpp"
 #include "sgd/engine.hpp"
 #include "sgd/timing.hpp"
 #include "telemetry/session.hpp"
@@ -68,6 +69,11 @@ struct EngineSpec {
   /// Default on — tests and regression gates rely on exact trajectories;
   /// benches pass det=off to measure the fully vectorized reductions.
   bool deterministic = true;
+  /// graph=on|off|auto: mini-batch step path — dataflow task graph (no
+  /// per-batch fork-join barrier) vs the legacy pooled loop (DESIGN.md
+  /// §15). Default auto, which defers to the PARSGD_GRAPH environment
+  /// variable (unset = graph on); format_spec omits auto.
+  GraphMode graph = GraphMode::kAuto;
   /// ViennaCL GEMM parallelization threshold for sync CPU engines.
   std::size_t gemm_parallel_threshold = 5000;
   /// Heterogeneous GPU example share; negative = auto (equalize devices).

@@ -1,0 +1,96 @@
+#include "sgd/step_path.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "common/check.hpp"
+#include "parallel/task_graph.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace parsgd {
+
+void run_minibatch_epoch(const Model& model, const TrainData& data,
+                         real_t alpha, std::span<real_t> w, Rng& rng,
+                         FaultInjector& faults,
+                         telemetry::TelemetrySession* telemetry,
+                         const MinibatchEpochOptions& opts) {
+  PARSGD_CHECK(opts.minibatch > 0, "minibatch size must be positive");
+  const std::size_t n = data.n();
+  const std::size_t nb = (n + opts.minibatch - 1) / opts.minibatch;
+  std::vector<std::uint32_t> order(nb);
+  for (std::size_t b = 0; b < nb; ++b) {
+    order[b] = static_cast<std::uint32_t>(b);
+  }
+  rng.shuffle(order);
+  telemetry::Counter* c_updates =
+      telemetry != nullptr && telemetry->metrics_enabled()
+          ? &telemetry->metrics().counter("sync.updates")
+          : nullptr;
+  ThreadPool& pool =
+      opts.pool != nullptr ? *opts.pool : ThreadPool::global();
+
+  if (!graph_enabled(opts.graph)) {
+    // Legacy pooled path: fork-join per batch. Bit-identical to the plain
+    // batch_step loop for every pool size.
+    for (const std::uint32_t b : order) {
+      if (faults.drop_update()) {
+        faults.after_update(w);
+        continue;
+      }
+      const std::size_t begin =
+          static_cast<std::size_t>(b) * opts.minibatch;
+      const std::size_t end = std::min(n, begin + opts.minibatch);
+      model.batch_step_pooled(pool, data, begin, end, opts.use_dense,
+                              alpha, w, w);
+      faults.after_update(w);
+      if (c_updates != nullptr) c_updates->inc();
+    }
+    return;
+  }
+
+  // Graph path: build the whole epoch as one dependency graph, then drain
+  // it once. Drop decisions are drawn at build time in batch order — the
+  // same injector-RNG sequence as the pooled loop (drop_update is the
+  // only injector RNG consumer on this path; after_update draws nothing).
+  TaskGraph graph(pool, telemetry);
+  if (faults.active() && faults.plan().straggler_prob > 0) {
+    // Execution-only straggler seam, mirroring ChunkHookGuard: the hashed
+    // per-task decision delays the task body, never the trajectory.
+    FaultInjector* f = &faults;
+    graph.set_task_hook([f](std::size_t task) { f->chunk_hook(task); });
+  }
+  BatchGraphScratch scratch;
+  FaultInjector* f = &faults;
+  // Chain after-update bookkeeping only when someone observes it; with
+  // faults inactive and no telemetry the update task itself is the link.
+  const bool chain_after = faults.active() || c_updates != nullptr;
+  TaskGraph::TaskId prev = TaskGraph::kNoTask;
+  for (const std::uint32_t b : order) {
+    if (faults.drop_update()) {
+      // Dropped batch: no gradient work, but the step clock still
+      // advances in batch order.
+      prev = graph.add([f, w] { f->after_update(w); }, {prev},
+                       "fault_after");
+      continue;
+    }
+    const std::size_t begin = static_cast<std::size_t>(b) * opts.minibatch;
+    const std::size_t end = std::min(n, begin + opts.minibatch);
+    const TaskGraph::TaskId update = model.batch_step_graph(
+        graph, scratch, data, begin, end, opts.use_dense, alpha, w, w,
+        prev);
+    if (chain_after) {
+      prev = graph.add(
+          [f, w, c_updates] {
+            f->after_update(w);
+            if (c_updates != nullptr) c_updates->inc();
+          },
+          {update}, "after_update");
+    } else {
+      prev = update;
+    }
+  }
+  graph.run();
+}
+
+}  // namespace parsgd

@@ -1,0 +1,58 @@
+// The shared synchronized-mini-batch epoch runner (DESIGN.md §15): one
+// implementation of "shuffled batches, one model update per batch" with
+// two execution paths behind it —
+//
+//  * pooled (legacy): each batch's per-example work fans out on the
+//    ThreadPool with a fork-join barrier per batch; bit-identical to the
+//    sequential batch_step loop for every pool size.
+//  * graph: the whole epoch is built as one TaskGraph — gradient chunks,
+//    fixed-order partial reductions and the model update of each batch as
+//    dependent tasks, the update of batch k being the only dependency of
+//    batch k+1's chunks. No per-batch barrier; independent work from
+//    consecutive batches overlaps. Trajectories are bit-identical across
+//    worker counts (fixed decomposition grid) and run-to-run, but may
+//    differ from the pooled path in the last bits once batches are large
+//    enough to decompose (different, equally fixed, summation grouping).
+//
+// Fault-injection semantics are preserved exactly on both paths: dropped
+// updates draw from the injector RNG once per batch in shuffled batch
+// order (on the graph path the draw happens at build time — the injector
+// RNG sequence is identical because drop_update is its only consumer
+// here), straggler delays are execution-only (pool chunk hook / graph
+// task hook), and after_update runs once per batch in batch order.
+//
+// SyncEngine and HeterogeneousEngine both run their minibatch epochs
+// through this.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "common/rng.hpp"
+#include "faults/injector.hpp"
+#include "models/model.hpp"
+#include "telemetry/session.hpp"
+
+namespace parsgd {
+
+class ThreadPool;
+
+struct MinibatchEpochOptions {
+  std::size_t minibatch = 0;  ///< examples per update (must be > 0)
+  bool use_dense = false;
+  /// Execution pool; nullptr = the process-global pool.
+  ThreadPool* pool = nullptr;
+  /// Chosen step path (resolved via graph_enabled()).
+  GraphMode graph = GraphMode::kAuto;
+};
+
+/// Runs one synchronized mini-batch epoch in place on `w`: every example
+/// is visited once, batches in an rng-shuffled order, one model update
+/// per batch. `telemetry` (optional) feeds the "sync.updates" counter.
+void run_minibatch_epoch(const Model& model, const TrainData& data,
+                         real_t alpha, std::span<real_t> w, Rng& rng,
+                         FaultInjector& faults,
+                         telemetry::TelemetrySession* telemetry,
+                         const MinibatchEpochOptions& opts);
+
+}  // namespace parsgd

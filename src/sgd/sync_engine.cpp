@@ -6,6 +6,7 @@
 #include "linalg/cpu_backend.hpp"
 #include "linalg/gpu_backend.hpp"
 #include "parallel/thread_pool.hpp"
+#include "sgd/step_path.hpp"
 
 namespace parsgd {
 
@@ -126,42 +127,26 @@ double SyncEngine::run_epoch(std::span<real_t> w, real_t alpha, Rng& rng) {
   if (telemetry_ != nullptr) tel_guard.emplace(epoch_pool, telemetry_.get());
   // Functional trajectory: deterministic CPU path, identical for every
   // architecture (synchronous statistical efficiency is arch-independent).
-  telemetry::Counter* c_updates =
-      telemetry_ != nullptr && telemetry_->metrics_enabled()
-          ? &telemetry_->metrics().counter("sync.updates")
-          : nullptr;
   if (opts_.minibatch == 0) {
+    telemetry::Counter* c_updates =
+        telemetry_ != nullptr && telemetry_->metrics_enabled()
+            ? &telemetry_->metrics().counter("sync.updates")
+            : nullptr;
     traj_cost_.reset();
     model_.sync_epoch(traj_backend_, data_, opts_.use_dense, alpha, w);
     faults_.after_update(w);
     if (c_updates != nullptr) c_updates->inc();
   } else {
-    // Synchronized mini-batch updates, shuffled batch order per epoch.
-    // Each batch's heavy per-example work fans out on the process pool;
-    // the update itself stays sequential in example order, so the
-    // trajectory is bit-identical to the plain batch_step loop.
-    const std::size_t n = data_.n();
-    const std::size_t nb = (n + opts_.minibatch - 1) / opts_.minibatch;
-    std::vector<std::uint32_t> order(nb);
-    for (std::size_t b = 0; b < nb; ++b) {
-      order[b] = static_cast<std::uint32_t>(b);
-    }
-    rng.shuffle(order);
-    for (const std::uint32_t b : order) {
-      if (faults_.drop_update()) {
-        faults_.after_update(w);
-        continue;
-      }
-      const std::size_t begin = static_cast<std::size_t>(b) *
-                                opts_.minibatch;
-      const std::size_t end = std::min(n, begin + opts_.minibatch);
-      ThreadPool& pool =
-          opts_.pool != nullptr ? *opts_.pool : ThreadPool::global();
-      model_.batch_step_pooled(pool, data_, begin, end, opts_.use_dense,
-                               alpha, w, w);
-      faults_.after_update(w);
-      if (c_updates != nullptr) c_updates->inc();
-    }
+    // Synchronized mini-batch updates, shuffled batch order per epoch,
+    // through the shared step-path runner (DESIGN.md §15): a dataflow
+    // task graph with no per-batch barrier, or the legacy pooled loop.
+    MinibatchEpochOptions mo;
+    mo.minibatch = opts_.minibatch;
+    mo.use_dense = opts_.use_dense;
+    mo.pool = opts_.pool;
+    mo.graph = opts_.graph;
+    run_minibatch_epoch(model_, data_, alpha, w, rng, faults_,
+                        telemetry_.get(), mo);
   }
   return secs;
 }

@@ -83,6 +83,10 @@ struct SyncEngineOptions {
   /// Pin the CPU backend's order-sensitive reductions to the scalar
   /// reference order (CpuBackendOptions::deterministic; spec key `det=`).
   bool deterministic = true;
+  /// Mini-batch step path (spec key `graph=`): dataflow task graph (no
+  /// per-batch fork-join barrier) vs the legacy pooled loop. kAuto defers
+  /// to PARSGD_GRAPH (DESIGN.md §15). Full-batch epochs are unaffected.
+  GraphMode graph = GraphMode::kAuto;
 };
 
 class SyncEngine final : public Engine {

@@ -71,6 +71,25 @@ TEST(EngineSpec, OptionFieldsParse) {
   EXPECT_EQ(h.family(), "sync/cpu+gpu");
 }
 
+TEST(EngineSpec, GraphKeyParsesAndRoundTrips) {
+  // graph=on|off survive the round trip in canonical key order;
+  // graph=auto is the default and is omitted on format.
+  for (const char* text : {
+           "sync/cpu-par/sparse:batch=1024,graph=on",
+           "sync/cpu-par/dense:det=off,graph=off",
+           "async/cpu-par/sparse:batch=64,graph=off,threads=8",
+       }) {
+    EXPECT_EQ(format_spec(parse_spec(text)), text);
+  }
+  EXPECT_EQ(parse_spec("sync/cpu-par/sparse:graph=on").graph,
+            GraphMode::kOn);
+  EXPECT_EQ(parse_spec("sync/cpu-par/sparse:graph=off").graph,
+            GraphMode::kOff);
+  const EngineSpec autod = parse_spec("sync/cpu-par/sparse:graph=auto");
+  EXPECT_EQ(autod.graph, GraphMode::kAuto);
+  EXPECT_EQ(format_spec(autod), "sync/cpu-par/sparse");
+}
+
 TEST(EngineSpec, MalformedSpecsRejected) {
   for (const char* text : {
            "",
@@ -90,6 +109,7 @@ TEST(EngineSpec, MalformedSpecsRejected) {
            "sync/cpu-par/sparse:",
            "sync/cpu-par/sparse:batch",
            "sync/cpu-par/sparse:calib=magic",
+           "sync/cpu-par/sparse:graph=maybe",
        }) {
     EXPECT_FALSE(try_parse_spec(text).has_value()) << text;
     EXPECT_THROW(parse_spec(text), CheckError) << text;

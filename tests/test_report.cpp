@@ -60,6 +60,8 @@ RunReport sample_report() {
   e.axes.ttc_1pct = 14.0;
   e.axes.modeled_total_seconds = 20.0;
   e.extras = {{"speedup", 4.5}, {"oddly.named-extra", 1.0 / 3.0}};
+  e.series_loss = {0.6931, 0.52, 0.41};
+  e.series_seconds = {2.0, 2.0, 2.0};
   r.add_entry(e);
 
   Entry unreached;
@@ -131,6 +133,23 @@ TEST(ReportJson, RoundTripIsBitStable) {
   EXPECT_DOUBLE_EQ(b.kernels[0].atomic_cycles, 300.0);
 }
 
+TEST(ReportJson, SeriesRoundTripsAndAbsenceStaysEmpty) {
+  const RunReport a = sample_report();
+  std::istringstream is(dump(a));
+  const RunReport b = report::read_report(is);
+  const Entry* with = b.find("LR/w8a/sync/gpu");
+  ASSERT_NE(with, nullptr);
+  EXPECT_EQ(with->series_loss, (std::vector<double>{0.6931, 0.52, 0.41}));
+  EXPECT_EQ(with->series_seconds, (std::vector<double>{2.0, 2.0, 2.0}));
+  // Entries without a series (and pre-series reports) read back empty:
+  // the "series" object is simply absent from their JSON.
+  const Entry* without = b.find("LR/w8a/async/cpu-par");
+  ASSERT_NE(without, nullptr);
+  EXPECT_TRUE(without->series_loss.empty());
+  EXPECT_TRUE(without->series_seconds.empty());
+  EXPECT_EQ(dump(a).find("\"series\""), dump(a).rfind("\"series\""));
+}
+
 TEST(ReportJson, RejectsForeignSchemaVersion) {
   RunReport r = sample_report();
   r.schema_version = report::kSchemaVersion + 1;
@@ -200,6 +219,17 @@ TEST(ReportCompare, SelfDiffIsClean) {
   const CompareResult res = report::compare_reports(r, r, opts);
   EXPECT_TRUE(res.ok());
   EXPECT_TRUE(res.regressions.empty());
+}
+
+TEST(ReportCompare, SeriesIsIgnoredEntirely) {
+  // The per-epoch series is plotting provenance, not a regression axis:
+  // arbitrarily different (or missing) series never trip the gate.
+  const RunReport base = sample_report();
+  RunReport cur = sample_report();
+  cur.entries[0].series_loss = {9.0, 8.0, 7.0, 6.0};
+  cur.entries[0].series_seconds.clear();
+  cur.entries[1].series_loss = {1.0};
+  EXPECT_TRUE(report::compare_reports(base, cur).ok());
 }
 
 TEST(ReportCompare, FlagsInjectedSecPerEpochRegression) {

@@ -155,6 +155,71 @@ TEST(ThreadPool, ChunksAreTakenFifo) {
   }
 }
 
+TEST(ThreadPool, ShutdownImmediatelyAfterJobs) {
+  // Destruction races the workers' job epilogue: parallel_for returns as
+  // soon as the last chunk is drained, while workers may still be between
+  // deregistering and re-parking. Tear the pool down right at that window,
+  // many times, with work still warm in every lane.
+  for (int round = 0; round < 50; ++round) {
+    ThreadPool pool(4);
+    std::atomic<int> sum{0};
+    pool.parallel_for(256, [&](std::size_t lo, std::size_t hi) {
+      sum.fetch_add(static_cast<int>(hi - lo));
+    });
+    pool.run_on_all([](std::size_t) {});
+    ASSERT_EQ(sum.load(), 256);
+  }  // ~ThreadPool while workers may not have parked yet
+}
+
+TEST(ThreadPool, ResubmissionAfterEscapedExceptionStress) {
+  // An exception escaping a chunk must leave the pool reusable: the error
+  // slot is cleared on the next publish and the generation handshake is
+  // intact. Alternate throwing and clean jobs to shake out stale state.
+  ThreadPool pool(4);
+  for (int round = 0; round < 100; ++round) {
+    EXPECT_THROW(
+        pool.parallel_for(64,
+                          [&](std::size_t lo, std::size_t) {
+                            if (lo == 0) throw std::runtime_error("chunk");
+                          }),
+        std::runtime_error);
+    std::atomic<int> ok{0};
+    pool.parallel_for(64, [&](std::size_t lo, std::size_t hi) {
+      ok.fetch_add(static_cast<int>(hi - lo));
+    });
+    ASSERT_EQ(ok.load(), 64);
+  }
+}
+
+TEST(ThreadPool, RunOnAllWithCallerVisitsEveryoneOnce) {
+  ThreadPool pool(4);
+  // Indices [0, size()) are the workers; size() is the calling thread.
+  std::vector<std::atomic<int>> visits(5);
+  const std::thread::id caller = std::this_thread::get_id();
+  std::atomic<bool> caller_participated{false};
+  pool.run_on_all_with_caller([&](std::size_t i) {
+    visits[i].fetch_add(1);
+    if (std::this_thread::get_id() == caller) {
+      EXPECT_EQ(i, 4u);
+      caller_participated.store(true);
+    }
+  });
+  for (const auto& v : visits) EXPECT_EQ(v.load(), 1);
+  EXPECT_TRUE(caller_participated.load());
+}
+
+TEST(ThreadPool, RunOnAllWithCallerPropagatesCallerException) {
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.run_on_all_with_caller([&](std::size_t i) {
+    if (i == 2) throw std::runtime_error("caller lane");
+  }),
+               std::runtime_error);
+  // Still reusable afterwards.
+  std::vector<std::atomic<int>> visits(3);
+  pool.run_on_all_with_caller([&](std::size_t i) { visits[i].fetch_add(1); });
+  for (const auto& v : visits) EXPECT_EQ(v.load(), 1);
+}
+
 TEST(ThreadPool, ChunksAreDisjointAndOrdered) {
   ThreadPool pool(4);
   std::mutex m;
