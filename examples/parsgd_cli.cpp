@@ -9,6 +9,7 @@
 // --engine takes a full spec string (see DESIGN.md §10); the legacy
 // --update/--arch pair is still accepted and assembled into a spec.
 #include <cstdio>
+#include <cstdlib>
 #include <exception>
 #include <fstream>
 #include <memory>
@@ -43,7 +44,8 @@ namespace {
                " --arch=cpu-seq|cpu-par|gpu)\n"
                "       [--alpha=0.1] [--epochs=60] [--threads=56]\n"
                "       [--scale=200] [--seed=42]\n"
-               "       [--watchdog] [--checkpoint=<path>]"
+               "       [--watchdog] [--resilience=off|watchdog|full]\n"
+               "       [--checkpoint=<path>] [--checkpoint-every=N|Ts]"
                " [--resume=<path>]\n"
                "       [--telemetry=off|metrics|trace]"
                " [--trace-out=trace.json]\n"
@@ -190,7 +192,35 @@ int run(int argc, char** argv) {
     set_log_level(LogLevel::kInfo);  // heartbeats log at INFO
   }
   t.watchdog.enabled = cli.get_bool("watchdog", false);
+  // --resilience overrides a resilience= key in the spec string; either
+  // way the resolved mode becomes the supervisor policy (DESIGN.md §16).
+  if (const std::string res_arg = cli.get("resilience", "");
+      !res_arg.empty()) {
+    const std::optional<ResilienceMode> mode =
+        parse_resilience_mode(res_arg);
+    if (!mode) {
+      usage(("unknown --resilience mode '" + res_arg +
+             "' (expected off, watchdog or full)").c_str());
+    }
+    spec.resilience = *mode;
+  }
+  t.supervisor = supervisor_options_for(spec.resilience);
   t.checkpoint_path = cli.get("checkpoint", "");
+  // --checkpoint-every=N (epochs) or =Ts (host seconds, e.g. "2.5s").
+  if (const std::string ck_every = cli.get("checkpoint-every", "");
+      !ck_every.empty()) {
+    if (ck_every.back() == 's') {
+      t.checkpoint_every_seconds =
+          std::atof(ck_every.substr(0, ck_every.size() - 1).c_str());
+      if (t.checkpoint_every_seconds <= 0) {
+        usage("--checkpoint-every=Ts needs a positive duration");
+      }
+    } else {
+      const long n = std::atol(ck_every.c_str());
+      if (n <= 0) usage("--checkpoint-every=N needs a positive epoch count");
+      t.checkpoint_every = static_cast<std::size_t>(n);
+    }
+  }
   std::optional<TrainCheckpoint> ck;
   const std::string resume_path = cli.get("resume", "");
   if (!resume_path.empty()) {
@@ -204,12 +234,26 @@ int run(int argc, char** argv) {
                                      static_cast<real_t>(alpha), t);
   const double host_secs = host_timer.seconds();
   for (const RecoveryEvent& ev : run.recoveries) {
-    std::printf("  watchdog: recovered at epoch %zu (%s, loss %.4g), "
+    const char* why = "loss spike";
+    switch (ev.reason) {
+      case RecoveryReason::kNonFinite: why = "non-finite loss"; break;
+      case RecoveryReason::kLossSpike: why = "loss spike"; break;
+      case RecoveryReason::kDeadline: why = "epoch deadline"; break;
+      case RecoveryReason::kBadWeights: why = "non-finite weights"; break;
+    }
+    std::printf("  recovery: rolled back epoch %zu (%s, loss %.4g), "
                 "alpha scale now %g\n",
-                ev.epoch + 1,
-                ev.reason == RecoveryReason::kNonFinite ? "non-finite loss"
-                                                        : "loss spike",
-                ev.bad_loss, ev.alpha_scale_after);
+                ev.epoch + 1, why, ev.bad_loss, ev.alpha_scale_after);
+  }
+  if (run.resilience.any()) {
+    const ResilienceStats& rs = run.resilience;
+    std::printf("  resilience: %zu recoveries, %zu backup wins "
+                "(%zu deadline misses, %.0fus straggle clipped), "
+                "%zu quarantined, ladder %zu down / %zu up (final %s), "
+                "%zu checkpoints\n",
+                rs.recoveries, rs.backup_wins, rs.deadline_misses,
+                rs.saved_straggle_us, rs.quarantined, rs.ladder_down,
+                rs.ladder_up, to_string(rs.final_level), rs.checkpoints);
   }
 
   if (session != nullptr) {
@@ -256,6 +300,7 @@ int run(int argc, char** argv) {
     e.axes = report::Axes::from(run, run.best_loss());
     e.series_loss = run.losses;
     e.series_seconds = run.epoch_seconds;
+    e.resilience = report::ResilienceSlice::from(run.resilience);
     rep.add_entry(std::move(e));
     rep.add_metrics(session.get());
     if (const gpusim::Device* dev = engine->device()) {

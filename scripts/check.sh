@@ -29,22 +29,43 @@ PARSGD_FORCE_SCALAR=1 \
 PARSGD_GRAPH=off \
     ctest --test-dir "$BUILD_DIR" -L tier1 --output-on-failure -j"$(nproc)"
 
+# Fault-sweep lane: drive the resilience supervisor (DESIGN.md §16)
+# against each injected fault class at tier-1 speed. Every run must
+# converge cleanly — the supervisor absorbs the faults — and the
+# straggler sweep doubles as the §16 acceptance check that speculation
+# keeps a faulty sync run on the fault-free trajectory.
+for spec in \
+    "sync/cpu-par/sparse:batch=64,straggler=0.2@8" \
+    "sync/cpu-seq/sparse:batch=64,poison=0.01" \
+    "sync/cpu-par/sparse:batch=64,faults=hang@3:100"; do
+  "$BUILD_DIR/examples/parsgd_cli" --task=LR --dataset=w8a --scale=50 \
+      --engine="$spec" --alpha=0.5 --epochs=8 --resilience=full >/dev/null
+done
+
 # Kernel-equivalence suite under ASan+UBSan (separate build tree so the
 # main gate binaries stay uninstrumented). The task-graph executor runs
-# there too (lifetime/overflow bugs in lane queues and scratch buffers).
+# there too (lifetime/overflow bugs in lane queues and scratch buffers),
+# and the supervisor suite joins it (EWMA gate + ladder state touched
+# from every pool worker).
 ASAN_BUILD_DIR="${ASAN_BUILD_DIR:-${BUILD_DIR}-asan}"
 cmake -B "$ASAN_BUILD_DIR" -S . -DPARSGD_WERROR=ON -DPARSGD_SANITIZE=address
-cmake --build "$ASAN_BUILD_DIR" -j --target test_kernels --target test_task_graph
+cmake --build "$ASAN_BUILD_DIR" -j --target test_kernels --target test_task_graph \
+    --target test_supervisor
 "$ASAN_BUILD_DIR/tests/test_kernels"
 "$ASAN_BUILD_DIR/tests/test_task_graph"
+"$ASAN_BUILD_DIR/tests/test_supervisor"
 
 # The executor's concurrency (work-stealing deques, park/wake protocol,
-# atomic in-degree release) under ThreadSanitizer.
+# atomic in-degree release) under ThreadSanitizer, plus the fault
+# injector's atomic counters and the supervisor's cross-worker gate.
 TSAN_BUILD_DIR="${TSAN_BUILD_DIR:-${BUILD_DIR}-tsan}"
 cmake -B "$TSAN_BUILD_DIR" -S . -DPARSGD_WERROR=ON -DPARSGD_SANITIZE=thread
-cmake --build "$TSAN_BUILD_DIR" -j --target test_task_graph --target test_thread_pool
+cmake --build "$TSAN_BUILD_DIR" -j --target test_task_graph --target test_thread_pool \
+    --target test_faults --target test_supervisor
 "$TSAN_BUILD_DIR/tests/test_task_graph"
 "$TSAN_BUILD_DIR/tests/test_thread_pool"
+"$TSAN_BUILD_DIR/tests/test_faults"
+"$TSAN_BUILD_DIR/tests/test_supervisor"
 
 tmp="$(mktemp -d)"
 trap 'rm -rf "$tmp"' EXIT
@@ -52,5 +73,6 @@ trap 'rm -rf "$tmp"' EXIT
 "$BUILD_DIR/examples/parsgd_compare" \
     "$tmp/BENCH_fig5_hwspec.json" "$tmp/BENCH_fig5_hwspec.json" \
     --require-same-sha
-echo "check.sh: tier-1 (simd + scalar + graph-off) + ASan kernels/graph" \
-     "+ TSan graph/pool + regression smoke OK"
+echo "check.sh: tier-1 (simd + scalar + graph-off) + fault sweep" \
+     "+ ASan kernels/graph/supervisor + TSan graph/pool/faults/supervisor" \
+     "+ regression smoke OK"

@@ -17,12 +17,18 @@
 //   flip@E[:C[:B]]  flip bit B (default 30, a float exponent bit) of
 //                   weight C (default 0) at the start of epoch E,
 //   crash@E         throw CrashFault at the start of epoch E (simulated
-//                   process kill; pair with checkpoint/resume).
+//                   process kill; pair with checkpoint/resume),
+//   hang@E[:MS]     stall for MS milliseconds (default 250) at the start
+//                   of epoch E (hung worker; wall-clock only, detected by
+//                   the supervisor's epoch deadline, DESIGN.md §16).
 // Continuous faults are their own keys:
 //   straggler=P[@U] each async unit straggles with probability P, adding
 //                   a staleness delay uniform on [1, U] units (default 4),
 //   drop=P          each async update is computed but dropped (lost
-//                   update) with probability P.
+//                   update) with probability P,
+//   poison=P        each update is poisoned (NaN gradient from a bad
+//                   example) with probability P; with sanitization on the
+//                   update is quarantined instead of applied.
 #pragma once
 
 #include <cstddef>
@@ -62,12 +68,21 @@ struct FaultPlan {
   /// Simulated process kill at the start of epoch `crash_epoch`.
   std::size_t crash_epoch = kNever;
 
+  /// One-shot hung worker: sleep `hang_ms` at the start of `hang_epoch`.
+  std::size_t hang_epoch = kNever;
+  std::size_t hang_ms = 250;
+
   /// Straggling async units: probability and max extra staleness (units).
   double straggler_prob = 0;
   std::size_t straggler_units = 4;
 
   /// Lost async updates: computed, then discarded, with this probability.
   double drop_prob = 0;
+
+  /// Poisoned examples: each update yields a NaN gradient with this
+  /// probability. Sanitization (DESIGN.md §16) turns the poisoned update
+  /// into a quarantined no-op; without it the weights go NaN.
+  double poison_prob = 0;
 
   bool any() const;
   bool operator==(const FaultPlan&) const = default;
@@ -79,8 +94,8 @@ struct FaultPlan {
 enum class FaultKeyParse { kNotFault, kParsed, kMalformed };
 
 /// Parses one spec option into `plan`. Recognized keys: "faults",
-/// "straggler", "drop". Never throws — malformed values are reported so
-/// try_parse_spec can reject the whole spec.
+/// "straggler", "drop", "poison". Never throws — malformed values are
+/// reported so try_parse_spec can reject the whole spec.
 FaultKeyParse parse_fault_key(const std::string& key,
                               const std::string& value, FaultPlan* plan);
 

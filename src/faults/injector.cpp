@@ -6,9 +6,14 @@
 #include <limits>
 #include <thread>
 
+#include "common/clock.hpp"
 #include "parallel/thread_pool.hpp"
 
 namespace parsgd {
+
+namespace {
+constexpr auto kRelaxed = std::memory_order_relaxed;
+}  // namespace
 
 void FaultInjector::install(const FaultPlan& plan, std::uint64_t seed) {
   plan_ = plan;
@@ -20,10 +25,14 @@ void FaultInjector::install(const FaultPlan& plan, std::uint64_t seed) {
   corrupt_fired_ = false;
   flip_fired_ = false;
   crash_fired_ = false;
-  corruptions_ = 0;
-  bitflips_ = 0;
-  dropped_ = 0;
-  stragglers_.store(0);
+  hang_fired_ = false;
+  corruptions_.store(0, kRelaxed);
+  bitflips_.store(0, kRelaxed);
+  dropped_.store(0, kRelaxed);
+  poisoned_.store(0, kRelaxed);
+  quarantined_.store(0, kRelaxed);
+  hangs_.store(0, kRelaxed);
+  stragglers_.store(0, kRelaxed);
 }
 
 void FaultInjector::set_telemetry(telemetry::TelemetrySession* session) {
@@ -34,6 +43,9 @@ void FaultInjector::set_telemetry(telemetry::TelemetrySession* session) {
     c_corruptions_ = &reg.counter("faults.corruptions");
     c_dropped_ = &reg.counter("faults.dropped");
     c_stragglers_ = &reg.counter("faults.stragglers");
+    c_poisoned_ = &reg.counter("faults.poisoned");
+    c_quarantined_ = &reg.counter("faults.quarantined");
+    c_hangs_ = &reg.counter("faults.hangs");
     trace_ = session->trace_enabled() ? &session->trace() : nullptr;
   } else {
     c_crashes_ = nullptr;
@@ -41,16 +53,22 @@ void FaultInjector::set_telemetry(telemetry::TelemetrySession* session) {
     c_corruptions_ = nullptr;
     c_dropped_ = nullptr;
     c_stragglers_ = nullptr;
+    c_poisoned_ = nullptr;
+    c_quarantined_ = nullptr;
+    c_hangs_ = nullptr;
     trace_ = nullptr;
   }
 }
 
 FaultCounters FaultInjector::counters() const {
   FaultCounters c;
-  c.corruptions = corruptions_;
-  c.bitflips = bitflips_;
-  c.stragglers = stragglers_.load();
-  c.dropped = dropped_;
+  c.corruptions = corruptions_.load(kRelaxed);
+  c.bitflips = bitflips_.load(kRelaxed);
+  c.stragglers = stragglers_.load(kRelaxed);
+  c.dropped = dropped_.load(kRelaxed);
+  c.poisoned = poisoned_.load(kRelaxed);
+  c.quarantined = quarantined_.load(kRelaxed);
+  c.hangs = hangs_.load(kRelaxed);
   return c;
 }
 
@@ -74,7 +92,7 @@ void FaultInjector::begin_epoch(std::span<real_t> w) {
       std::uint32_t bits = std::bit_cast<std::uint32_t>(w[plan_.flip_coord]);
       bits ^= std::uint32_t{1} << (plan_.flip_bit & 31u);
       w[plan_.flip_coord] = std::bit_cast<real_t>(bits);
-      ++bitflips_;
+      bitflips_.fetch_add(1, kRelaxed);
       if (c_bitflips_ != nullptr) c_bitflips_->inc();
       if (trace_ != nullptr) {
         trace_->instant("fault.bitflip",
@@ -83,12 +101,41 @@ void FaultInjector::begin_epoch(std::span<real_t> w) {
       }
     }
   }
+  if (!hang_fired_ && e == plan_.hang_epoch) {
+    // Hung worker: a pure wall-clock stall. The supervisor notices the
+    // blown epoch deadline after the fact and retries the (numerically
+    // clean, deterministic) epoch, so the trajectory is unchanged.
+    hang_fired_ = true;
+    hangs_.fetch_add(1, kRelaxed);
+    if (c_hangs_ != nullptr) c_hangs_->inc();
+    if (trace_ != nullptr) {
+      trace_->instant("fault.hang",
+                      {{"epoch", static_cast<double>(e)},
+                       {"ms", static_cast<double>(plan_.hang_ms)}});
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(plan_.hang_ms));
+  }
 }
 
 void FaultInjector::after_updates(std::size_t steps, std::span<real_t> w) {
   if (!active()) return;
   const std::size_t before = step_;
   step_ += steps;
+  if (plan_.poison_prob > 0 && !sanitize_) {
+    // Unsanitized poisoned examples reach the weights: one draw per
+    // applied step, NaN on a hit. (Sanitized runs draw in drop_update()
+    // instead — the poisoned update is caught before it is applied.)
+    for (std::size_t i = 0; i < steps; ++i) {
+      if (!rng_.bernoulli(plan_.poison_prob)) continue;
+      for (real_t& x : w) x = std::numeric_limits<real_t>::quiet_NaN();
+      poisoned_.fetch_add(1, kRelaxed);
+      if (c_poisoned_ != nullptr) c_poisoned_->inc();
+      if (trace_ != nullptr) {
+        trace_->instant("fault.poison",
+                        {{"step", static_cast<double>(before + i)}});
+      }
+    }
+  }
   if (corrupt_fired_ || plan_.corrupt == FaultPlan::Corrupt::kNone) return;
   if (before <= plan_.corrupt_step && plan_.corrupt_step < step_) {
     corrupt_fired_ = true;
@@ -96,7 +143,7 @@ void FaultInjector::after_updates(std::size_t steps, std::span<real_t> w) {
                            ? std::numeric_limits<real_t>::quiet_NaN()
                            : std::numeric_limits<real_t>::infinity();
     for (real_t& x : w) x = bad;
-    ++corruptions_;
+    corruptions_.fetch_add(1, kRelaxed);
     if (c_corruptions_ != nullptr) c_corruptions_->inc();
     if (trace_ != nullptr) {
       trace_->instant("fault.corrupt",
@@ -106,11 +153,20 @@ void FaultInjector::after_updates(std::size_t steps, std::span<real_t> w) {
 }
 
 bool FaultInjector::drop_update() {
-  if (!active() || plan_.drop_prob <= 0) return false;
-  if (!rng_.bernoulli(plan_.drop_prob)) return false;
-  ++dropped_;
-  if (c_dropped_ != nullptr) c_dropped_->inc();
-  return true;
+  if (!active()) return false;
+  if (plan_.drop_prob > 0 && rng_.bernoulli(plan_.drop_prob)) {
+    dropped_.fetch_add(1, kRelaxed);
+    if (c_dropped_ != nullptr) c_dropped_->inc();
+    return true;
+  }
+  if (sanitize_ && plan_.poison_prob > 0 &&
+      rng_.bernoulli(plan_.poison_prob)) {
+    quarantined_.fetch_add(1, kRelaxed);
+    if (c_quarantined_ != nullptr) c_quarantined_->inc();
+    if (trace_ != nullptr) trace_->instant("fault.quarantine", {});
+    return true;
+  }
+  return false;
 }
 
 std::size_t FaultInjector::straggle_units() {
@@ -129,6 +185,18 @@ bool FaultInjector::chunk_straggles(std::size_t chunk) const {
 }
 
 void FaultInjector::chunk_hook(std::size_t chunk) {
+  StraggleGate* const gate = gate_;
+  if (gate != nullptr) {
+    // Per-worker inter-arrival gaps feed the supervisor's EWMA of typical
+    // chunk time; its outlier rejection discards gaps inflated by a prior
+    // straggle sleep or an epoch boundary.
+    const double now_us = monotonic_seconds() * 1e6;
+    thread_local double last_us = 0;
+    if (last_us > 0 && now_us > last_us) {
+      gate->observe_chunk_us(now_us - last_us);
+    }
+    last_us = now_us;
+  }
   if (!chunk_straggles(chunk)) return;
   note_chunk_straggled();
   if (c_stragglers_ != nullptr) c_stragglers_->inc();
@@ -136,8 +204,12 @@ void FaultInjector::chunk_hook(std::size_t chunk) {
     trace_->instant("fault.straggle",
                     {{"chunk", static_cast<double>(chunk)}});
   }
-  std::this_thread::sleep_for(
-      std::chrono::microseconds(50 * plan_.straggler_units));
+  double delay_us = 50.0 * static_cast<double>(plan_.straggler_units);
+  if (gate != nullptr) delay_us = gate->gate_straggle_us(delay_us);
+  if (delay_us > 0) {
+    std::this_thread::sleep_for(
+        std::chrono::duration<double, std::micro>(delay_us));
+  }
 }
 
 ChunkHookGuard::ChunkHookGuard(ThreadPool& pool, FaultInjector& faults) {

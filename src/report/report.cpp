@@ -131,6 +131,22 @@ KernelReport KernelReport::from(const std::string& name,
   return k;
 }
 
+ResilienceSlice ResilienceSlice::from(const ResilienceStats& s) {
+  ResilienceSlice out;
+  out.recoveries = static_cast<double>(s.recoveries);
+  out.deadline_misses = static_cast<double>(s.deadline_misses);
+  out.backup_wins = static_cast<double>(s.backup_wins);
+  out.ladder_down = static_cast<double>(s.ladder_down);
+  out.ladder_up = static_cast<double>(s.ladder_up);
+  out.quarantined = static_cast<double>(s.quarantined);
+  out.checkpoints = static_cast<double>(s.checkpoints);
+  out.saved_straggle_us = s.saved_straggle_us;
+  if (s.final_level != DegradeLevel::kNone) {
+    out.final_level = to_string(s.final_level);
+  }
+  return out;
+}
+
 const Entry* RunReport::find(const std::string& label) const {
   for (const Entry& e : entries) {
     if (e.label == label) return &e;
@@ -220,6 +236,20 @@ void write_report(std::ostream& os, const RunReport& report) {
       for (double v : e.series_seconds) seconds.push(Json{num(v)});
       series.set("seconds", std::move(seconds));
       o.set("series", std::move(series));
+    }
+    if (e.resilience.any()) {
+      const ResilienceSlice& rs = e.resilience;
+      Json res{JsonMembers{}};
+      res.set("recoveries", num(rs.recoveries));
+      res.set("deadline_misses", num(rs.deadline_misses));
+      res.set("backup_wins", num(rs.backup_wins));
+      res.set("ladder_down", num(rs.ladder_down));
+      res.set("ladder_up", num(rs.ladder_up));
+      res.set("quarantined", num(rs.quarantined));
+      res.set("checkpoints", num(rs.checkpoints));
+      res.set("saved_straggle_us", num(rs.saved_straggle_us));
+      if (!rs.final_level.empty()) res.set("final_level", rs.final_level);
+      o.set("resilience", std::move(res));
     }
     entries.push(std::move(o));
   }
@@ -337,6 +367,19 @@ RunReport read_report(std::istream& is) {
           }
         }
       }
+      // Absent in pre-resilience reports (additive-field policy).
+      if (const Json* res = o.find("resilience")) {
+        e.resilience.recoveries = get_num(*res, "recoveries", 0);
+        e.resilience.deadline_misses = get_num(*res, "deadline_misses", 0);
+        e.resilience.backup_wins = get_num(*res, "backup_wins", 0);
+        e.resilience.ladder_down = get_num(*res, "ladder_down", 0);
+        e.resilience.ladder_up = get_num(*res, "ladder_up", 0);
+        e.resilience.quarantined = get_num(*res, "quarantined", 0);
+        e.resilience.checkpoints = get_num(*res, "checkpoints", 0);
+        e.resilience.saved_straggle_us =
+            get_num(*res, "saved_straggle_us", 0);
+        e.resilience.final_level = get_str(*res, "final_level");
+      }
       r.entries.push_back(std::move(e));
     }
   }
@@ -403,6 +446,75 @@ std::string emit(const RunReport& report, const std::string& dir) {
   os.flush();
   PARSGD_CHECK(os.good(), "short write on report '" << path.string() << "'");
   return path.string();
+}
+
+// ---- multi-report merge --------------------------------------------------
+
+namespace {
+
+bool same_dataset(const DatasetInfo& a, const DatasetInfo& b) {
+  return a.name == b.name && a.rows == b.rows &&
+         a.paper_rows == b.paper_rows && a.cols == b.cols &&
+         a.nnz == b.nnz && a.nnz_avg == b.nnz_avg &&
+         a.sparsity_percent == b.sparsity_percent;
+}
+
+}  // namespace
+
+RunReport merge_reports(const std::vector<RunReport>& shards) {
+  PARSGD_CHECK(!shards.empty(), "merge needs at least one report");
+  const RunReport& first = shards.front();
+
+  RunReport out;
+  out.schema_version = first.schema_version;
+  out.name = first.name;
+  out.build = first.build;
+  out.engine_spec = first.engine_spec;
+  out.seed = first.seed;
+  out.threads = first.threads;
+  out.scale = first.scale;
+
+  for (const RunReport& shard : shards) {
+    PARSGD_CHECK(shard.schema_version == first.schema_version,
+                 "merge: schema mismatch: " << shard.schema_version << " vs "
+                                            << first.schema_version);
+    PARSGD_CHECK(shard.name == first.name,
+                 "merge: shards are different benches: '"
+                     << shard.name << "' vs '" << first.name << "'");
+    PARSGD_CHECK(shard.scale == first.scale,
+                 "merge: scale mismatch: " << shard.scale << " vs "
+                                           << first.scale);
+    PARSGD_CHECK(shard.build.git_sha == first.build.git_sha,
+                 "merge: shards built from different commits: '"
+                     << shard.build.git_sha << "' vs '"
+                     << first.build.git_sha << "'");
+    if (shard.engine_spec != first.engine_spec) out.engine_spec = "";
+
+    for (const Entry& e : shard.entries) {
+      PARSGD_CHECK(out.find(e.label) == nullptr,
+                   "merge: duplicate entry label '"
+                       << e.label << "' — shards must be disjoint");
+      out.add_entry(e);
+    }
+    for (const DatasetInfo& d : shard.datasets) {
+      bool known = false;
+      for (const DatasetInfo& have : out.datasets) {
+        if (have.name != d.name) continue;
+        PARSGD_CHECK(same_dataset(have, d),
+                     "merge: dataset '" << d.name
+                                        << "' has conflicting shapes");
+        known = true;
+        break;
+      }
+      if (!known) out.datasets.push_back(d);
+    }
+    for (const telemetry::MetricSample& m : shard.metrics) {
+      out.metrics.push_back(m);
+    }
+    for (const KernelReport& k : shard.kernels) out.kernels.push_back(k);
+    out.host_seconds += shard.host_seconds;
+  }
+  return out;
 }
 
 // ---- regression comparator ----------------------------------------------

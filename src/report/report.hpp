@@ -82,6 +82,32 @@ struct Axes {
   static Axes from(const RunResult& run, double optimal_loss);
 };
 
+/// Per-entry fault-tolerance snapshot (schema v2 slice, additive; the
+/// supervisor's ResilienceStats flattened to report scalars, DESIGN.md
+/// §16). All-zero = absent (the "resilience" object is omitted from the
+/// JSON and old readers never see it). Round-trips through
+/// write_report/read_report; compare_reports ignores it entirely — the
+/// slice is provenance for explaining a run's recovery behavior, not a
+/// regression axis.
+struct ResilienceSlice {
+  double recoveries = 0;        ///< rollback + retry events
+  double deadline_misses = 0;   ///< chunks past the speculation deadline
+  double backup_wins = 0;       ///< speculative backups that beat a straggler
+  double ladder_down = 0;       ///< degradation steps taken
+  double ladder_up = 0;         ///< re-promotions after clean streaks
+  double quarantined = 0;       ///< poisoned updates sanitized away
+  double checkpoints = 0;       ///< auto-checkpoints written
+  double saved_straggle_us = 0; ///< injected delay clipped by backups
+  std::string final_level;      ///< ladder rung at run end ("" when kNone)
+
+  bool any() const {
+    return recoveries > 0 || deadline_misses > 0 || backup_wins > 0 ||
+           ladder_down > 0 || ladder_up > 0 || quarantined > 0 ||
+           checkpoints > 0 || saved_straggle_us > 0 || !final_level.empty();
+  }
+  static ResilienceSlice from(const ResilienceStats& s);
+};
+
 /// One configuration's row in a report. `label` is the comparator's join
 /// key and must be unique within a report.
 struct Entry {
@@ -102,6 +128,8 @@ struct Entry {
   /// series is provenance for plotting, not a regression axis.
   std::vector<double> series_loss;
   std::vector<double> series_seconds;
+  /// Optional fault-tolerance snapshot (see ResilienceSlice).
+  ResilienceSlice resilience;
 };
 
 /// Per-kernel simulator statistics with the modeled cycles attributed to
@@ -170,6 +198,20 @@ RunReport load_report(const std::string& path);
 /// $PARSGD_REPORT_DIR, ./bench/results when that directory exists (so
 /// running a bench from the repo root seeds the perf trajectory), else ".".
 std::string emit(const RunReport& report, const std::string& dir = "");
+
+/// Merges shards of one logical bench run into a single report
+/// (`parsgd_compare --merge`): the union of entries, datasets, metrics and
+/// kernels across all shards. Strict about identity — every shard must
+/// carry the same name, schema_version, scale and git SHA, and entry
+/// labels must be disjoint (a duplicate label is a conflict, not a
+/// last-writer-wins). Datasets deduplicate on full equality; two shards
+/// describing the same dataset name with different shapes conflict.
+/// Metrics and kernels concatenate (they are per-shard snapshots, not
+/// joinable series). host_seconds sums; modeled_seconds is rebuilt from
+/// the merged entries; seed/threads/engine_spec come from the first shard
+/// (engine_spec blanks out when shards disagree — a sweep, not one run).
+/// Throws CheckError on any conflict.
+RunReport merge_reports(const std::vector<RunReport>& shards);
 
 // ---- regression comparator ----------------------------------------------
 

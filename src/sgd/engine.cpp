@@ -81,11 +81,36 @@ RunResult run_training(Engine& engine, const Model& model,
 
   engine.fault_injector().seek_epoch(start_epoch);
 
-  // Last known-good state for watchdog rollbacks. Maintained only when the
-  // watchdog is on: with it off, the loop below degenerates to the plain
+  // Resolve the resilience policy (DESIGN.md §16): an explicit supervisor
+  // mode wins; a bare watchdog.enabled maps onto the kWatchdog preset
+  // with the WatchdogOptions numbers, reproducing the legacy §11
+  // rollback semantics exactly.
+  SupervisorOptions sup_opts = opts.supervisor;
+  if (sup_opts.mode == ResilienceMode::kOff && opts.watchdog.enabled) {
+    sup_opts = supervisor_options_for(ResilienceMode::kWatchdog);
+    sup_opts.alpha_backoff = opts.watchdog.alpha_backoff;
+    sup_opts.recovery_budget = opts.watchdog.max_recoveries;
+  }
+  sup_opts.seed ^= opts.seed * 0x9E3779B97F4A7C15ULL;
+  TrainingSupervisor supervisor(sup_opts, engine.telemetry());
+  // RAII detach: the engine (and its injector's gate pointer) outlives
+  // this call, the supervisor does not — even on a CrashFault unwind.
+  struct SupervisorGuard {
+    Engine* eng = nullptr;
+    ~SupervisorGuard() {
+      if (eng != nullptr) eng->set_supervisor(nullptr);
+    }
+  } sup_guard;
+  if (supervisor.active()) {
+    engine.set_supervisor(&supervisor);
+    sup_guard.eng = &engine;
+  }
+
+  // Last known-good state for supervisor rollbacks. Maintained only when
+  // resilience is on: with it off, the loop below degenerates to the plain
   // epoch loop with bit-identical trajectories (alpha_scale stays exactly
   // 1.0, and multiplying by 1.0 is IEEE-exact).
-  const bool guard = opts.watchdog.enabled;
+  const bool guard = supervisor.active();
   struct Snapshot {
     std::vector<real_t> w;
     RngState rng;
@@ -106,6 +131,7 @@ RunResult run_training(Engine& engine, const Model& model,
   // epochs finished in *this* call so the ETA stays honest on resume.
   const double hb_start = monotonic_seconds();
   double hb_last = hb_start;
+  double ck_last = hb_start;
   std::size_t hb_epochs_done = 0;
 
   std::size_t e = start_epoch;
@@ -114,26 +140,59 @@ RunResult run_training(Engine& engine, const Model& model,
         (opts.schedule ? opts.schedule->at(e) : static_cast<double>(alpha)) *
         alpha_scale);
     double secs, loss;
+    double host_s = 0;
     {
       // One span per epoch (run + loss evaluation), annotated with the
       // loss and the *modeled* epoch seconds — wall time is the span.
       PARSGD_TRACE_SPAN(span, tel, "epoch");
       span.arg("epoch", static_cast<double>(e));
+      const double host_t0 = monotonic_seconds();
       secs = engine.run_epoch(w, epoch_alpha, rng);
       loss = model.dataset_loss(data, w, opts.prefer_dense);
+      host_s = monotonic_seconds() - host_t0;
       span.arg("loss", loss);
       span.arg("modeled_s", secs);
     }
 
     const bool nonfinite = !std::isfinite(loss);
-    const bool bad =
-        nonfinite ||
+    bool bad_weights = false;
+    if (supervisor.full() && !nonfinite) {
+      // A poisoned update can leave NaN weight coordinates behind a loss
+      // that is still finite on this dataset slice — scan for them.
+      for (const real_t x : w) {
+        if (!std::isfinite(x)) {
+          bad_weights = true;
+          break;
+        }
+      }
+    }
+    const bool numeric_bad =
+        nonfinite || bad_weights ||
         loss > opts.divergence_factor * std::max(res.initial_loss, 1e-12);
+    // Deadline check (full mode only): a numerically clean epoch that
+    // blew the host-time deadline (hung worker) is rolled back and
+    // retried with alpha unchanged — the retry is deterministic, so the
+    // trajectory is bit-identical whether or not the deadline fired.
+    // Past the recovery budget the epoch is simply accepted (its math is
+    // valid); bad epochs never feed the EWMA.
+    bool deadline_bad = false;
+    if (supervisor.full() && !numeric_bad) {
+      if (recoveries_used < sup_opts.recovery_budget &&
+          supervisor.epoch_deadline_exceeded(host_s)) {
+        deadline_bad = true;
+      } else {
+        supervisor.observe_epoch_seconds(host_s);
+      }
+    }
+    const bool bad = numeric_bad || deadline_bad;
 
-    if (guard && bad && recoveries_used < opts.watchdog.max_recoveries) {
+    if (guard && bad && recoveries_used < sup_opts.recovery_budget) {
       ++recoveries_used;
-      alpha_scale *= opts.watchdog.alpha_backoff;
-      if (tel != nullptr && tel->metrics_enabled()) {
+      alpha_scale *= supervisor.on_epoch_failed(numeric_bad, e);
+      if (sup_opts.mode == ResilienceMode::kWatchdog && tel != nullptr &&
+          tel->metrics_enabled()) {
+        // Legacy §11 telemetry names, preserved verbatim in watchdog
+        // mode; full mode emits resilience.* from the supervisor instead.
         tel->metrics().counter("watchdog.recoveries").inc();
         if (tel->trace_enabled()) {
           tel->trace().instant("watchdog.rollback",
@@ -142,10 +201,12 @@ RunResult run_training(Engine& engine, const Model& model,
                                 {"alpha_scale", alpha_scale}});
         }
       }
-      res.recoveries.push_back(
-          {e, loss, alpha_scale,
-           nonfinite ? RecoveryReason::kNonFinite
-                     : RecoveryReason::kLossSpike});
+      const RecoveryReason reason =
+          nonfinite      ? RecoveryReason::kNonFinite
+          : bad_weights  ? RecoveryReason::kBadWeights
+          : deadline_bad ? RecoveryReason::kDeadline
+                         : RecoveryReason::kLossSpike;
+      res.recoveries.push_back({e, loss, alpha_scale, reason});
       w = good.w;
       rng.set_state(good.rng);
       res.losses.resize(good.n_losses);
@@ -166,9 +227,17 @@ RunResult run_training(Engine& engine, const Model& model,
         const double per_epoch = (now - hb_start) / hb_epochs_done;
         const double eta =
             per_epoch * static_cast<double>(opts.max_epochs - (e + 1));
+        std::string extra;
+        if (supervisor.active()) {
+          const ResilienceStats rs = supervisor.stats();
+          std::ostringstream os;
+          os << " rec=" << rs.recoveries << " backup=" << rs.backup_wins
+             << " ladder=" << to_string(rs.final_level);
+          extra = os.str();
+        }
         PARSGD_INFO << engine.name() << " epoch " << (e + 1) << "/"
                     << opts.max_epochs << " loss=" << loss
-                    << " eta=" << eta << "s";
+                    << " eta=" << eta << "s" << extra;
       }
     }
     if (bad) {
@@ -180,17 +249,28 @@ RunResult run_training(Engine& engine, const Model& model,
       good.rng = rng.state();
       good.epoch = e + 1;
       good.n_losses = res.losses.size();
+      supervisor.on_epoch_clean();
     }
-    if (!opts.checkpoint_path.empty() &&
-        (e + 1) % std::max<std::size_t>(opts.checkpoint_every, 1) == 0) {
-      TrainCheckpoint ck;
-      ck.next_epoch = e + 1;
-      ck.alpha_scale = alpha_scale;
-      ck.recoveries_used = recoveries_used;
-      ck.rng = rng.state();
-      ck.w = w;
-      ck.partial = res;
-      save_checkpoint(opts.checkpoint_path, ck);
+    if (!opts.checkpoint_path.empty()) {
+      bool due;
+      if (opts.checkpoint_every_seconds > 0) {
+        const double now = monotonic_seconds();
+        due = now - ck_last >= opts.checkpoint_every_seconds;
+        if (due) ck_last = now;
+      } else {
+        due = (e + 1) % std::max<std::size_t>(opts.checkpoint_every, 1) == 0;
+      }
+      if (due) {
+        TrainCheckpoint ck;
+        ck.next_epoch = e + 1;
+        ck.alpha_scale = alpha_scale;
+        ck.recoveries_used = recoveries_used;
+        ck.rng = rng.state();
+        ck.w = w;
+        ck.partial = res;
+        save_checkpoint(opts.checkpoint_path, ck);
+        if (supervisor.active()) supervisor.note_checkpoint();
+      }
     }
     if (opts.plateau_window > 0 && res.losses.size() > opts.plateau_window) {
       const double past =
@@ -200,6 +280,13 @@ RunResult run_training(Engine& engine, const Model& model,
     ++e;
   }
   res.alpha_scale = alpha_scale;
+  if (supervisor.active()) {
+    // ResilienceStats are per-call, not checkpointed: a resumed run
+    // restarts its counters (documented in DESIGN.md §16).
+    res.resilience = supervisor.stats();
+    res.resilience.quarantined =
+        engine.fault_injector().counters().quarantined;
+  }
   return res;
 }
 

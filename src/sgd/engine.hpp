@@ -17,6 +17,7 @@
 #include "faults/injector.hpp"
 #include "models/model.hpp"
 #include "sgd/schedule.hpp"
+#include "sgd/supervisor.hpp"
 #include "telemetry/session.hpp"
 
 namespace parsgd {
@@ -77,15 +78,36 @@ class Engine {
   /// Reports harvest the per-kernel stats breakdown through this.
   virtual const gpusim::Device* device() const { return nullptr; }
 
+  /// Attaches/detaches (null) the run's training supervisor (DESIGN.md
+  /// §16). run_training does this for the duration of one run; engines
+  /// consult it at epoch start for the degradation ladder, and the fault
+  /// injector gets its straggle gate / sanitization policy from it.
+  void set_supervisor(TrainingSupervisor* supervisor) {
+    supervisor_ = supervisor;
+    faults_.set_straggle_gate(
+        supervisor != nullptr && supervisor->speculates() ? supervisor
+                                                          : nullptr);
+    faults_.set_sanitize(supervisor != nullptr &&
+                         supervisor->sanitize_updates());
+  }
+  TrainingSupervisor* supervisor() const { return supervisor_; }
+
  protected:
   /// Engines call the hooks of this injector from their run_epoch paths.
   FaultInjector faults_;
   /// Shared with EngineContext (or standalone); null when telemetry=off.
   std::shared_ptr<telemetry::TelemetrySession> telemetry_;
+  /// Owned by run_training for the duration of one run; null outside it.
+  TrainingSupervisor* supervisor_ = nullptr;
 };
 
-/// Why the divergence watchdog rejected an epoch.
-enum class RecoveryReason : std::uint8_t { kNonFinite, kLossSpike };
+/// Why the supervisor (or the legacy watchdog) rejected an epoch.
+enum class RecoveryReason : std::uint8_t {
+  kNonFinite = 0,   ///< loss went NaN/Inf
+  kLossSpike = 1,   ///< loss exceeded the divergence threshold
+  kDeadline = 2,    ///< epoch host time blew the supervisor deadline
+  kBadWeights = 3,  ///< finite loss but non-finite weight coordinates
+};
 
 /// One watchdog rollback: epoch `epoch` produced `bad_loss`, the run was
 /// rolled back to the last good snapshot and continued with the step size
@@ -108,6 +130,8 @@ struct RunResult {
   std::vector<RecoveryEvent> recoveries;
   /// Final step-size scale after watchdog backoffs (1.0 = untouched).
   double alpha_scale = 1.0;
+  /// Supervisor counters for the run (all zero when resilience=off).
+  ResilienceStats resilience;
 
   std::size_t epochs() const { return losses.size(); }
   double total_seconds() const {
@@ -147,10 +171,18 @@ struct TrainOptions {
   /// Must outlive the run. The paper's protocol is a constant step.
   const StepSchedule* schedule = nullptr;
   WatchdogOptions watchdog;
+  /// Resilience policy (DESIGN.md §16). When the mode is not kOff it
+  /// takes precedence over `watchdog`; a bare watchdog.enabled maps onto
+  /// the kWatchdog preset with the WatchdogOptions numbers, preserving
+  /// the legacy §11 semantics exactly.
+  SupervisorOptions supervisor;
   /// When non-empty, a TrainCheckpoint is written (atomically) to this
-  /// path after every `checkpoint_every`-th completed epoch.
+  /// path after every `checkpoint_every`-th completed epoch — or, when
+  /// `checkpoint_every_seconds` > 0, whenever that much host time has
+  /// passed since the last one (time-based cadence wins when set).
   std::string checkpoint_path;
   std::size_t checkpoint_every = 1;
+  double checkpoint_every_seconds = 0;
   /// When set, the run continues from this checkpoint instead of from w0,
   /// bit-identically to the uninterrupted run. Must outlive the call.
   const TrainCheckpoint* resume = nullptr;

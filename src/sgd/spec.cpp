@@ -195,6 +195,15 @@ std::optional<EngineSpec> try_parse_spec(const std::string& text,
           return parse_fail(error, "bad value in '" + kv +
                                        "' (expected phi in [0, 1])");
         }
+      } else if (key == "resilience") {
+        const std::optional<ResilienceMode> mode =
+            parse_resilience_mode(val);
+        if (!mode.has_value()) {
+          return parse_fail(error,
+                            "bad value in '" + kv +
+                                "' (expected off, watchdog or full)");
+        }
+        s.resilience = *mode;
       } else if (key == "telemetry") {
         const std::optional<telemetry::TelemetryMode> mode =
             telemetry::parse_telemetry_mode(val);
@@ -254,6 +263,9 @@ std::string format_spec(const EngineSpec& spec) {
   }
   if (spec.heterogeneous && spec.gpu_fraction >= 0) {
     kv.push_back("phi=" + format_double(spec.gpu_fraction));
+  }
+  if (spec.resilience != ResilienceMode::kOff) {
+    kv.push_back(std::string("resilience=") + to_string(spec.resilience));
   }
   if (spec.threads != 0) {
     kv.push_back("threads=" + std::to_string(spec.threads));

@@ -78,9 +78,14 @@ struct EngineSpec {
   std::size_t gemm_parallel_threshold = 5000;
   /// Heterogeneous GPU example share; negative = auto (equalize devices).
   double gpu_fraction = -1.0;
-  /// Injected faults (faults=/straggler=/drop= spec keys, DESIGN.md §11).
-  /// Empty by default; overrides EngineContext::faults when non-empty.
+  /// Injected faults (faults=/straggler=/drop=/poison= spec keys,
+  /// DESIGN.md §11). Empty by default; overrides EngineContext::faults
+  /// when non-empty.
   FaultPlan faults;
+  /// resilience=off|watchdog|full (DESIGN.md §16): the training
+  /// supervisor policy run_training applies to runs of this spec. Default
+  /// off — bit-identical to the pre-supervisor seed; format_spec omits it.
+  ResilienceMode resilience = ResilienceMode::kOff;
   /// Telemetry mode (telemetry= spec key, DESIGN.md §12). When the
   /// context has no session and this is not kOff, make_engine creates a
   /// standalone session owned by the engine (Engine::telemetry()).

@@ -7,6 +7,7 @@
 #include "common/check.hpp"
 #include "parallel/task_graph.hpp"
 #include "parallel/thread_pool.hpp"
+#include "sgd/supervisor.hpp"
 
 namespace parsgd {
 
@@ -29,8 +30,31 @@ void run_minibatch_epoch(const Model& model, const TrainData& data,
           : nullptr;
   ThreadPool& pool =
       opts.pool != nullptr ? *opts.pool : ThreadPool::global();
+  const DegradeLevel level =
+      opts.supervisor != nullptr && opts.supervisor->active()
+          ? opts.supervisor->level()
+          : DegradeLevel::kNone;
 
-  if (!graph_enabled(opts.graph)) {
+  if (level >= DegradeLevel::kSequential) {
+    // Degraded rung (DESIGN.md §16): plain sequential batch_step loop, no
+    // pool and no graph on the step path. Bit-identical to the pooled
+    // path by the batch_step_pooled contract, same injector draw order.
+    for (const std::uint32_t b : order) {
+      if (faults.drop_update()) {
+        faults.after_update(w);
+        continue;
+      }
+      const std::size_t begin =
+          static_cast<std::size_t>(b) * opts.minibatch;
+      const std::size_t end = std::min(n, begin + opts.minibatch);
+      model.batch_step(data, begin, end, opts.use_dense, alpha, w, w);
+      faults.after_update(w);
+      if (c_updates != nullptr) c_updates->inc();
+    }
+    return;
+  }
+
+  if (!graph_enabled(opts.graph) || level >= DegradeLevel::kPooled) {
     // Legacy pooled path: fork-join per batch. Bit-identical to the plain
     // batch_step loop for every pool size.
     for (const std::uint32_t b : order) {

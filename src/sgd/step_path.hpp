@@ -36,6 +36,7 @@
 namespace parsgd {
 
 class ThreadPool;
+class TrainingSupervisor;
 
 struct MinibatchEpochOptions {
   std::size_t minibatch = 0;  ///< examples per update (must be > 0)
@@ -44,6 +45,11 @@ struct MinibatchEpochOptions {
   ThreadPool* pool = nullptr;
   /// Chosen step path (resolved via graph_enabled()).
   GraphMode graph = GraphMode::kAuto;
+  /// The run's supervisor (null outside run_training / resilience=off).
+  /// Its degradation ladder (DESIGN.md §16) can demote this epoch to the
+  /// pooled or plain-sequential path; every rung follows the same batch
+  /// order and injector draw sequence.
+  const TrainingSupervisor* supervisor = nullptr;
 };
 
 /// Runs one synchronized mini-batch epoch in place on `w`: every example

@@ -116,6 +116,13 @@ void SyncEngine::set_telemetry(
 
 double SyncEngine::run_epoch(std::span<real_t> w, real_t alpha, Rng& rng) {
   const double secs = epoch_seconds(w);
+  if (supervisor_ != nullptr && supervisor_->active()) {
+    // Last ladder rung (DESIGN.md §16): pin the trajectory backend to the
+    // scalar kernel table. Bit-identical under det=on, so stepping down
+    // (or back up) never perturbs the trajectory.
+    traj_backend_.set_force_scalar(supervisor_->level() >=
+                                   DegradeLevel::kScalar);
+  }
   faults_.begin_epoch(w);
   ThreadPool& epoch_pool =
       opts_.pool != nullptr ? *opts_.pool : ThreadPool::global();
@@ -132,10 +139,17 @@ double SyncEngine::run_epoch(std::span<real_t> w, real_t alpha, Rng& rng) {
         telemetry_ != nullptr && telemetry_->metrics_enabled()
             ? &telemetry_->metrics().counter("sync.updates")
             : nullptr;
-    traj_cost_.reset();
-    model_.sync_epoch(traj_backend_, data_, opts_.use_dense, alpha, w);
-    faults_.after_update(w);
-    if (c_updates != nullptr) c_updates->inc();
+    // The epoch's single update can be a lost update (drop=) or a
+    // quarantined poisoned one (poison= under sanitization); plans
+    // without either draw nothing here, keeping baselines bit-identical.
+    if (faults_.drop_update()) {
+      faults_.after_update(w);
+    } else {
+      traj_cost_.reset();
+      model_.sync_epoch(traj_backend_, data_, opts_.use_dense, alpha, w);
+      faults_.after_update(w);
+      if (c_updates != nullptr) c_updates->inc();
+    }
   } else {
     // Synchronized mini-batch updates, shuffled batch order per epoch,
     // through the shared step-path runner (DESIGN.md §15): a dataflow
@@ -145,6 +159,7 @@ double SyncEngine::run_epoch(std::span<real_t> w, real_t alpha, Rng& rng) {
     mo.use_dense = opts_.use_dense;
     mo.pool = opts_.pool;
     mo.graph = opts_.graph;
+    mo.supervisor = supervisor_;
     run_minibatch_epoch(model_, data_, alpha, w, rng, faults_,
                         telemetry_.get(), mo);
   }

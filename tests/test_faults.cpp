@@ -76,6 +76,18 @@ TEST(FaultSpec, ParsesAllKeys) {
   EXPECT_TRUE(s.faults.any());
 }
 
+TEST(FaultSpec, ParsesPoisonAndHang) {
+  const EngineSpec s = parse_spec(
+      "sync/cpu-seq/sparse:faults=hang@4:300,poison=0.02");
+  EXPECT_EQ(s.faults.hang_epoch, 4u);
+  EXPECT_EQ(s.faults.hang_ms, 300u);
+  EXPECT_DOUBLE_EQ(s.faults.poison_prob, 0.02);
+  EXPECT_TRUE(s.faults.any());
+  // The :MS suffix is optional and defaults to 250 ms.
+  EXPECT_EQ(parse_spec("sync/cpu-seq/sparse:faults=hang@2").faults.hang_ms,
+            250u);
+}
+
 TEST(FaultSpec, ParsesFlipWithCoordAndBit) {
   const EngineSpec s =
       parse_spec("sync/cpu-seq/sparse:faults=flip@3:7:22");
@@ -90,6 +102,8 @@ TEST(FaultSpec, FormatRoundTrips) {
            "sync/cpu-seq/sparse:batch=32,faults=crash@5+flip@3:7:22",
            "async/cpu-seq/sparse:drop=0.25,faults=inf@9,straggler=0.5@2",
            "async/gpu/sparse:faults=flip@4",
+           "sync/cpu-seq/sparse:faults=hang@3,poison=0.01",
+           "sync/cpu-par/sparse:batch=64,faults=hang@5:100,straggler=0.2@8",
        }) {
     const EngineSpec s = parse_spec(text);
     EXPECT_EQ(parse_spec(format_spec(s)), s) << text << " via "
@@ -111,6 +125,10 @@ TEST(FaultSpec, RejectsMalformedPlans) {
            "async/cpu-par/sparse:straggler=0.1@0",    // zero max delay
            "async/cpu-par/sparse:drop=-0.1",          // prob < 0
            "async/cpu-par/sparse:drop=",              // empty value
+           "async/cpu-par/sparse:faults=hang",        // missing @epoch
+           "async/cpu-par/sparse:faults=hang@2:0",    // zero hang duration
+           "async/cpu-par/sparse:faults=hang@2:5:9",  // too many fields
+           "async/cpu-par/sparse:poison=1.5",         // prob > 1
        }) {
     EXPECT_FALSE(try_parse_spec(text).has_value()) << text;
   }
@@ -373,6 +391,19 @@ TEST(Checkpoint, CrashAndResumeBitIdenticalAsyncCpu) {
   expect_crash_resume_bit_identical(
       f, "async/cpu-par/sparse",
       "async/cpu-par/sparse:faults=crash@6", "async.bin");
+}
+
+TEST(Checkpoint, CrashAndResumeBitIdenticalSyncGraph) {
+  // The task-graph step path (graph=on) must round-trip through a crash +
+  // resume exactly like the pooled loop: drop/step RNG draws happen at
+  // build time in batch order, so the checkpointed RNG state replays the
+  // same epoch graph.
+  Fixture f;
+  ThreadPool pool(4);
+  f.ctx.pool = &pool;
+  expect_crash_resume_bit_identical(
+      f, "sync/cpu-par/sparse:batch=32,graph=on",
+      "sync/cpu-par/sparse:batch=32,faults=crash@6,graph=on", "graph.bin");
 }
 
 // ----------------------------------------------- divergence bookkeeping

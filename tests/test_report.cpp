@@ -62,6 +62,14 @@ RunReport sample_report() {
   e.extras = {{"speedup", 4.5}, {"oddly.named-extra", 1.0 / 3.0}};
   e.series_loss = {0.6931, 0.52, 0.41};
   e.series_seconds = {2.0, 2.0, 2.0};
+  e.resilience.recoveries = 2;
+  e.resilience.deadline_misses = 5;
+  e.resilience.backup_wins = 4;
+  e.resilience.ladder_down = 1;
+  e.resilience.quarantined = 3;
+  e.resilience.checkpoints = 6;
+  e.resilience.saved_straggle_us = 1234.5;
+  e.resilience.final_level = "pooled";
   r.add_entry(e);
 
   Entry unreached;
@@ -150,6 +158,26 @@ TEST(ReportJson, SeriesRoundTripsAndAbsenceStaysEmpty) {
   EXPECT_EQ(dump(a).find("\"series\""), dump(a).rfind("\"series\""));
 }
 
+TEST(ReportJson, ResilienceRoundTripsAndAbsenceStaysEmpty) {
+  const RunReport a = sample_report();
+  std::istringstream is(dump(a));
+  const RunReport b = report::read_report(is);
+  const Entry* with = b.find("LR/w8a/sync/gpu");
+  ASSERT_NE(with, nullptr);
+  EXPECT_TRUE(with->resilience.any());
+  EXPECT_DOUBLE_EQ(with->resilience.recoveries, 2);
+  EXPECT_DOUBLE_EQ(with->resilience.deadline_misses, 5);
+  EXPECT_DOUBLE_EQ(with->resilience.backup_wins, 4);
+  EXPECT_DOUBLE_EQ(with->resilience.saved_straggle_us, 1234.5);
+  EXPECT_EQ(with->resilience.final_level, "pooled");
+  // Entries without a slice (and pre-resilience reports) read back all
+  // zero: the "resilience" object is simply absent from their JSON.
+  const Entry* without = b.find("LR/w8a/async/cpu-par");
+  ASSERT_NE(without, nullptr);
+  EXPECT_FALSE(without->resilience.any());
+  EXPECT_EQ(dump(a).find("\"resilience\""), dump(a).rfind("\"resilience\""));
+}
+
 TEST(ReportJson, RejectsForeignSchemaVersion) {
   RunReport r = sample_report();
   r.schema_version = report::kSchemaVersion + 1;
@@ -232,6 +260,17 @@ TEST(ReportCompare, SeriesIsIgnoredEntirely) {
   EXPECT_TRUE(report::compare_reports(base, cur).ok());
 }
 
+TEST(ReportCompare, ResilienceIsIgnoredEntirely) {
+  // The resilience slice is provenance, not a regression axis: wildly
+  // different recovery behavior between two runs never gates.
+  const RunReport base = sample_report();
+  RunReport cur = sample_report();
+  cur.entries[0].resilience = {};
+  cur.entries[1].resilience.recoveries = 99;
+  cur.entries[1].resilience.final_level = "scalar";
+  EXPECT_TRUE(report::compare_reports(base, cur).ok());
+}
+
 TEST(ReportCompare, FlagsInjectedSecPerEpochRegression) {
   const RunReport base = sample_report();
   RunReport cur = sample_report();
@@ -306,6 +345,67 @@ TEST(ReportCompare, DifferentBenchesAreNotComparable) {
   RunReport cur = sample_report();
   cur.name = "other_bench";
   EXPECT_THROW(report::compare_reports(base, cur), CheckError);
+}
+
+// ---- multi-report merge --------------------------------------------------
+
+TEST(ReportMerge, UnionsDisjointShards) {
+  RunReport a = sample_report();
+  RunReport b = sample_report();
+  for (Entry& e : b.entries) e.label = "shard2/" + e.label;
+  b.host_seconds = 0.75;
+  b.engine_spec = "async/cpu-par/sparse";
+
+  const RunReport merged = report::merge_reports({a, b});
+  EXPECT_EQ(merged.name, a.name);
+  EXPECT_EQ(merged.entries.size(), 4u);
+  ASSERT_NE(merged.find("LR/w8a/sync/gpu"), nullptr);
+  ASSERT_NE(merged.find("shard2/LR/w8a/sync/gpu"), nullptr);
+  // The resilience slice rides through the merge untouched.
+  EXPECT_DOUBLE_EQ(merged.find("LR/w8a/sync/gpu")->resilience.recoveries, 2);
+  // Identical datasets dedupe; host time sums; modeled time is rebuilt
+  // from the merged entries (2x the per-shard sum here).
+  EXPECT_EQ(merged.datasets.size(), 1u);
+  EXPECT_DOUBLE_EQ(merged.host_seconds, 2.0);
+  EXPECT_DOUBLE_EQ(merged.modeled_seconds, 2 * a.modeled_seconds);
+  // Shards with different engine_specs merge into a sweep (spec blanks).
+  EXPECT_EQ(merged.engine_spec, "");
+  // A merged report is a valid report: it round-trips and self-compares.
+  std::istringstream is(dump(merged));
+  EXPECT_EQ(dump(report::read_report(is)), dump(merged));
+  EXPECT_TRUE(report::compare_reports(merged, merged).ok());
+}
+
+TEST(ReportMerge, SingleShardIsIdentityModuloSpec) {
+  const RunReport a = sample_report();
+  EXPECT_EQ(dump(report::merge_reports({a})), dump(a));
+}
+
+TEST(ReportMerge, RejectsConflicts) {
+  const RunReport a = sample_report();
+  EXPECT_THROW(report::merge_reports({}), CheckError);
+  // Duplicate entry labels: shards must be disjoint, never last-wins.
+  EXPECT_THROW(report::merge_reports({a, a}), CheckError);
+  // Different benches are not mergeable.
+  {
+    RunReport b = sample_report();
+    b.name = "other_bench";
+    EXPECT_THROW(report::merge_reports({a, b}), CheckError);
+  }
+  // Different commits are not one run.
+  {
+    RunReport b = sample_report();
+    for (Entry& e : b.entries) e.label = "s2/" + e.label;
+    b.build.git_sha = "deadbeef0000";
+    EXPECT_THROW(report::merge_reports({a, b}), CheckError);
+  }
+  // Same dataset name with a different shape is a conflict, not a dedupe.
+  {
+    RunReport b = sample_report();
+    for (Entry& e : b.entries) e.label = "s2/" + e.label;
+    b.datasets[0].rows += 1;
+    EXPECT_THROW(report::merge_reports({a, b}), CheckError);
+  }
 }
 
 // ---- observation does not perturb the experiment -------------------------

@@ -1,0 +1,448 @@
+// TrainingSupervisor (DESIGN.md §16): the policy presets and spec
+// grammar, the chunk/epoch deadline math of the speculation gate, the
+// backoff/ladder state machine, and the end-to-end guarantees under
+// injected faults:
+//   * resilience=off and full-with-no-faults trajectories are
+//     bit-identical to the plain loop,
+//   * straggler speculation clips injected delay without perturbing the
+//     trajectory (execution-only, backed up past the deadline),
+//   * poisoned updates quarantine under sanitization instead of
+//     NaN-ing the weights,
+//   * a hang is detected by the epoch deadline and retried with the step
+//     size unchanged — bit-identical to the fault-free run,
+//   * repeated numeric failures walk the degradation ladder down to the
+//     scalar rung and exhaust the bounded recovery budget,
+//   * time-cadence auto-checkpoints crash-resume bit-identically on the
+//     task-graph step path.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/check.hpp"
+#include "data/generator.hpp"
+#include "faults/injector.hpp"
+#include "models/linear.hpp"
+#include "parallel/thread_pool.hpp"
+#include "sgd/checkpoint.hpp"
+#include "sgd/spec.hpp"
+#include "sgd/supervisor.hpp"
+
+namespace parsgd {
+namespace {
+
+struct Fixture {
+  Dataset ds;
+  LogisticRegression lr;
+  EngineContext ctx;
+  std::vector<real_t> w0;
+
+  explicit Fixture(const char* name = "w8a", double gen_scale = 500.0)
+      : ds(generate_dataset(name,
+                            GeneratorOptions{.seed = 5, .scale = gen_scale})),
+        lr(ds.d()) {
+    ctx = make_engine_context(ds, lr, Layout::kSparse);
+    w0 = lr.init_params(5);
+  }
+
+  RunResult run(const std::string& spec_text, real_t alpha,
+                const TrainOptions& opts,
+                FaultCounters* counters = nullptr) const {
+    const std::unique_ptr<Engine> engine =
+        make_engine(parse_spec(spec_text), ctx);
+    const RunResult r =
+        run_training(*engine, lr, ctx.data, w0, alpha, opts);
+    if (counters != nullptr) *counters = engine->fault_injector().counters();
+    return r;
+  }
+};
+
+TrainOptions epochs(std::size_t n) {
+  TrainOptions t;
+  t.max_epochs = n;
+  return t;
+}
+
+TrainOptions full_epochs(std::size_t n) {
+  TrainOptions t = epochs(n);
+  t.supervisor = supervisor_options_for(ResilienceMode::kFull);
+  return t;
+}
+
+// ----------------------------------------------------------------- policy
+
+TEST(SupervisorPolicy, ModeNamesRoundTrip) {
+  for (const ResilienceMode m : {ResilienceMode::kOff,
+                                 ResilienceMode::kWatchdog,
+                                 ResilienceMode::kFull}) {
+    const auto back = parse_resilience_mode(to_string(m));
+    ASSERT_TRUE(back.has_value()) << to_string(m);
+    EXPECT_EQ(*back, m);
+  }
+  EXPECT_FALSE(parse_resilience_mode("bogus").has_value());
+  EXPECT_FALSE(parse_resilience_mode("").has_value());
+}
+
+TEST(SupervisorPolicy, SpecKeyParsesFormatsAndDefaultsOff) {
+  const EngineSpec s =
+      parse_spec("sync/cpu-seq/sparse:resilience=full");
+  EXPECT_EQ(s.resilience, ResilienceMode::kFull);
+  EXPECT_EQ(parse_spec(format_spec(s)), s);
+  // Default off and omitted from the canonical form.
+  const EngineSpec plain = parse_spec("sync/cpu-seq/sparse");
+  EXPECT_EQ(plain.resilience, ResilienceMode::kOff);
+  EXPECT_EQ(format_spec(plain).find("resilience"), std::string::npos);
+  EXPECT_FALSE(try_parse_spec("sync/cpu-seq/sparse:resilience=bogus")
+                   .has_value());
+  EXPECT_EQ(parse_spec("async/cpu-par/sparse:resilience=watchdog")
+                .resilience,
+            ResilienceMode::kWatchdog);
+}
+
+TEST(SupervisorPolicy, PresetsMatchTheContract) {
+  const SupervisorOptions off =
+      supervisor_options_for(ResilienceMode::kOff);
+  EXPECT_EQ(off.mode, ResilienceMode::kOff);
+
+  // kWatchdog reproduces the legacy §11 numbers with every pillar off.
+  const SupervisorOptions wd =
+      supervisor_options_for(ResilienceMode::kWatchdog);
+  EXPECT_DOUBLE_EQ(wd.alpha_backoff, 0.1);
+  EXPECT_DOUBLE_EQ(wd.backoff_jitter, 0.0);
+  EXPECT_EQ(wd.recovery_budget, 3u);
+  EXPECT_FALSE(wd.speculate);
+  EXPECT_FALSE(wd.sanitize);
+  EXPECT_FALSE(wd.ladder);
+
+  const SupervisorOptions f = supervisor_options_for(ResilienceMode::kFull);
+  EXPECT_TRUE(f.speculate);
+  EXPECT_TRUE(f.sanitize);
+  EXPECT_TRUE(f.ladder);
+  EXPECT_GT(f.recovery_budget, wd.recovery_budget);
+
+  TrainingSupervisor sup(f, nullptr);
+  EXPECT_TRUE(sup.active());
+  EXPECT_TRUE(sup.full());
+  EXPECT_TRUE(sup.speculates());
+  EXPECT_TRUE(sup.sanitize_updates());
+  TrainingSupervisor wd_sup(wd, nullptr);
+  EXPECT_TRUE(wd_sup.active());
+  EXPECT_FALSE(wd_sup.full());
+  EXPECT_FALSE(wd_sup.speculates());
+  EXPECT_FALSE(wd_sup.sanitize_updates());
+}
+
+// ------------------------------------------------------- speculation gate
+
+TEST(SupervisorGate, DeadlineArmsFromEwmaAndClipsStragglers) {
+  TrainingSupervisor sup(supervisor_options_for(ResilienceMode::kFull),
+                         nullptr);
+  // Unarmed gate passes every delay through untouched.
+  EXPECT_DOUBLE_EQ(sup.chunk_deadline_us(), 0.0);
+  EXPECT_DOUBLE_EQ(sup.gate_straggle_us(500.0), 500.0);
+  EXPECT_EQ(sup.stats().deadline_misses, 0u);
+
+  // First observation seeds the EWMA; deadline = floor 25 + 4 x EWMA.
+  sup.observe_chunk_us(100.0);
+  EXPECT_DOUBLE_EQ(sup.chunk_ewma_us(), 100.0);
+  EXPECT_DOUBLE_EQ(sup.chunk_deadline_us(), 425.0);
+
+  // Within deadline: untouched, no miss.
+  EXPECT_DOUBLE_EQ(sup.gate_straggle_us(400.0), 400.0);
+  EXPECT_EQ(sup.stats().deadline_misses, 0u);
+
+  // Past deadline: the backup wins; cost capped at deadline + one typical
+  // chunk, the clipped remainder is accounted as saved.
+  EXPECT_DOUBLE_EQ(sup.gate_straggle_us(1000.0), 525.0);
+  EXPECT_EQ(sup.stats().deadline_misses, 1u);
+  EXPECT_EQ(sup.stats().backup_wins, 1u);
+  EXPECT_DOUBLE_EQ(sup.stats().saved_straggle_us, 475.0);
+
+  // EWMA blends with weight 0.25.
+  sup.observe_chunk_us(200.0);
+  EXPECT_DOUBLE_EQ(sup.chunk_ewma_us(), 125.0);
+  EXPECT_DOUBLE_EQ(sup.chunk_deadline_us(), 25.0 + 4 * 125.0);
+}
+
+TEST(SupervisorGate, RejectsOutlierObservations) {
+  TrainingSupervisor sup(supervisor_options_for(ResilienceMode::kFull),
+                         nullptr);
+  sup.observe_chunk_us(50.0);
+  // Above the absolute cap: a straggler sleep / epoch gap, not evidence.
+  sup.observe_chunk_us(30000.0);
+  EXPECT_DOUBLE_EQ(sup.chunk_ewma_us(), 50.0);
+  // Below the cap but above 32x the established EWMA: same.
+  sup.observe_chunk_us(50.0 * 35);
+  EXPECT_DOUBLE_EQ(sup.chunk_ewma_us(), 50.0);
+  // Nonpositive gaps (clock went backwards) are ignored too.
+  sup.observe_chunk_us(0.0);
+  sup.observe_chunk_us(-5.0);
+  EXPECT_DOUBLE_EQ(sup.chunk_ewma_us(), 50.0);
+}
+
+TEST(SupervisorGate, EpochDeadlineArmsAfterFirstObservation) {
+  TrainingSupervisor sup(supervisor_options_for(ResilienceMode::kFull),
+                         nullptr);
+  EXPECT_DOUBLE_EQ(sup.epoch_deadline_s(), 0.0);
+  EXPECT_FALSE(sup.epoch_deadline_exceeded(1e9));  // unarmed: never fires
+  sup.observe_epoch_seconds(0.01);
+  EXPECT_DOUBLE_EQ(sup.epoch_deadline_s(), 0.05 + 8 * 0.01);
+  EXPECT_TRUE(sup.epoch_deadline_exceeded(0.2));
+  EXPECT_FALSE(sup.epoch_deadline_exceeded(0.1));
+  // Watchdog mode never speculates on time.
+  TrainingSupervisor wd(supervisor_options_for(ResilienceMode::kWatchdog),
+                        nullptr);
+  wd.observe_epoch_seconds(0.01);
+  EXPECT_DOUBLE_EQ(wd.epoch_deadline_s(), 0.0);
+}
+
+// ------------------------------------------------------- backoff + ladder
+
+TEST(SupervisorBackoff, WatchdogModeIsTheFixedLegacyFactor) {
+  TrainingSupervisor sup(supervisor_options_for(ResilienceMode::kWatchdog),
+                         nullptr);
+  EXPECT_DOUBLE_EQ(sup.on_epoch_failed(/*numeric=*/true, 3), 0.1);
+  EXPECT_DOUBLE_EQ(sup.on_epoch_failed(/*numeric=*/true, 3), 0.1);
+  EXPECT_EQ(sup.stats().recoveries, 2u);
+  // The legacy watchdog never moves the ladder.
+  EXPECT_EQ(sup.level(), DegradeLevel::kNone);
+  EXPECT_EQ(sup.stats().ladder_down, 0u);
+}
+
+TEST(SupervisorBackoff, FullModeEscalatesAndJitters) {
+  SupervisorOptions o = supervisor_options_for(ResilienceMode::kFull);
+  o.backoff_jitter = 0;
+  TrainingSupervisor sup(o, nullptr);
+  // Exponential in the consecutive-failure count...
+  EXPECT_DOUBLE_EQ(sup.on_epoch_failed(true, 0), 0.5);
+  EXPECT_DOUBLE_EQ(sup.on_epoch_failed(true, 0), 0.25);
+  // ...reset by a clean epoch...
+  sup.on_epoch_clean();
+  EXPECT_DOUBLE_EQ(sup.on_epoch_failed(true, 1), 0.5);
+  // ...and bypassed entirely for execution-time failures: the math was
+  // fine, only the wall clock was not.
+  EXPECT_DOUBLE_EQ(sup.on_epoch_failed(/*numeric=*/false, 2), 1.0);
+  EXPECT_DOUBLE_EQ(sup.on_epoch_failed(true, 3), 0.25);  // streak intact
+
+  SupervisorOptions jittered =
+      supervisor_options_for(ResilienceMode::kFull);
+  jittered.backoff_jitter = 0.1;
+  TrainingSupervisor js(jittered, nullptr);
+  const double m = js.on_epoch_failed(true, 0);
+  EXPECT_GE(m, 0.5 * 0.9);
+  EXPECT_LE(m, 0.5 * 1.1);
+}
+
+TEST(SupervisorLadder, DegradesPerFailureAndPromotesAfterCleanStreak) {
+  SupervisorOptions o = supervisor_options_for(ResilienceMode::kFull);
+  o.backoff_jitter = 0;
+  ASSERT_EQ(o.promote_after, 3u);
+  TrainingSupervisor sup(o, nullptr);
+  EXPECT_EQ(sup.level(), DegradeLevel::kNone);
+  sup.on_epoch_failed(true, 0);
+  EXPECT_EQ(sup.level(), DegradeLevel::kPooled);
+  sup.on_epoch_failed(true, 0);
+  EXPECT_EQ(sup.level(), DegradeLevel::kSequential);
+  sup.on_epoch_failed(true, 0);
+  EXPECT_EQ(sup.level(), DegradeLevel::kScalar);
+  sup.on_epoch_failed(true, 0);  // the ladder has a bottom rung
+  EXPECT_EQ(sup.level(), DegradeLevel::kScalar);
+  EXPECT_EQ(sup.stats().ladder_down, 3u);
+
+  // Each promote_after-long clean streak buys one rung back.
+  sup.on_epoch_clean();
+  sup.on_epoch_clean();
+  EXPECT_EQ(sup.level(), DegradeLevel::kScalar);
+  sup.on_epoch_clean();
+  EXPECT_EQ(sup.level(), DegradeLevel::kSequential);
+  for (int i = 0; i < 6; ++i) sup.on_epoch_clean();
+  EXPECT_EQ(sup.level(), DegradeLevel::kNone);
+  EXPECT_EQ(sup.stats().ladder_up, 3u);
+  // A failure after re-promotion degrades again from the top.
+  sup.on_epoch_failed(true, 9);
+  EXPECT_EQ(sup.level(), DegradeLevel::kPooled);
+  EXPECT_EQ(sup.stats().ladder_down, 4u);
+}
+
+TEST(SupervisorLadder, ForceLevelIsUncountedOverride) {
+  TrainingSupervisor sup(supervisor_options_for(ResilienceMode::kFull),
+                         nullptr);
+  sup.force_level(DegradeLevel::kSequential);
+  EXPECT_EQ(sup.level(), DegradeLevel::kSequential);
+  EXPECT_EQ(sup.stats().ladder_down, 0u);
+  EXPECT_EQ(sup.stats().final_level, DegradeLevel::kSequential);
+}
+
+// ------------------------------------------------------------ integration
+
+TEST(SupervisorTraining, FullModeWithoutFaultsIsBitIdentical) {
+  Fixture f;
+  const RunResult off =
+      f.run("sync/cpu-seq/sparse:batch=32", real_t(0.1), epochs(8));
+  const RunResult on =
+      f.run("sync/cpu-seq/sparse:batch=32", real_t(0.1), full_epochs(8));
+  EXPECT_EQ(on.losses, off.losses);
+  EXPECT_EQ(on.epoch_seconds, off.epoch_seconds);
+  // Deadline retries (if any host-time stall triggered one) keep alpha
+  // untouched, so the scale is exactly 1 either way.
+  EXPECT_DOUBLE_EQ(on.alpha_scale, 1.0);
+
+  const RunResult async_off =
+      f.run("async/cpu-par/sparse", real_t(0.1), epochs(5));
+  const RunResult async_on =
+      f.run("async/cpu-par/sparse", real_t(0.1), full_epochs(5));
+  EXPECT_EQ(async_on.losses, async_off.losses);
+}
+
+TEST(SupervisorTraining, StragglerSpeculationIsExecutionOnly) {
+  // Injected straggles planned at 50us x 200 units always blow the chunk
+  // deadline once the EWMA has armed (the observation cap bounds the EWMA
+  // at 2ms, so the deadline tops out at 25us + 4 x 2000us < 10ms); the
+  // backup caps their cost. The trajectory — losses and modeled seconds —
+  // must not move at all: speculation is wall-clock-only by construction.
+  Fixture f("w8a", 100.0);
+  ThreadPool pool(4);
+  f.ctx.pool = &pool;
+  const std::string plan =
+      "sync/cpu-par/sparse:batch=256,straggler=0.3@200";
+  FaultCounters c;
+  const RunResult off = f.run(plan, real_t(0.5), epochs(6));
+  const RunResult on = f.run(plan, real_t(0.5), full_epochs(6), &c);
+  EXPECT_EQ(on.losses, off.losses);
+  EXPECT_EQ(on.epoch_seconds, off.epoch_seconds);
+  EXPECT_GT(c.stragglers, 0u);
+  EXPECT_GT(on.resilience.backup_wins, 0u);
+  EXPECT_GT(on.resilience.saved_straggle_us, 0.0);
+  EXPECT_GE(on.resilience.deadline_misses, on.resilience.backup_wins);
+}
+
+TEST(SupervisorTraining, PoisonQuarantinesUnderFullSanitization) {
+  Fixture f;
+  // Unsanitized (resilience off): the poisoned update writes NaN into the
+  // weights and the run diverges.
+  FaultCounters unsan;
+  const RunResult poisoned = f.run("sync/cpu-seq/sparse:poison=0.5",
+                                   real_t(0.5), epochs(8), &unsan);
+  EXPECT_TRUE(poisoned.diverged);
+  EXPECT_GT(unsan.poisoned, 0u);
+  EXPECT_EQ(unsan.quarantined, 0u);
+
+  // Sanitized (full mode): the same plan quarantines the poison draws at
+  // the injector; every loss stays finite and nothing reaches w.
+  FaultCounters san;
+  const RunResult clean = f.run("sync/cpu-seq/sparse:poison=0.5",
+                                real_t(0.5), full_epochs(8), &san);
+  EXPECT_FALSE(clean.diverged);
+  ASSERT_EQ(clean.losses.size(), 8u);
+  for (const double l : clean.losses) EXPECT_TRUE(std::isfinite(l));
+  EXPECT_GT(san.quarantined, 0u);
+  EXPECT_EQ(san.poisoned, 0u);
+  EXPECT_EQ(clean.resilience.quarantined, san.quarantined);
+}
+
+TEST(SupervisorTraining, HangRecoversViaEpochDeadlineBitIdentically) {
+  Fixture f;
+  const RunResult base =
+      f.run("sync/cpu-seq/sparse", real_t(0.5), epochs(6));
+  // A 500ms one-shot hang at epoch 3 dwarfs the epoch deadline (50ms
+  // floor + 8x a millisecond-scale EWMA). The supervisor rolls the epoch
+  // back and retries; the hang is latched, the retry is clean, and the
+  // alpha multiplier for execution-time failures is exactly 1 — so the
+  // trajectory is bit-identical to the fault-free run.
+  FaultCounters c;
+  const RunResult r = f.run("sync/cpu-seq/sparse:faults=hang@3:500",
+                            real_t(0.5), full_epochs(6), &c);
+  EXPECT_EQ(r.losses, base.losses);
+  EXPECT_EQ(r.epoch_seconds, base.epoch_seconds);
+  EXPECT_DOUBLE_EQ(r.alpha_scale, 1.0);
+  EXPECT_EQ(c.hangs, 1u);
+  ASSERT_GE(r.recoveries.size(), 1u);
+  bool saw_deadline = false;
+  for (const RecoveryEvent& ev : r.recoveries) {
+    EXPECT_EQ(ev.reason, RecoveryReason::kDeadline);
+    saw_deadline |= ev.epoch == 3;
+  }
+  EXPECT_TRUE(saw_deadline);
+  EXPECT_EQ(r.resilience.recoveries, r.recoveries.size());
+}
+
+TEST(SupervisorTraining, NumericFailuresWalkLadderAndExhaustBudget) {
+  // A step size so large that no amount of backoff rescues it: the
+  // supervisor spends its whole budget, the ladder bottoms out at the
+  // scalar rung, and the run is finally reported diverged like the
+  // unguarded loop.
+  Fixture f("covtype");
+  const RunResult r =
+      f.run("sync/cpu-seq/sparse", real_t(1e30), full_epochs(20));
+  EXPECT_TRUE(r.diverged);
+  const std::size_t budget =
+      supervisor_options_for(ResilienceMode::kFull).recovery_budget;
+  EXPECT_EQ(r.recoveries.size(), budget);
+  EXPECT_EQ(r.resilience.recoveries, budget);
+  EXPECT_EQ(r.resilience.ladder_down, 3u);
+  EXPECT_EQ(r.resilience.ladder_up, 0u);
+  EXPECT_EQ(r.resilience.final_level, DegradeLevel::kScalar);
+  EXPECT_LT(r.alpha_scale, 1.0);
+}
+
+TEST(SupervisorTraining, WatchdogModeMatchesLegacyWatchdog) {
+  Fixture f;
+  TrainOptions legacy = epochs(10);
+  legacy.watchdog.enabled = true;
+  TrainOptions explicit_mode = epochs(10);
+  explicit_mode.supervisor =
+      supervisor_options_for(ResilienceMode::kWatchdog);
+  const RunResult a =
+      f.run("sync/cpu-seq/sparse:faults=nan@3", real_t(0.5), legacy);
+  const RunResult b = f.run("sync/cpu-seq/sparse:faults=nan@3", real_t(0.5),
+                            explicit_mode);
+  EXPECT_EQ(a.losses, b.losses);
+  EXPECT_DOUBLE_EQ(a.alpha_scale, b.alpha_scale);
+  ASSERT_EQ(a.recoveries.size(), b.recoveries.size());
+  ASSERT_EQ(a.recoveries.size(), 1u);
+  EXPECT_EQ(a.recoveries[0].epoch, b.recoveries[0].epoch);
+  EXPECT_DOUBLE_EQ(b.alpha_scale, 0.1);  // the legacy fixed backoff
+}
+
+TEST(SupervisorTraining, TimedAutoCheckpointCrashResumesOnGraphPath) {
+  // The ISSUE acceptance cycle: crash@E + auto-checkpoint + resume on the
+  // task-graph step path reproduces the uninterrupted trajectory exactly.
+  Fixture f;
+  ThreadPool pool(4);
+  f.ctx.pool = &pool;
+  const std::string spec = "sync/cpu-par/sparse:batch=32,graph=on";
+  const real_t alpha = real_t(0.1);
+
+  // Baseline with a time cadence so aggressive it checkpoints after
+  // every epoch; the supervisor counts each write.
+  const std::string base_ck =
+      testing::TempDir() + "/parsgd_sup_ck_base.bin";
+  TrainOptions base_opts = full_epochs(10);
+  base_opts.checkpoint_path = base_ck;
+  base_opts.checkpoint_every_seconds = 1e-9;
+  const RunResult base = f.run(spec, alpha, base_opts);
+  EXPECT_GE(base.resilience.checkpoints, 10u);
+
+  const std::string ckpath = testing::TempDir() + "/parsgd_sup_ck.bin";
+  TrainOptions crashing = full_epochs(10);
+  crashing.checkpoint_path = ckpath;
+  crashing.checkpoint_every_seconds = 1e-9;
+  EXPECT_THROW(
+      f.run("sync/cpu-par/sparse:batch=32,faults=crash@6,graph=on", alpha,
+            crashing),
+      CrashFault);
+
+  const TrainCheckpoint ck = load_checkpoint(ckpath);
+  EXPECT_EQ(ck.next_epoch, 6u);
+  TrainOptions resuming = full_epochs(10);
+  resuming.resume = &ck;
+  const RunResult resumed = f.run(spec, alpha, resuming);
+  EXPECT_EQ(resumed.losses, base.losses);
+  EXPECT_EQ(resumed.epoch_seconds, base.epoch_seconds);
+  EXPECT_FALSE(resumed.diverged);
+}
+
+}  // namespace
+}  // namespace parsgd
