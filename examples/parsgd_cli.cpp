@@ -27,6 +27,7 @@
 #include "models/mlp.hpp"
 #include "report/report.hpp"
 #include "sgd/checkpoint.hpp"
+#include "sgd/cluster_engine.hpp"
 #include "sgd/convergence.hpp"
 #include "sgd/spec.hpp"
 #include "telemetry/session.hpp"
@@ -55,7 +56,9 @@ namespace {
                "       [--version] [--build-info]\n"
                "engine spec examples: async/cpu-par/sparse,\n"
                "  sync/gpu/dense:calib=mlp,batch=64,"
-               " sync/cpu+gpu/dense:phi=0.6\n",
+               " sync/cpu+gpu/dense:phi=0.6,\n"
+               "  async/cluster/sparse:nodes=8,link=10us:10gbps"
+               " (PS), sync/cluster/sparse:nodes=4 (all-reduce)\n",
                msg);
   std::exit(2);
 }
@@ -256,6 +259,16 @@ int run(int argc, char** argv) {
                 rs.ladder_up, to_string(rs.final_level), rs.checkpoints);
   }
 
+  const auto* cluster = dynamic_cast<const ClusterEngine*>(engine.get());
+  if (cluster != nullptr) {
+    std::printf("  cluster: %zu nodes (%s), link %s, net %s/epoch, "
+                "tau %zu units\n",
+                cluster->nodes(), to_string(cluster->sync()),
+                format_link_spec(cluster->net().link()).c_str(),
+                format_seconds(cluster->last_net_seconds()).c_str(),
+                cluster->sim() != nullptr ? cluster->sim()->tau() : 0);
+  }
+
   if (session != nullptr) {
     const std::string metrics_out = cli.get("metrics-out", "metrics.csv");
     write_file(metrics_out, "metrics CSV", [&](std::ostream& os) {
@@ -301,6 +314,18 @@ int run(int argc, char** argv) {
     e.series_loss = run.losses;
     e.series_seconds = run.epoch_seconds;
     e.resilience = report::ResilienceSlice::from(run.resilience);
+    if (cluster != nullptr) {
+      e.cluster.nodes = static_cast<double>(cluster->nodes());
+      e.cluster.sync = to_string(cluster->sync());
+      e.cluster.link_latency_us = cluster->net().link().latency_us;
+      e.cluster.link_bandwidth_gbps = cluster->net().link().bandwidth_gbps;
+      e.cluster.net_messages = cluster->last_cost().net_messages;
+      e.cluster.net_bytes = cluster->last_cost().net_bytes;
+      e.cluster.net_seconds = cluster->last_net_seconds();
+      e.cluster.stale_units = cluster->last_stats().stale_units;
+      e.cluster.node_recoveries =
+          static_cast<double>(run.resilience.node_recoveries);
+    }
     rep.add_entry(std::move(e));
     rep.add_metrics(session.get());
     if (const gpusim::Device* dev = engine->device()) {

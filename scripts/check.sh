@@ -42,18 +42,41 @@ for spec in \
       --engine="$spec" --alpha=0.5 --epochs=8 --resilience=full >/dev/null
 done
 
+# Cluster lane (DESIGN.md §17): smoke both update strategies through the
+# CLI at nodes=4 — with a nodedown + speculation pass riding along — then
+# self-diff a cluster run report through parsgd_compare (the cluster
+# slice must survive write/read/compare untouched).
+for spec in \
+    "async/cluster/sparse:nodes=4,batch=64" \
+    "sync/cluster/sparse:nodes=4,batch=64,link=50us:1gbps" \
+    "async/cluster/sparse:nodes=4,batch=64,faults=nodedown@2:1"; do
+  "$BUILD_DIR/examples/parsgd_cli" --task=LR --dataset=w8a --scale=50 \
+      --engine="$spec" --alpha=0.5 --epochs=8 --resilience=full >/dev/null
+done
+cluster_tmp="$(mktemp -d)"
+"$BUILD_DIR/examples/parsgd_cli" --task=LR --dataset=w8a --scale=50 \
+    --engine="async/cluster/sparse:nodes=4,batch=64" --alpha=0.5 \
+    --epochs=8 --report-out="$cluster_tmp/cluster.json" >/dev/null
+"$BUILD_DIR/examples/parsgd_compare" \
+    "$cluster_tmp/cluster.json" "$cluster_tmp/cluster.json" \
+    --require-same-sha
+rm -rf "$cluster_tmp"
+
 # Kernel-equivalence suite under ASan+UBSan (separate build tree so the
 # main gate binaries stay uninstrumented). The task-graph executor runs
 # there too (lifetime/overflow bugs in lane queues and scratch buffers),
 # and the supervisor suite joins it (EWMA gate + ladder state touched
-# from every pool worker).
+# from every pool worker). The cluster simulator joins both sanitizer
+# lanes: its delay ring and sharding cursors are fresh memory-layout
+# code, and its pooled batch steps cross worker threads.
 ASAN_BUILD_DIR="${ASAN_BUILD_DIR:-${BUILD_DIR}-asan}"
 cmake -B "$ASAN_BUILD_DIR" -S . -DPARSGD_WERROR=ON -DPARSGD_SANITIZE=address
 cmake --build "$ASAN_BUILD_DIR" -j --target test_kernels --target test_task_graph \
-    --target test_supervisor
+    --target test_supervisor --target test_clustersim
 "$ASAN_BUILD_DIR/tests/test_kernels"
 "$ASAN_BUILD_DIR/tests/test_task_graph"
 "$ASAN_BUILD_DIR/tests/test_supervisor"
+"$ASAN_BUILD_DIR/tests/test_clustersim"
 
 # The executor's concurrency (work-stealing deques, park/wake protocol,
 # atomic in-degree release) under ThreadSanitizer, plus the fault
@@ -61,11 +84,12 @@ cmake --build "$ASAN_BUILD_DIR" -j --target test_kernels --target test_task_grap
 TSAN_BUILD_DIR="${TSAN_BUILD_DIR:-${BUILD_DIR}-tsan}"
 cmake -B "$TSAN_BUILD_DIR" -S . -DPARSGD_WERROR=ON -DPARSGD_SANITIZE=thread
 cmake --build "$TSAN_BUILD_DIR" -j --target test_task_graph --target test_thread_pool \
-    --target test_faults --target test_supervisor
+    --target test_faults --target test_supervisor --target test_clustersim
 "$TSAN_BUILD_DIR/tests/test_task_graph"
 "$TSAN_BUILD_DIR/tests/test_thread_pool"
 "$TSAN_BUILD_DIR/tests/test_faults"
 "$TSAN_BUILD_DIR/tests/test_supervisor"
+"$TSAN_BUILD_DIR/tests/test_clustersim"
 
 tmp="$(mktemp -d)"
 trap 'rm -rf "$tmp"' EXIT
@@ -74,5 +98,5 @@ trap 'rm -rf "$tmp"' EXIT
     "$tmp/BENCH_fig5_hwspec.json" "$tmp/BENCH_fig5_hwspec.json" \
     --require-same-sha
 echo "check.sh: tier-1 (simd + scalar + graph-off) + fault sweep" \
-     "+ ASan kernels/graph/supervisor + TSan graph/pool/faults/supervisor" \
-     "+ regression smoke OK"
+     "+ cluster smoke + ASan kernels/graph/supervisor/cluster" \
+     "+ TSan graph/pool/faults/supervisor/cluster + regression smoke OK"

@@ -1,0 +1,87 @@
+#include "clustersim/net_model.hpp"
+
+#include <cstdlib>
+#include <sstream>
+#include <vector>
+
+namespace parsgd {
+
+namespace {
+
+/// Leading strtod number; returns false unless something was consumed and
+/// `*rest` receives the remaining suffix.
+bool parse_number_prefix(const std::string& v, double* out,
+                         std::string* rest) {
+  if (v.empty()) return false;
+  char* end = nullptr;
+  const double d = std::strtod(v.c_str(), &end);
+  if (end == v.c_str()) return false;
+  *out = d;
+  *rest = std::string(end);
+  return true;
+}
+
+std::string format_double(double v) {
+  std::ostringstream os;
+  os.precision(12);
+  os << v;
+  return os.str();
+}
+
+}  // namespace
+
+std::optional<LinkSpec> parse_link_spec(const std::string& text) {
+  const std::size_t colon = text.find(':');
+  if (colon == std::string::npos || colon + 1 >= text.size()) {
+    return std::nullopt;
+  }
+  const std::string lat = text.substr(0, colon);
+  const std::string bw = text.substr(colon + 1);
+
+  LinkSpec link;
+  double v = 0;
+  std::string unit;
+  if (!parse_number_prefix(lat, &v, &unit) || v < 0) return std::nullopt;
+  if (unit == "us") {
+    link.latency_us = v;
+  } else if (unit == "ms") {
+    link.latency_us = v * 1e3;
+  } else if (unit == "s") {
+    link.latency_us = v * 1e6;
+  } else {
+    return std::nullopt;
+  }
+  if (!parse_number_prefix(bw, &v, &unit) || v <= 0) return std::nullopt;
+  if (unit == "gbps") {
+    link.bandwidth_gbps = v;
+  } else if (unit == "mbps") {
+    link.bandwidth_gbps = v * 1e-3;
+  } else {
+    return std::nullopt;
+  }
+  return link;
+}
+
+std::string format_link_spec(const LinkSpec& link) {
+  return format_double(link.latency_us) + "us:" +
+         format_double(link.bandwidth_gbps) + "gbps";
+}
+
+double NetModel::ps_epoch_seconds(std::size_t nodes, double total_bytes,
+                                  double messages,
+                                  std::size_t queue_depth) const {
+  if (messages <= 0 && total_bytes <= 0) return 0;
+  const double inflight = static_cast<double>(
+      std::max<std::size_t>(nodes, 1) * std::max<std::size_t>(queue_depth, 1));
+  return total_bytes / bytes_per_second() +
+         latency_seconds() * messages / inflight;
+}
+
+double NetModel::allreduce_seconds(std::size_t nodes, double bytes) const {
+  if (nodes <= 1) return 0;
+  const double phases = 2.0 * static_cast<double>(nodes - 1);
+  const double chunk = bytes / static_cast<double>(nodes);
+  return phases * (latency_seconds() + chunk / bytes_per_second());
+}
+
+}  // namespace parsgd

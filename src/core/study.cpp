@@ -206,14 +206,16 @@ ConfigResult Study::config_result(Task task, const std::string& name,
 
   // One step search per spec: every engine comes out of the factory.
   auto search = [&](const EngineSpec& spec) {
+    StepSearchOptions so = sopts;
+    so.label = format_spec(spec);  // names the cell in diagnostics
     auto make_run = [&](double alpha, std::size_t epochs) {
-      TrainOptions t = sopts.train;
+      TrainOptions t = so.train;
       t.max_epochs = epochs;
       const std::unique_ptr<Engine> engine = make_engine(spec, g.ctx);
       return run_training(*engine, *g.model, g.train, g.w0,
                           static_cast<real_t>(alpha), t);
     };
-    return search_step_size(make_run, sopts);
+    return search_step_size(make_run, so);
   };
   auto spec_of = [&](Update u, Arch a) {
     return study_spec(task, u, a, g.dense, g.hog_batch, g.hog_delay,
@@ -292,6 +294,10 @@ double Study::optimum(Task task, const std::string& name, Update update) {
   double best = std::numeric_limits<double>::infinity();
   for (const EngineSpec& s : registered_specs()) {
     if (s.update != Update::kAsync || s.heterogeneous) continue;
+    // Cluster configurations are their own axis (bench_cluster), not part
+    // of the paper's single-machine convergence reference — including
+    // them here would shift every stored Table II/III baseline.
+    if (s.arch == Arch::kCluster) continue;
     if (!g.async_runs.count(s.arch)) {
       config_result(task, name, Update::kAsync, s.arch);
     }

@@ -13,7 +13,8 @@ CrashFault::CrashFault(std::size_t epoch)
 bool FaultPlan::any() const {
   return corrupt != Corrupt::kNone || flip_epoch != kNever ||
          crash_epoch != kNever || hang_epoch != kNever ||
-         straggler_prob > 0 || drop_prob > 0 || poison_prob > 0;
+         nodedown_epoch != kNever || straggler_prob > 0 || drop_prob > 0 ||
+         poison_prob > 0;
 }
 
 namespace {
@@ -85,6 +86,20 @@ bool parse_fault_atom(const std::string& atom, FaultPlan* plan) {
       if (!parse_size(parts[1], &plan->hang_ms) || plan->hang_ms == 0) {
         return false;
       }
+    }
+    return true;
+  }
+  if (kind == "nodedown") {
+    // nodedown@E[:K]
+    const std::vector<std::string> parts = split(arg, ':');
+    if (parts.empty() || parts.size() > 2) return false;
+    if (!parse_size(parts[0], &plan->nodedown_epoch) ||
+        plan->nodedown_epoch == FaultPlan::kNever) {
+      return false;
+    }
+    if (parts.size() == 2 &&
+        !parse_size(parts[1], &plan->nodedown_node)) {
+      return false;
     }
     return true;
   }
@@ -185,6 +200,15 @@ std::vector<std::string> format_fault_options(const FaultPlan& plan) {
     if (plan.hang_ms != 250) {
       a += ':';
       a += std::to_string(plan.hang_ms);
+    }
+    atoms.push_back(std::move(a));
+  }
+  if (plan.nodedown_epoch != FaultPlan::kNever) {
+    std::string a = "nodedown@";
+    a += std::to_string(plan.nodedown_epoch);
+    if (plan.nodedown_node != 0) {
+      a += ':';
+      a += std::to_string(plan.nodedown_node);
     }
     atoms.push_back(std::move(a));
   }

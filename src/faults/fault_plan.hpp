@@ -20,7 +20,13 @@
 //                   process kill; pair with checkpoint/resume),
 //   hang@E[:MS]     stall for MS milliseconds (default 250) at the start
 //                   of epoch E (hung worker; wall-clock only, detected by
-//                   the supervisor's epoch deadline, DESIGN.md §16).
+//                   the supervisor's epoch deadline, DESIGN.md §16),
+//   nodedown@E[:K]  node K (default 0) of a simulated cluster goes down
+//                   for epoch E (DESIGN.md §17). With supervisor
+//                   speculation the shard is re-executed by survivors
+//                   (trajectory preserved, node recovery counted);
+//                   without it the shard's updates are lost (PS) or an
+//                   operator-restart stall is charged (all-reduce).
 // Continuous faults are their own keys:
 //   straggler=P[@U] each async unit straggles with probability P, adding
 //                   a staleness delay uniform on [1, U] units (default 4),
@@ -71,6 +77,11 @@ struct FaultPlan {
   /// One-shot hung worker: sleep `hang_ms` at the start of `hang_epoch`.
   std::size_t hang_epoch = kNever;
   std::size_t hang_ms = 250;
+
+  /// One-shot cluster node failure: node `nodedown_node` is down for
+  /// epoch `nodedown_epoch`. Cluster engines only; a no-op elsewhere.
+  std::size_t nodedown_epoch = kNever;
+  std::size_t nodedown_node = 0;
 
   /// Straggling async units: probability and max extra staleness (units).
   double straggler_prob = 0;

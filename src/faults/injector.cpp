@@ -26,6 +26,7 @@ void FaultInjector::install(const FaultPlan& plan, std::uint64_t seed) {
   flip_fired_ = false;
   crash_fired_ = false;
   hang_fired_ = false;
+  nodedown_fired_ = false;
   corruptions_.store(0, kRelaxed);
   bitflips_.store(0, kRelaxed);
   dropped_.store(0, kRelaxed);
@@ -33,6 +34,8 @@ void FaultInjector::install(const FaultPlan& plan, std::uint64_t seed) {
   quarantined_.store(0, kRelaxed);
   hangs_.store(0, kRelaxed);
   stragglers_.store(0, kRelaxed);
+  node_downs_.store(0, kRelaxed);
+  node_recoveries_.store(0, kRelaxed);
 }
 
 void FaultInjector::set_telemetry(telemetry::TelemetrySession* session) {
@@ -46,6 +49,8 @@ void FaultInjector::set_telemetry(telemetry::TelemetrySession* session) {
     c_poisoned_ = &reg.counter("faults.poisoned");
     c_quarantined_ = &reg.counter("faults.quarantined");
     c_hangs_ = &reg.counter("faults.hangs");
+    c_node_downs_ = &reg.counter("faults.node_downs");
+    c_node_recoveries_ = &reg.counter("faults.node_recoveries");
     trace_ = session->trace_enabled() ? &session->trace() : nullptr;
   } else {
     c_crashes_ = nullptr;
@@ -56,6 +61,8 @@ void FaultInjector::set_telemetry(telemetry::TelemetrySession* session) {
     c_poisoned_ = nullptr;
     c_quarantined_ = nullptr;
     c_hangs_ = nullptr;
+    c_node_downs_ = nullptr;
+    c_node_recoveries_ = nullptr;
     trace_ = nullptr;
   }
 }
@@ -69,6 +76,8 @@ FaultCounters FaultInjector::counters() const {
   c.poisoned = poisoned_.load(kRelaxed);
   c.quarantined = quarantined_.load(kRelaxed);
   c.hangs = hangs_.load(kRelaxed);
+  c.node_downs = node_downs_.load(kRelaxed);
+  c.node_recoveries = node_recoveries_.load(kRelaxed);
   return c;
 }
 
@@ -115,6 +124,27 @@ void FaultInjector::begin_epoch(std::span<real_t> w) {
     }
     std::this_thread::sleep_for(std::chrono::milliseconds(plan_.hang_ms));
   }
+}
+
+std::size_t FaultInjector::node_down_this_epoch() {
+  if (!active() || nodedown_fired_ || epoch_ == 0) return kNoNode;
+  // begin_epoch advanced the clock past the epoch it just started.
+  if (epoch_ - 1 != plan_.nodedown_epoch) return kNoNode;
+  nodedown_fired_ = true;
+  node_downs_.fetch_add(1, kRelaxed);
+  if (c_node_downs_ != nullptr) c_node_downs_->inc();
+  if (trace_ != nullptr) {
+    trace_->instant("fault.nodedown",
+                    {{"epoch", static_cast<double>(epoch_ - 1)},
+                     {"node", static_cast<double>(plan_.nodedown_node)}});
+  }
+  return plan_.nodedown_node;
+}
+
+void FaultInjector::note_node_recovered() {
+  node_recoveries_.fetch_add(1, kRelaxed);
+  if (c_node_recoveries_ != nullptr) c_node_recoveries_->inc();
+  if (trace_ != nullptr) trace_->instant("fault.node_recovered", {});
 }
 
 void FaultInjector::after_updates(std::size_t steps, std::span<real_t> w) {

@@ -33,6 +33,8 @@ struct FaultCounters {
   std::size_t poisoned = 0;     ///< poisoned updates applied (NaN weights)
   std::size_t quarantined = 0;  ///< poisoned updates caught and discarded
   std::size_t hangs = 0;        ///< hung-worker stalls
+  std::size_t node_downs = 0;   ///< cluster node failures served
+  std::size_t node_recoveries = 0;  ///< node shards speculatively re-run
 };
 
 /// Observation/arbitration seam between the injector's straggler sleeps
@@ -96,6 +98,18 @@ class FaultInjector {
   void after_update(std::span<real_t> w) { after_updates(1, w); }
   void after_updates(std::size_t steps, std::span<real_t> w);
 
+  /// "No node" result of node_down_this_epoch().
+  static constexpr std::size_t kNoNode = ~std::size_t{0};
+
+  /// One-shot cluster node failure (nodedown@E[:K]): returns the downed
+  /// node's index when the epoch that begin_epoch just started is the
+  /// planned one, kNoNode otherwise. Shares the epoch clock with
+  /// begin_epoch — cluster engines call it right after begin_epoch, once
+  /// per epoch. The caller decides recovery semantics and reports back
+  /// via note_node_recovered().
+  std::size_t node_down_this_epoch();
+  void note_node_recovered();
+
   /// True when this update should be computed but discarded: a lost
   /// update (drop=P), or — with sanitization on — a quarantined poisoned
   /// example (poison=P).
@@ -128,6 +142,7 @@ class FaultInjector {
   bool flip_fired_ = false;
   bool crash_fired_ = false;
   bool hang_fired_ = false;
+  bool nodedown_fired_ = false;
   bool sanitize_ = false;
 
   // All counters are atomic: graph-mode tasks and pool chunk hooks can
@@ -140,6 +155,8 @@ class FaultInjector {
   std::atomic<std::size_t> quarantined_{0};
   std::atomic<std::size_t> hangs_{0};
   std::atomic<std::size_t> stragglers_{0};  ///< bumped from pool workers
+  std::atomic<std::size_t> node_downs_{0};
+  std::atomic<std::size_t> node_recoveries_{0};
 
   StraggleGate* gate_ = nullptr;  ///< supervisor seam; null when detached
 
@@ -155,6 +172,8 @@ class FaultInjector {
   telemetry::Counter* c_poisoned_ = nullptr;
   telemetry::Counter* c_quarantined_ = nullptr;
   telemetry::Counter* c_hangs_ = nullptr;
+  telemetry::Counter* c_node_downs_ = nullptr;
+  telemetry::Counter* c_node_recoveries_ = nullptr;
 };
 
 /// RAII installer of the straggler chunk hook on a pool for the duration

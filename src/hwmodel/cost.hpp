@@ -21,6 +21,8 @@ struct CostBreakdown {
   double write_conflicts = 0;  ///< same-index concurrent writes observed
   double kernel_launches = 0;  ///< GPU kernel launches
   double gpu_cycles = 0;       ///< SIMT cycles charged by gpusim
+  double net_messages = 0;     ///< cluster network messages (clustersim)
+  double net_bytes = 0;        ///< cluster network payload bytes
 
   CostBreakdown& operator+=(const CostBreakdown& o) {
     flops += o.flops;
@@ -31,6 +33,8 @@ struct CostBreakdown {
     write_conflicts += o.write_conflicts;
     kernel_launches += o.kernel_launches;
     gpu_cycles += o.gpu_cycles;
+    net_messages += o.net_messages;
+    net_bytes += o.net_bytes;
     return *this;
   }
 
@@ -51,6 +55,8 @@ struct CostBreakdown {
     c.write_conflicts *= factor;
     c.kernel_launches *= factor;
     c.gpu_cycles *= factor;
+    c.net_messages *= factor;
+    c.net_bytes *= factor;
     return c;
   }
 

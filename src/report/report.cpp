@@ -141,6 +141,7 @@ ResilienceSlice ResilienceSlice::from(const ResilienceStats& s) {
   out.quarantined = static_cast<double>(s.quarantined);
   out.checkpoints = static_cast<double>(s.checkpoints);
   out.saved_straggle_us = s.saved_straggle_us;
+  out.node_recoveries = static_cast<double>(s.node_recoveries);
   if (s.final_level != DegradeLevel::kNone) {
     out.final_level = to_string(s.final_level);
   }
@@ -248,8 +249,27 @@ void write_report(std::ostream& os, const RunReport& report) {
       res.set("quarantined", num(rs.quarantined));
       res.set("checkpoints", num(rs.checkpoints));
       res.set("saved_straggle_us", num(rs.saved_straggle_us));
+      if (rs.node_recoveries > 0) {
+        res.set("node_recoveries", num(rs.node_recoveries));
+      }
       if (!rs.final_level.empty()) res.set("final_level", rs.final_level);
       o.set("resilience", std::move(res));
+    }
+    if (e.cluster.any()) {
+      const ClusterSlice& cs = e.cluster;
+      Json cl{JsonMembers{}};
+      cl.set("nodes", num(cs.nodes));
+      cl.set("sync", cs.sync);
+      cl.set("link_latency_us", num(cs.link_latency_us));
+      cl.set("link_bandwidth_gbps", num(cs.link_bandwidth_gbps));
+      cl.set("net_messages", num(cs.net_messages));
+      cl.set("net_bytes", num(cs.net_bytes));
+      cl.set("net_seconds", num(cs.net_seconds));
+      cl.set("stale_units", num(cs.stale_units));
+      if (cs.node_recoveries > 0) {
+        cl.set("node_recoveries", num(cs.node_recoveries));
+      }
+      o.set("cluster", std::move(cl));
     }
     entries.push(std::move(o));
   }
@@ -378,7 +398,21 @@ RunReport read_report(std::istream& is) {
         e.resilience.checkpoints = get_num(*res, "checkpoints", 0);
         e.resilience.saved_straggle_us =
             get_num(*res, "saved_straggle_us", 0);
+        e.resilience.node_recoveries = get_num(*res, "node_recoveries", 0);
         e.resilience.final_level = get_str(*res, "final_level");
+      }
+      // Absent in pre-cluster reports (additive-field policy).
+      if (const Json* cl = o.find("cluster")) {
+        e.cluster.nodes = get_num(*cl, "nodes", 0);
+        e.cluster.sync = get_str(*cl, "sync");
+        e.cluster.link_latency_us = get_num(*cl, "link_latency_us", 0);
+        e.cluster.link_bandwidth_gbps =
+            get_num(*cl, "link_bandwidth_gbps", 0);
+        e.cluster.net_messages = get_num(*cl, "net_messages", 0);
+        e.cluster.net_bytes = get_num(*cl, "net_bytes", 0);
+        e.cluster.net_seconds = get_num(*cl, "net_seconds", 0);
+        e.cluster.stale_units = get_num(*cl, "stale_units", 0);
+        e.cluster.node_recoveries = get_num(*cl, "node_recoveries", 0);
       }
       r.entries.push_back(std::move(e));
     }

@@ -98,14 +98,37 @@ struct ResilienceSlice {
   double quarantined = 0;       ///< poisoned updates sanitized away
   double checkpoints = 0;       ///< auto-checkpoints written
   double saved_straggle_us = 0; ///< injected delay clipped by backups
+  double node_recoveries = 0;   ///< cluster shards speculatively re-run
   std::string final_level;      ///< ladder rung at run end ("" when kNone)
 
   bool any() const {
     return recoveries > 0 || deadline_misses > 0 || backup_wins > 0 ||
            ladder_down > 0 || ladder_up > 0 || quarantined > 0 ||
-           checkpoints > 0 || saved_straggle_us > 0 || !final_level.empty();
+           checkpoints > 0 || saved_straggle_us > 0 ||
+           node_recoveries > 0 || !final_level.empty();
   }
   static ResilienceSlice from(const ResilienceStats& s);
+};
+
+/// Per-entry cluster snapshot (additive slice like ResilienceSlice): the
+/// simulated-cluster shape and its network ledger (DESIGN.md §17).
+/// nodes == 0 = absent (the "cluster" object is omitted from the JSON and
+/// pre-cluster readers never see it). Round-trips through
+/// write_report/read_report; compare_reports ignores it entirely — the
+/// slice explains a cluster entry's wire behavior, it is not a regression
+/// axis (the three Axes already gate the outcome).
+struct ClusterSlice {
+  double nodes = 0;                ///< simulated cluster size
+  std::string sync;                ///< "ps" / "allreduce"
+  double link_latency_us = 0;      ///< per-message link latency
+  double link_bandwidth_gbps = 0;  ///< link bandwidth
+  double net_messages = 0;         ///< wire messages per epoch (steady state)
+  double net_bytes = 0;            ///< wire payload bytes per epoch
+  double net_seconds = 0;          ///< modeled network seconds per epoch
+  double stale_units = 0;          ///< summed PS staleness draws per epoch
+  double node_recoveries = 0;      ///< speculatively re-executed nodedowns
+
+  bool any() const { return nodes > 0; }
 };
 
 /// One configuration's row in a report. `label` is the comparator's join
@@ -130,6 +153,8 @@ struct Entry {
   std::vector<double> series_seconds;
   /// Optional fault-tolerance snapshot (see ResilienceSlice).
   ResilienceSlice resilience;
+  /// Optional simulated-cluster snapshot (see ClusterSlice).
+  ClusterSlice cluster;
 };
 
 /// Per-kernel simulator statistics with the modeled cycles attributed to

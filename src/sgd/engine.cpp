@@ -15,12 +15,17 @@ const char* to_string(Arch a) {
     case Arch::kCpuSeq: return "cpu-seq";
     case Arch::kCpuPar: return "cpu-par";
     case Arch::kGpu: return "gpu";
+    case Arch::kCluster: return "cluster";
   }
   return "?";
 }
 
 const char* to_string(Update u) {
   return u == Update::kSync ? "sync" : "async";
+}
+
+const char* to_string(ClusterSync s) {
+  return s == ClusterSync::kPs ? "ps" : "allreduce";
 }
 
 double Engine::epoch_seconds(std::span<const real_t> w_sample) {
@@ -286,6 +291,8 @@ RunResult run_training(Engine& engine, const Model& model,
     res.resilience = supervisor.stats();
     res.resilience.quarantined =
         engine.fault_injector().counters().quarantined;
+    res.resilience.node_recoveries =
+        engine.fault_injector().counters().node_recoveries;
   }
   return res;
 }

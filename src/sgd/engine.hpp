@@ -28,11 +28,16 @@ class Device;
 
 struct TrainCheckpoint;
 
-enum class Arch { kCpuSeq, kCpuPar, kGpu };
+enum class Arch { kCpuSeq, kCpuPar, kGpu, kCluster };
 enum class Update { kSync, kAsync };
+/// Cluster model-update strategy (arch=cluster; spec key sync=). Tied to
+/// the update head: async clusters are parameter-server, sync clusters
+/// are ring all-reduce (DESIGN.md §17).
+enum class ClusterSync { kPs, kAllReduce };
 
 const char* to_string(Arch a);
 const char* to_string(Update u);
+const char* to_string(ClusterSync s);
 
 class Engine {
  public:

@@ -7,6 +7,7 @@
 
 #include "common/check.hpp"
 #include "sgd/async_engine.hpp"
+#include "sgd/cluster_engine.hpp"
 #include "sgd/heterogeneous.hpp"
 #include "sgd/sync_engine.hpp"
 
@@ -112,6 +113,8 @@ std::optional<EngineSpec> try_parse_spec(const std::string& text,
     s.arch = Arch::kCpuPar;
   } else if (parts[1] == "gpu") {
     s.arch = Arch::kGpu;
+  } else if (parts[1] == "cluster") {
+    s.arch = Arch::kCluster;
   } else if (parts[1] == "cpu+gpu") {
     // The heterogeneous engine reports kGpu as its device, mirror that.
     if (s.update != Update::kSync) {
@@ -120,9 +123,9 @@ std::optional<EngineSpec> try_parse_spec(const std::string& text,
     s.heterogeneous = true;
     s.arch = Arch::kGpu;
   } else {
-    return parse_fail(error,
-                      "unknown arch '" + parts[1] +
-                          "' (expected cpu-seq, cpu-par, gpu or cpu+gpu)");
+    return parse_fail(
+        error, "unknown arch '" + parts[1] +
+                   "' (expected cpu-seq, cpu-par, gpu, cluster or cpu+gpu)");
   }
 
   if (parts[2] == "sparse") {
@@ -184,6 +187,56 @@ std::optional<EngineSpec> try_parse_spec(const std::string& text,
       } else if (key == "gemmth") {
         if (!parse_size(val, &s.gemm_parallel_threshold)) {
           return parse_fail(error, "bad value in '" + kv + "'");
+        }
+      } else if (key == "nodes") {
+        if (s.arch != Arch::kCluster) {
+          return parse_fail(error,
+                            "'nodes=' only applies to arch=cluster");
+        }
+        if (!parse_size(val, &s.nodes) || s.nodes == 0 || s.nodes > 1024) {
+          return parse_fail(error, "bad value in '" + kv +
+                                       "' (expected nodes in [1, 1024])");
+        }
+      } else if (key == "link") {
+        if (s.arch != Arch::kCluster) {
+          return parse_fail(error, "'link=' only applies to arch=cluster");
+        }
+        const std::optional<LinkSpec> l = parse_link_spec(val);
+        if (!l.has_value()) {
+          return parse_fail(error,
+                            "bad value in '" + kv +
+                                "' (expected LATENCY:BANDWIDTH, e.g. "
+                                "10us:10gbps)");
+        }
+        s.link = *l;
+      } else if (key == "sync") {
+        // Validation-only sugar: the strategy is tied to the update head
+        // (EngineSpec::cluster_sync), so format_spec never emits sync=.
+        if (s.arch != Arch::kCluster) {
+          return parse_fail(error, "'sync=' only applies to arch=cluster");
+        }
+        if (val == "ps") {
+          if (s.update != Update::kAsync) {
+            return parse_fail(error,
+                              "'sync=ps' requires the async update head");
+          }
+        } else if (val == "allreduce") {
+          if (s.update != Update::kSync) {
+            return parse_fail(
+                error, "'sync=allreduce' requires the sync update head");
+          }
+        } else {
+          return parse_fail(error, "bad value in '" + kv +
+                                       "' (expected ps or allreduce)");
+        }
+      } else if (key == "shard") {
+        if (s.arch != Arch::kCluster) {
+          return parse_fail(error, "'shard=' only applies to arch=cluster");
+        }
+        if (val != "data") {
+          return parse_fail(error,
+                            "bad value in '" + kv +
+                                "' (only data sharding is implemented)");
         }
       } else if (key == "phi") {
         if (!s.heterogeneous) {
@@ -260,6 +313,12 @@ std::string format_spec(const EngineSpec& spec) {
   }
   if (spec.graph != GraphMode::kAuto) {
     kv.push_back(spec.graph == GraphMode::kOn ? "graph=on" : "graph=off");
+  }
+  if (spec.arch == Arch::kCluster) {
+    if (!(spec.link == LinkSpec{})) {
+      kv.push_back("link=" + format_link_spec(spec.link));
+    }
+    if (spec.nodes != 0) kv.push_back("nodes=" + std::to_string(spec.nodes));
   }
   if (spec.heterogeneous && spec.gpu_fraction >= 0) {
     kv.push_back("phi=" + format_double(spec.gpu_fraction));
@@ -380,6 +439,25 @@ std::unique_ptr<Engine> make_heterogeneous(const EngineSpec& spec,
                                                ctx.scale, o);
 }
 
+std::unique_ptr<Engine> make_cluster(const EngineSpec& spec,
+                                     const EngineContext& ctx) {
+  ClusterEngineOptions o;
+  o.nodes = spec.nodes != 0 ? spec.nodes : 2;
+  o.sync = spec.cluster_sync();
+  o.node_threads = resolved_threads(spec, ctx);
+  o.batch = spec.batch;
+  o.use_dense = spec.layout == Layout::kDense;
+  o.link = spec.link;
+  o.delay_units = spec.delay_units;
+  o.gemm_parallel_threshold = spec.gemm_parallel_threshold;
+  o.calibration = sync_calibration(spec.calibration);
+  o.deterministic = spec.deterministic;
+  o.graph = spec.graph;
+  o.pool = ctx.pool;
+  return std::make_unique<ClusterEngine>(*ctx.model, ctx.data, ctx.scale,
+                                         o);
+}
+
 struct Registration {
   EngineSpec canonical;
   EngineFactory factory;
@@ -409,6 +487,9 @@ std::map<std::string, Registration>& registry() {
     add(canonical_spec(Update::kAsync, Arch::kGpu, false), make_async_gpu);
     add(canonical_spec(Update::kSync, Arch::kGpu, true),
         make_heterogeneous);
+    add(canonical_spec(Update::kSync, Arch::kCluster, false), make_cluster);
+    add(canonical_spec(Update::kAsync, Arch::kCluster, false),
+        make_cluster);
     return r;
   }();
   return reg;

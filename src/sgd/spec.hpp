@@ -23,6 +23,7 @@
 #include <string>
 #include <vector>
 
+#include "clustersim/net_model.hpp"
 #include "data/dataset.hpp"
 #include "faults/fault_plan.hpp"
 #include "parallel/task_graph.hpp"
@@ -78,6 +79,12 @@ struct EngineSpec {
   std::size_t gemm_parallel_threshold = 5000;
   /// Heterogeneous GPU example share; negative = auto (equalize devices).
   double gpu_fraction = -1.0;
+  /// Simulated cluster size (arch=cluster; spec key nodes=). 0 = the
+  /// family default (2 nodes). Ignored elsewhere.
+  std::size_t nodes = 0;
+  /// Cluster interconnect (arch=cluster; spec key link=LAT:BW, canonical
+  /// form e.g. link=10us:10gbps). Ignored elsewhere.
+  LinkSpec link;
   /// Injected faults (faults=/straggler=/drop=/poison= spec keys,
   /// DESIGN.md §11). Empty by default; overrides EngineContext::faults
   /// when non-empty.
@@ -93,6 +100,15 @@ struct EngineSpec {
 
   /// Registry key: update/arch, e.g. "sync/cpu-par" or "sync/cpu+gpu".
   std::string family() const;
+
+  /// Cluster update strategy (DESIGN.md §17), tied to the update head:
+  /// async clusters are parameter-server, sync clusters are ring
+  /// all-reduce. The `sync=ps|allreduce` spec key is validation-only
+  /// sugar for the same fact, so format_spec never needs to emit it.
+  ClusterSync cluster_sync() const {
+    return update == Update::kAsync ? ClusterSync::kPs
+                                    : ClusterSync::kAllReduce;
+  }
 
   bool operator==(const EngineSpec&) const = default;
 };

@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "common/check.hpp"
+#include "common/log.hpp"
 
 namespace parsgd {
 
@@ -30,7 +31,13 @@ StepSearchResult search_step_size(
   }
   if (probes.empty()) {
     // Every probe diverged immediately. Report failure instead of
-    // throwing so a sweep over many configurations can continue.
+    // throwing so a sweep over many configurations can continue — but
+    // loudly: a +inf optimum silently poisons downstream convergence
+    // references, so name the offending configuration.
+    PARSGD_WARN << "step-size search: every probe diverged"
+                << (opts.label.empty() ? "" : " for '" + opts.label + "'")
+                << " (grid " << opts.grid.front() << ".." << opts.grid.back()
+                << "); reporting diverged with +inf optimum";
     result.failed = true;
     result.run.diverged = true;
     result.optimum = std::numeric_limits<double>::infinity();

@@ -5,6 +5,7 @@
 #pragma once
 
 #include <functional>
+#include <string>
 #include <vector>
 
 #include "sgd/convergence.hpp"
@@ -20,6 +21,10 @@ struct StepSearchOptions {
   std::size_t full_epochs = 200;
   double target_fraction = 0.01;  ///< converge-to within this of optimum
   TrainOptions train;             ///< base training options
+  /// Names the configuration in diagnostics (conventionally the engine
+  /// spec string) so an all-candidates-diverged WARN identifies which
+  /// sweep cell produced the +inf optimum.
+  std::string label;
 };
 
 struct StepSearchResult {

@@ -110,13 +110,14 @@ struct ResilienceStats {
   std::size_t ladder_up = 0;         ///< re-promotions applied
   std::size_t quarantined = 0;       ///< poisoned updates sanitized away
   std::size_t checkpoints = 0;       ///< auto-checkpoints written
+  std::size_t node_recoveries = 0;   ///< cluster shards speculatively re-run
   double saved_straggle_us = 0;      ///< injected delay avoided by backups
   DegradeLevel final_level = DegradeLevel::kNone;
 
   bool any() const {
     return recoveries > 0 || deadline_misses > 0 || backup_wins > 0 ||
            ladder_down > 0 || ladder_up > 0 || quarantined > 0 ||
-           checkpoints > 0;
+           checkpoints > 0 || node_recoveries > 0;
   }
 };
 

@@ -178,6 +178,75 @@ TEST(ReportJson, ResilienceRoundTripsAndAbsenceStaysEmpty) {
   EXPECT_EQ(dump(a).find("\"resilience\""), dump(a).rfind("\"resilience\""));
 }
 
+TEST(ReportJson, ClusterRoundTripsAndAbsenceStaysEmpty) {
+  RunReport a = sample_report();
+  Entry ce;
+  ce.label = "LR/w8a/async/cluster/n4";
+  ce.spec = "async/cluster/sparse:nodes=4";
+  ce.axes.sec_per_epoch = 3.0;
+  ce.cluster.nodes = 4;
+  ce.cluster.sync = "ps";
+  ce.cluster.link_latency_us = 10;
+  ce.cluster.link_bandwidth_gbps = 10;
+  ce.cluster.net_messages = 2048;
+  ce.cluster.net_bytes = 5e6;
+  ce.cluster.net_seconds = 0.125;
+  ce.cluster.stale_units = 300;
+  ce.cluster.node_recoveries = 1;
+  a.add_entry(ce);
+
+  std::istringstream is(dump(a));
+  const RunReport b = report::read_report(is);
+  EXPECT_EQ(dump(b), dump(a));
+  const Entry* with = b.find("LR/w8a/async/cluster/n4");
+  ASSERT_NE(with, nullptr);
+  EXPECT_TRUE(with->cluster.any());
+  EXPECT_DOUBLE_EQ(with->cluster.nodes, 4);
+  EXPECT_EQ(with->cluster.sync, "ps");
+  EXPECT_DOUBLE_EQ(with->cluster.net_bytes, 5e6);
+  EXPECT_DOUBLE_EQ(with->cluster.node_recoveries, 1);
+  // Entries without a slice (and pre-cluster reports) read back absent:
+  // the "cluster" object never appears in their JSON.
+  const Entry* without = b.find("LR/w8a/sync/gpu");
+  ASSERT_NE(without, nullptr);
+  EXPECT_FALSE(without->cluster.any());
+  EXPECT_EQ(dump(a).find("\"cluster\""), dump(a).rfind("\"cluster\""));
+  // The slice is provenance, not a regression axis.
+  EXPECT_TRUE(report::compare_reports(a, a).ok());
+}
+
+TEST(ReportMergeCluster, ClusterShardMergesWithSingleNodeShard) {
+  // The additive-schema contract (satellite of DESIGN.md §17): a shard
+  // whose entries carry the new cluster fields merges with a shard whose
+  // entries predate them — same bench, disjoint labels, no conflict.
+  RunReport single = sample_report();
+  RunReport cluster = sample_report();
+  cluster.entries.clear();
+  cluster.modeled_seconds = 0;
+  Entry ce;
+  ce.label = "LR/w8a/async/cluster/n8";
+  ce.spec = "async/cluster/sparse:nodes=8";
+  ce.axes.sec_per_epoch = 2.5;
+  ce.axes.modeled_total_seconds = 25.0;
+  ce.cluster.nodes = 8;
+  ce.cluster.sync = "ps";
+  ce.cluster.net_messages = 4096;
+  cluster.add_entry(ce);
+
+  const RunReport merged = report::merge_reports({single, cluster});
+  EXPECT_EQ(merged.entries.size(), 3u);
+  const Entry* c = merged.find("LR/w8a/async/cluster/n8");
+  ASSERT_NE(c, nullptr);
+  EXPECT_DOUBLE_EQ(c->cluster.nodes, 8);
+  const Entry* s = merged.find("LR/w8a/sync/gpu");
+  ASSERT_NE(s, nullptr);
+  EXPECT_FALSE(s->cluster.any());
+  // The merged artifact stays round-trippable and self-comparable.
+  std::istringstream is(dump(merged));
+  EXPECT_EQ(dump(report::read_report(is)), dump(merged));
+  EXPECT_TRUE(report::compare_reports(merged, merged).ok());
+}
+
 TEST(ReportJson, RejectsForeignSchemaVersion) {
   RunReport r = sample_report();
   r.schema_version = report::kSchemaVersion + 1;
