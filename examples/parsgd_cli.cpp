@@ -30,6 +30,7 @@
 #include "sgd/cluster_engine.hpp"
 #include "sgd/convergence.hpp"
 #include "sgd/spec.hpp"
+#include "telemetry/attribution.hpp"
 #include "telemetry/session.hpp"
 
 using namespace parsgd;
@@ -53,6 +54,8 @@ namespace {
                "       [--metrics-out=metrics.csv] [--prom-out=<path>]"
                " [--verbose]\n"
                "       [--report-out=<path>] [--heartbeat=<secs>]\n"
+               "       [--record=off|<N>ms] [--status-file=<path>]"
+               " [--attribute]\n"
                "       [--version] [--build-info]\n"
                "engine spec examples: async/cpu-par/sparse,\n"
                "  sync/gpu/dense:calib=mlp,batch=64,"
@@ -208,6 +211,26 @@ int run(int argc, char** argv) {
     spec.resilience = *mode;
   }
   t.supervisor = supervisor_options_for(spec.resilience);
+  // Flight recorder + attribution (DESIGN.md §18): the record= spec key
+  // seeds the cadence, --record overrides it (like --telemetry).
+  t.record_ms = spec.record_ms;
+  if (const std::string rec_arg = cli.get("record", ""); !rec_arg.empty()) {
+    if (rec_arg == "off") {
+      t.record_ms = 0;
+      spec.record_ms = 0;
+    } else {
+      std::string ms = rec_arg;
+      if (ms.size() > 2 && ms.compare(ms.size() - 2, 2, "ms") == 0) {
+        ms.resize(ms.size() - 2);
+      }
+      const double cadence = std::atof(ms.c_str());
+      if (cadence <= 0) usage("--record needs 'off' or a positive ms value");
+      t.record_ms = cadence;
+      spec.record_ms = cadence;
+    }
+  }
+  t.status_path = cli.get("status-file", "");
+  t.attribute = cli.get_bool("attribute", false);
   t.checkpoint_path = cli.get("checkpoint", "");
   // --checkpoint-every=N (epochs) or =Ts (host seconds, e.g. "2.5s").
   if (const std::string ck_every = cli.get("checkpoint-every", "");
@@ -231,6 +254,17 @@ int run(int argc, char** argv) {
     t.resume = &*ck;
     std::printf("  resuming from %s at epoch %zu\n", resume_path.c_str(),
                 ck->next_epoch);
+    if (!ck->flight.empty()) {
+      // Post-mortem: the flight-recorder window survived in the
+      // checkpoint (DESIGN.md §18) — summarize what the run was doing
+      // right up to the crash/interrupt.
+      const telemetry::FlightSample& last = ck->flight.back();
+      std::printf("  flight recorder: %zu frame(s) recovered; last frame "
+                  "at epoch %.0f, loss %.4g, %.0f recoveries, "
+                  "host stall %.3fs / recovery %.3fs / checkpoint %.3fs\n",
+                  ck->flight.size(), last.epoch, last.loss, last.recoveries,
+                  last.h_stall_s, last.h_recovery_s, last.h_checkpoint_s);
+    }
   }
   const Timer host_timer;
   const RunResult run = run_training(*engine, *model, ctx.data, w0,
@@ -259,6 +293,32 @@ int run(int argc, char** argv) {
                 rs.ladder_up, to_string(rs.final_level), rs.checkpoints);
   }
 
+  if (!run.attribution.empty()) {
+    // Console rendering of the time-budget ledger: steady-state modeled
+    // and host splits (the same numbers --status-file publishes live).
+    telemetry::AttributionLedger ledger;
+    for (const telemetry::EpochAttribution& ea : run.attribution) {
+      ledger.add(ea);
+    }
+    const telemetry::EpochAttribution mean = ledger.mean();
+    std::printf("  time budget (mean/epoch over %zu epochs):\n",
+                run.attribution.size());
+    std::printf("    modeled %.4gs =", mean.modeled_s);
+    for (const telemetry::BucketView& b : telemetry::modeled_split(mean)) {
+      std::printf(" %s %.4gs", b.name, b.seconds);
+    }
+    std::printf("\n    host    %.4gs =", mean.host_s);
+    for (const telemetry::BucketView& b : telemetry::host_split(mean)) {
+      std::printf(" %s %.4gs", b.name, b.seconds);
+    }
+    std::printf("\n");
+    if (!run.flight.empty()) {
+      std::printf("  flight recorder: %zu frame(s) in the window "
+                  "(cadence %gms)\n",
+                  run.flight.size(), t.record_ms);
+    }
+  }
+
   const auto* cluster = dynamic_cast<const ClusterEngine*>(engine.get());
   if (cluster != nullptr) {
     std::printf("  cluster: %zu nodes (%s), link %s, net %s/epoch, "
@@ -272,12 +332,12 @@ int run(int argc, char** argv) {
   if (session != nullptr) {
     const std::string metrics_out = cli.get("metrics-out", "metrics.csv");
     write_file(metrics_out, "metrics CSV", [&](std::ostream& os) {
-      write_metrics_csv(os, session->metrics().snapshot());
+      write_metrics_csv(os, session->snapshot());
     });
     const std::string prom_out = cli.get("prom-out", "");
     if (!prom_out.empty()) {
       write_file(prom_out, "Prometheus metrics", [&](std::ostream& os) {
-        write_metrics_prometheus(os, session->metrics().snapshot());
+        write_metrics_prometheus(os, session->snapshot());
       });
     }
     if (session->trace_enabled()) {
@@ -314,6 +374,7 @@ int run(int argc, char** argv) {
     e.series_loss = run.losses;
     e.series_seconds = run.epoch_seconds;
     e.resilience = report::ResilienceSlice::from(run.resilience);
+    e.attribution = report::AttributionSlice::from(run.attribution);
     if (cluster != nullptr) {
       e.cluster.nodes = static_cast<double>(cluster->nodes());
       e.cluster.sync = to_string(cluster->sync());

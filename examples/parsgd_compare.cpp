@@ -36,6 +36,8 @@ namespace {
                "       [--tol-extra=0.25] [--no-extras]"
                " [--require-same-sha]\n"
                "       [--junit=<path>]   write the result as JUnit XML\n"
+               "       [--attribute]      explain sec/epoch regressions by\n"
+               "                          diffing attribution bucket splits\n"
                "   or: parsgd_compare --merge <out.json> <shard.json>...\n"
                "exit: 0 ok, 1 regressions, 2 bad input\n",
                msg);
@@ -92,8 +94,14 @@ int run(int argc, char** argv) {
   print_provenance("baseline", baseline);
   print_provenance("current", current);
 
-  const report::CompareResult res =
+  report::CompareResult res =
       report::compare_reports(baseline, current, opts);
+  // --attribute: explain every sec/epoch-family regression from the two
+  // reports' attribution slices. The explanations ride as notes, so they
+  // land in the text output below and in the JUnit <system-out> alike.
+  if (cli.get_bool("attribute", false)) {
+    report::attribute_regressions(baseline, current, res);
+  }
   if (const std::string junit = cli.get("junit", ""); !junit.empty()) {
     std::ofstream os(junit);
     if (!os) usage(("cannot open --junit path '" + junit + "'").c_str());

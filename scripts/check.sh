@@ -62,21 +62,58 @@ cluster_tmp="$(mktemp -d)"
     --require-same-sha
 rm -rf "$cluster_tmp"
 
+# Observability lane (DESIGN.md §18): the disabled-overhead gate first —
+# bench_micro_telemetry exits nonzero when the kOff hot path costs more
+# than 1% over an uninstrumented run — then the flight-recorder path end
+# to end: a recorded run writes its heartbeat status file, parsgd_top
+# --once re-validates the status schema and the 1% bucket-sum contract
+# (nonzero exit on violation), and parsgd_compare --attribute self-diffs
+# the attributed report (a report can never regress against itself, and
+# self-attribution must resolve cleanly, so any non-zero exit is a
+# tooling bug). The overhead gate is a timing measurement on a possibly
+# still-busy CI host, so it gets min-of-more samples and a bounded
+# retry: a real regression fails all three attempts, scheduler noise
+# does not.
+overhead_ok=0
+for attempt in 1 2 3; do
+  if "$BUILD_DIR/bench/bench_micro_telemetry" --repeats=11; then
+    overhead_ok=1
+    break
+  fi
+  echo "check.sh: overhead gate attempt $attempt failed; retrying"
+done
+[ "$overhead_ok" -eq 1 ]
+obs_tmp="$(mktemp -d)"
+"$BUILD_DIR/examples/parsgd_cli" --task=LR --dataset=w8a --scale=50 \
+    --engine="async/cpu-par/sparse:batch=64" --alpha=0.5 --epochs=8 \
+    --record=100ms --attribute --status-file="$obs_tmp/status.json" \
+    --report-out="$obs_tmp/run.json" >/dev/null
+"$BUILD_DIR/tools/parsgd_top" "$obs_tmp/status.json" --once >/dev/null
+"$BUILD_DIR/examples/parsgd_compare" "$obs_tmp/run.json" "$obs_tmp/run.json" \
+    --require-same-sha --attribute
+rm -rf "$obs_tmp"
+
 # Kernel-equivalence suite under ASan+UBSan (separate build tree so the
 # main gate binaries stay uninstrumented). The task-graph executor runs
 # there too (lifetime/overflow bugs in lane queues and scratch buffers),
 # and the supervisor suite joins it (EWMA gate + ladder state touched
 # from every pool worker). The cluster simulator joins both sanitizer
 # lanes: its delay ring and sharding cursors are fresh memory-layout
-# code, and its pooled batch steps cross worker threads.
+# code, and its pooled batch steps cross worker threads. The flight
+# recorder joins both lanes too: its seqlock ring is raw index math over
+# a flat buffer (ASan) read concurrently with the writer (TSan), and
+# the telemetry exporters render snapshots while instruments are live.
 ASAN_BUILD_DIR="${ASAN_BUILD_DIR:-${BUILD_DIR}-asan}"
 cmake -B "$ASAN_BUILD_DIR" -S . -DPARSGD_WERROR=ON -DPARSGD_SANITIZE=address
 cmake --build "$ASAN_BUILD_DIR" -j --target test_kernels --target test_task_graph \
-    --target test_supervisor --target test_clustersim
+    --target test_supervisor --target test_clustersim \
+    --target test_flight_recorder --target test_telemetry
 "$ASAN_BUILD_DIR/tests/test_kernels"
 "$ASAN_BUILD_DIR/tests/test_task_graph"
 "$ASAN_BUILD_DIR/tests/test_supervisor"
 "$ASAN_BUILD_DIR/tests/test_clustersim"
+"$ASAN_BUILD_DIR/tests/test_flight_recorder"
+"$ASAN_BUILD_DIR/tests/test_telemetry"
 
 # The executor's concurrency (work-stealing deques, park/wake protocol,
 # atomic in-degree release) under ThreadSanitizer, plus the fault
@@ -84,12 +121,15 @@ cmake --build "$ASAN_BUILD_DIR" -j --target test_kernels --target test_task_grap
 TSAN_BUILD_DIR="${TSAN_BUILD_DIR:-${BUILD_DIR}-tsan}"
 cmake -B "$TSAN_BUILD_DIR" -S . -DPARSGD_WERROR=ON -DPARSGD_SANITIZE=thread
 cmake --build "$TSAN_BUILD_DIR" -j --target test_task_graph --target test_thread_pool \
-    --target test_faults --target test_supervisor --target test_clustersim
+    --target test_faults --target test_supervisor --target test_clustersim \
+    --target test_flight_recorder --target test_telemetry
 "$TSAN_BUILD_DIR/tests/test_task_graph"
 "$TSAN_BUILD_DIR/tests/test_thread_pool"
 "$TSAN_BUILD_DIR/tests/test_faults"
 "$TSAN_BUILD_DIR/tests/test_supervisor"
 "$TSAN_BUILD_DIR/tests/test_clustersim"
+"$TSAN_BUILD_DIR/tests/test_flight_recorder"
+"$TSAN_BUILD_DIR/tests/test_telemetry"
 
 tmp="$(mktemp -d)"
 trap 'rm -rf "$tmp"' EXIT
@@ -98,5 +138,8 @@ trap 'rm -rf "$tmp"' EXIT
     "$tmp/BENCH_fig5_hwspec.json" "$tmp/BENCH_fig5_hwspec.json" \
     --require-same-sha
 echo "check.sh: tier-1 (simd + scalar + graph-off) + fault sweep" \
-     "+ cluster smoke + ASan kernels/graph/supervisor/cluster" \
-     "+ TSan graph/pool/faults/supervisor/cluster + regression smoke OK"
+     "+ cluster smoke + observability lane (overhead gate, recorder," \
+     "status schema, --attribute)" \
+     "+ ASan kernels/graph/supervisor/cluster/recorder/telemetry" \
+     "+ TSan graph/pool/faults/supervisor/cluster/recorder/telemetry" \
+     "+ regression smoke OK"

@@ -31,6 +31,7 @@
 
 #include <cstdint>
 #include <span>
+#include <vector>
 
 #include "common/rng.hpp"
 #include "hwmodel/cost.hpp"
@@ -77,6 +78,13 @@ struct ClusterEpochStats {
   double lost_units = 0;        ///< units dropped by an unrecovered nodedown
   std::size_t node_downs = 0;   ///< nodedown events this epoch
   std::size_t node_recoveries = 0;  ///< speculatively re-executed nodedowns
+  /// Per-node ledger, index = node id, sized nodes_eff() by run_epoch
+  /// (DESIGN.md §18: the aggregate net ledger split per node for the
+  /// status surface's node table).
+  std::vector<double> node_units;  ///< units executed in the node's slots
+  std::vector<double> node_bytes;  ///< push+pull payload in those slots
+  /// Node taken down this epoch; ~0 when none.
+  std::size_t down_node = ~std::size_t{0};
 };
 
 /// Simulates parameter-server epochs of `model` over `data` sharded

@@ -1,5 +1,6 @@
 #include "core/export.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <ostream>
 #include <sstream>
@@ -124,6 +125,20 @@ void write_chrome_trace(std::ostream& os,
       os << "}";
     }
     os << "}";
+    first = false;
+  }
+  // Surface recorder loss in the trace itself: an instant event pinned at
+  // the last span's timestamp, carrying the drop count as an arg.
+  if (const std::uint64_t dropped = session.trace().dropped(); dropped > 0) {
+    std::uint64_t last_ns = 0;
+    for (const telemetry::TraceEvent& ev : events) {
+      last_ns = std::max(last_ns, ev.start_ns + ev.dur_ns);
+    }
+    os << (first ? "" : ",\n")
+       << "  {\"name\":\"trace.dropped_spans\",\"ph\":\"i\",\"pid\":1,"
+          "\"tid\":0,\"ts\":"
+       << num(static_cast<double>(last_ns) * 1e-3)
+       << ",\"s\":\"g\",\"args\":{\"dropped\":" << dropped << "}}";
     first = false;
   }
   os << "\n]}\n";

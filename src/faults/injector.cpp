@@ -34,6 +34,7 @@ void FaultInjector::install(const FaultPlan& plan, std::uint64_t seed) {
   quarantined_.store(0, kRelaxed);
   hangs_.store(0, kRelaxed);
   stragglers_.store(0, kRelaxed);
+  straggle_us_.store(0, kRelaxed);
   node_downs_.store(0, kRelaxed);
   node_recoveries_.store(0, kRelaxed);
 }
@@ -237,6 +238,7 @@ void FaultInjector::chunk_hook(std::size_t chunk) {
   double delay_us = 50.0 * static_cast<double>(plan_.straggler_units);
   if (gate != nullptr) delay_us = gate->gate_straggle_us(delay_us);
   if (delay_us > 0) {
+    straggle_us_.fetch_add(delay_us, std::memory_order_relaxed);
     std::this_thread::sleep_for(
         std::chrono::duration<double, std::micro>(delay_us));
   }

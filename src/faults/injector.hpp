@@ -129,6 +129,14 @@ class FaultInjector {
   /// trajectory is unchanged; only wall time and counters move).
   void chunk_hook(std::size_t chunk);
 
+  /// Straggle delay actually applied (post-gating), in microseconds,
+  /// accumulated across all chunk hooks since install/reset. The
+  /// attribution ledger reads per-epoch deltas of this for its host
+  /// stall bucket.
+  double applied_straggle_us() const {
+    return straggle_us_.load(std::memory_order_relaxed);
+  }
+
  private:
   FaultPlan plan_;
   bool active_ = false;
@@ -155,6 +163,7 @@ class FaultInjector {
   std::atomic<std::size_t> quarantined_{0};
   std::atomic<std::size_t> hangs_{0};
   std::atomic<std::size_t> stragglers_{0};  ///< bumped from pool workers
+  std::atomic<double> straggle_us_{0};      ///< applied straggle (pool workers)
   std::atomic<std::size_t> node_downs_{0};
   std::atomic<std::size_t> node_recoveries_{0};
 

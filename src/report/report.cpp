@@ -148,6 +148,24 @@ ResilienceSlice ResilienceSlice::from(const ResilienceStats& s) {
   return out;
 }
 
+AttributionSlice AttributionSlice::from(
+    const std::vector<telemetry::EpochAttribution>& ledger) {
+  AttributionSlice out;
+  out.epochs = static_cast<double>(ledger.size());
+  for (const telemetry::EpochAttribution& e : ledger) {
+    out.m_compute_s += e.m_compute_s;
+    out.m_net_s += e.m_net_s;
+    out.m_stall_s += e.m_stall_s;
+    out.h_compute_s += e.h_compute_s;
+    out.h_queue_s += e.h_queue_s;
+    out.h_ready_s += e.h_ready_s;
+    out.h_stall_s += e.h_stall_s;
+    out.h_recovery_s += e.h_recovery_s;
+    out.h_checkpoint_s += e.h_checkpoint_s;
+  }
+  return out;
+}
+
 const Entry* RunReport::find(const std::string& label) const {
   for (const Entry& e : entries) {
     if (e.label == label) return &e;
@@ -157,7 +175,7 @@ const Entry* RunReport::find(const std::string& label) const {
 
 void RunReport::add_metrics(const telemetry::TelemetrySession* session) {
   if (session == nullptr) return;
-  telemetry::MetricsSnapshot snap = session->metrics().snapshot();
+  telemetry::MetricsSnapshot snap = session->snapshot();
   for (telemetry::MetricSample& s : snap.samples) {
     metrics.push_back(std::move(s));
   }
@@ -270,6 +288,25 @@ void write_report(std::ostream& os, const RunReport& report) {
         cl.set("node_recoveries", num(cs.node_recoveries));
       }
       o.set("cluster", std::move(cl));
+    }
+    if (e.attribution.any()) {
+      const AttributionSlice& as = e.attribution;
+      Json at{JsonMembers{}};
+      at.set("epochs", num(as.epochs));
+      Json m{JsonMembers{}};
+      m.set("compute_s", num(as.m_compute_s));
+      m.set("net_s", num(as.m_net_s));
+      m.set("stall_s", num(as.m_stall_s));
+      at.set("modeled", std::move(m));
+      Json h{JsonMembers{}};
+      h.set("compute_s", num(as.h_compute_s));
+      h.set("queue_s", num(as.h_queue_s));
+      h.set("ready_s", num(as.h_ready_s));
+      h.set("stall_s", num(as.h_stall_s));
+      h.set("recovery_s", num(as.h_recovery_s));
+      h.set("checkpoint_s", num(as.h_checkpoint_s));
+      at.set("host", std::move(h));
+      o.set("attribution", std::move(at));
     }
     entries.push(std::move(o));
   }
@@ -413,6 +450,23 @@ RunReport read_report(std::istream& is) {
         e.cluster.net_seconds = get_num(*cl, "net_seconds", 0);
         e.cluster.stale_units = get_num(*cl, "stale_units", 0);
         e.cluster.node_recoveries = get_num(*cl, "node_recoveries", 0);
+      }
+      // Absent in pre-attribution reports (additive-field policy).
+      if (const Json* at = o.find("attribution")) {
+        e.attribution.epochs = get_num(*at, "epochs", 0);
+        if (const Json* m = at->find("modeled")) {
+          e.attribution.m_compute_s = get_num(*m, "compute_s", 0);
+          e.attribution.m_net_s = get_num(*m, "net_s", 0);
+          e.attribution.m_stall_s = get_num(*m, "stall_s", 0);
+        }
+        if (const Json* h = at->find("host")) {
+          e.attribution.h_compute_s = get_num(*h, "compute_s", 0);
+          e.attribution.h_queue_s = get_num(*h, "queue_s", 0);
+          e.attribution.h_ready_s = get_num(*h, "ready_s", 0);
+          e.attribution.h_stall_s = get_num(*h, "stall_s", 0);
+          e.attribution.h_recovery_s = get_num(*h, "recovery_s", 0);
+          e.attribution.h_checkpoint_s = get_num(*h, "checkpoint_s", 0);
+        }
       }
       r.entries.push_back(std::move(e));
     }
@@ -732,6 +786,91 @@ void write_junit(std::ostream& os, const std::string& suite,
   }
   os << "  </testsuite>\n";
   os << "</testsuites>\n";
+}
+
+// ---- regression attribution ---------------------------------------------
+
+namespace {
+
+std::string fmt_delta(double v) {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(3);
+  os << (v >= 0 ? "+" : "") << v;
+  return os.str();
+}
+
+}  // namespace
+
+std::string AttributionDiff::describe() const {
+  if (!available) {
+    return "attribution: no ledger on one or both sides "
+           "(rerun with --attribute)";
+  }
+  std::ostringstream os;
+  os << "attribution: dominant bucket '" << dominant << "' "
+     << fmt_delta(total_delta_s) << "s/epoch total (";
+  bool first = true;
+  for (const BucketDelta& b : buckets) {
+    if (!first) os << ", ";
+    first = false;
+    os << b.bucket << ' ' << fmt_delta(b.delta_s);
+  }
+  os << ")";
+  return os.str();
+}
+
+AttributionDiff diff_attribution(const Entry& baseline, const Entry& current) {
+  AttributionDiff out;
+  if (!baseline.attribution.any() || !current.attribution.any()) return out;
+  out.available = true;
+  const AttributionSlice& b = baseline.attribution;
+  const AttributionSlice& c = current.attribution;
+  const auto mean = [](double total, double epochs) {
+    return epochs > 0 ? total / epochs : 0.0;
+  };
+  const struct {
+    const char* name;
+    double base;
+    double cur;
+  } rows[] = {
+      {"compute", mean(b.m_compute_s, b.epochs), mean(c.m_compute_s, c.epochs)},
+      {"net", mean(b.m_net_s, b.epochs), mean(c.m_net_s, c.epochs)},
+      {"stall", mean(b.m_stall_s, b.epochs), mean(c.m_stall_s, c.epochs)},
+  };
+  double worst = 0;
+  for (const auto& r : rows) {
+    BucketDelta d;
+    d.bucket = r.name;
+    d.baseline_s = r.base;
+    d.current_s = r.cur;
+    d.delta_s = r.cur - r.base;
+    out.total_delta_s += d.delta_s;
+    // Dominant = the bucket that grew the most; ties break toward the
+    // earlier (more fundamental) bucket in the fixed order.
+    if (out.dominant.empty() || d.delta_s > worst) {
+      out.dominant = d.bucket;
+      worst = d.delta_s;
+    }
+    out.buckets.push_back(std::move(d));
+  }
+  return out;
+}
+
+void attribute_regressions(const RunReport& baseline, const RunReport& current,
+                           CompareResult& result) {
+  for (const Regression& reg : result.regressions) {
+    if (reg.axis != "sec_per_epoch" && reg.axis != "modeled_total_seconds" &&
+        reg.axis != "ttc_10pct" && reg.axis != "ttc_1pct") {
+      continue;
+    }
+    const Entry* base = baseline.find(reg.label);
+    const Entry* cur = current.find(reg.label);
+    if (base == nullptr || cur == nullptr) continue;
+    const AttributionDiff diff = diff_attribution(*base, *cur);
+    result.notes.push_back("[" + reg.label + "] " + reg.axis + ": " +
+                           diff.describe());
+  }
 }
 
 }  // namespace parsgd::report

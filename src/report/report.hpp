@@ -25,6 +25,7 @@
 #include "data/dataset.hpp"
 #include "gpusim/device.hpp"
 #include "sgd/engine.hpp"
+#include "telemetry/attribution.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/session.hpp"
 
@@ -131,6 +132,37 @@ struct ClusterSlice {
   bool any() const { return nodes > 0; }
 };
 
+/// Per-entry time-attribution snapshot (additive slice like the two
+/// above): the run's epoch time-budget ledger (DESIGN.md §18) folded to
+/// per-bucket totals, modeled buckets in modeled seconds and host buckets
+/// in wall seconds. epochs == 0 = absent (the "attribution" object is
+/// omitted from the JSON and pre-attribution readers never see it).
+/// Round-trips through write_report/read_report; compare_reports ignores
+/// it — the slice explains *why* sec/epoch moved (attribute_regressions),
+/// it is not a regression axis itself.
+struct AttributionSlice {
+  double epochs = 0;          ///< ledger rows folded into the totals
+  double m_compute_s = 0;     ///< modeled kernel/compute seconds
+  double m_net_s = 0;         ///< modeled exposed network seconds
+  double m_stall_s = 0;       ///< modeled staleness-stall seconds
+  double h_compute_s = 0;     ///< host compute residual
+  double h_queue_s = 0;       ///< host pool queue-wait share
+  double h_ready_s = 0;       ///< host graph ready-wait share
+  double h_stall_s = 0;       ///< host injected-straggle stall
+  double h_recovery_s = 0;    ///< host supervisor recovery/backoff
+  double h_checkpoint_s = 0;  ///< host checkpoint I/O
+
+  bool any() const { return epochs > 0; }
+  double modeled_total() const { return m_compute_s + m_net_s + m_stall_s; }
+  double host_total() const {
+    return h_compute_s + h_queue_s + h_ready_s + h_stall_s + h_recovery_s +
+           h_checkpoint_s;
+  }
+  /// Folds a run's per-epoch ledger (RunResult::attribution).
+  static AttributionSlice from(
+      const std::vector<telemetry::EpochAttribution>& ledger);
+};
+
 /// One configuration's row in a report. `label` is the comparator's join
 /// key and must be unique within a report.
 struct Entry {
@@ -155,6 +187,8 @@ struct Entry {
   ResilienceSlice resilience;
   /// Optional simulated-cluster snapshot (see ClusterSlice).
   ClusterSlice cluster;
+  /// Optional time-attribution snapshot (see AttributionSlice).
+  AttributionSlice attribution;
 };
 
 /// Per-kernel simulator statistics with the modeled cycles attributed to
@@ -287,5 +321,42 @@ CompareResult compare_reports(const RunReport& baseline,
 /// conventionally "parsgd_compare.<bench name>".
 void write_junit(std::ostream& os, const std::string& suite,
                  const CompareResult& result);
+
+// ---- regression attribution ---------------------------------------------
+
+/// One bucket's movement between two entries' attribution slices, in mean
+/// modeled seconds per epoch.
+struct BucketDelta {
+  std::string bucket;     ///< "compute" / "net" / "stall"
+  double baseline_s = 0;  ///< baseline mean s/epoch in the bucket
+  double current_s = 0;
+  double delta_s = 0;     ///< current_s - baseline_s (positive = slower)
+};
+
+/// Explains a modeled sec/epoch delta between two entries bucket by
+/// bucket (`parsgd_compare --attribute`). `available` is false when
+/// either side carries no attribution slice — runs recorded before the
+/// ledger existed, or with attribution off.
+struct AttributionDiff {
+  bool available = false;
+  std::vector<BucketDelta> buckets;  ///< fixed order: compute, net, stall
+  std::string dominant;              ///< bucket with the largest growth
+  double total_delta_s = 0;          ///< summed bucket deltas
+
+  /// "attribution: dominant bucket 'net' +0.12s/epoch (compute +0.01,
+  /// net +0.12, stall -0.00)" — or the no-data explanation.
+  std::string describe() const;
+};
+
+/// Diffs the two entries' attribution slices (mean s/epoch per bucket).
+AttributionDiff diff_attribution(const Entry& baseline, const Entry& current);
+
+/// For every sec/epoch-family regression in `result`, appends a note that
+/// names the dominant regressed bucket from the two reports' attribution
+/// slices (joined on entry label). Notes flow into parsgd_compare's text
+/// output and the JUnit <system-out> unchanged, so --attribute works in
+/// both surfaces.
+void attribute_regressions(const RunReport& baseline, const RunReport& current,
+                           CompareResult& result);
 
 }  // namespace parsgd::report

@@ -1,5 +1,6 @@
 #include "sgd/checkpoint.hpp"
 
+#include <array>
 #include <cstdint>
 #include <cstdio>
 #include <fstream>
@@ -11,7 +12,8 @@ namespace parsgd {
 namespace {
 
 constexpr std::uint32_t kMagic = 0x50534744u;  // "PSGD"
-constexpr std::uint32_t kVersion = 1;
+// v1: core trajectory state; v2 appends the flight-recorder window.
+constexpr std::uint32_t kVersion = 2;
 
 template <typename T>
 void put(std::ostream& os, const T& v) {
@@ -74,6 +76,10 @@ void save_checkpoint(const std::string& path, const TrainCheckpoint& ck) {
       put(os, ev.alpha_scale_after);
       put<std::uint8_t>(os, static_cast<std::uint8_t>(ev.reason));
     }
+    put<std::uint64_t>(os, ck.flight.size());
+    for (const telemetry::FlightSample& f : ck.flight) {
+      for (const double v : f.to_array()) put(os, v);
+    }
     os.flush();
     PARSGD_CHECK(os.good(), "write failed for checkpoint file '" << tmp
                                                                  << "'");
@@ -88,9 +94,9 @@ TrainCheckpoint load_checkpoint(const std::string& path) {
   PARSGD_CHECK(get<std::uint32_t>(is, path) == kMagic,
                "'" << path << "' is not a parsgd checkpoint");
   const auto version = get<std::uint32_t>(is, path);
-  PARSGD_CHECK(version == kVersion, "unsupported checkpoint version "
-                                        << version << " in '" << path
-                                        << "'");
+  PARSGD_CHECK(version >= 1 && version <= kVersion,
+               "unsupported checkpoint version " << version << " in '"
+                                                 << path << "'");
   TrainCheckpoint ck;
   ck.next_epoch = get<std::uint64_t>(is, path);
   ck.alpha_scale = get<double>(is, path);
@@ -125,6 +131,18 @@ TrainCheckpoint load_checkpoint(const std::string& path) {
     PARSGD_CHECK(reason <= 3, "bad recovery reason in checkpoint '" << path
                                                                     << "'");
     ev.reason = static_cast<RecoveryReason>(reason);
+  }
+  if (version >= 2) {
+    const auto n_frames = get<std::uint64_t>(is, path);
+    PARSGD_CHECK(n_frames <= (1u << 20),
+                 "implausible flight-frame count in checkpoint '" << path
+                                                                  << "'");
+    ck.flight.resize(n_frames);
+    for (telemetry::FlightSample& f : ck.flight) {
+      std::array<double, telemetry::FlightSample::kFields> a{};
+      for (double& v : a) v = get<double>(is, path);
+      f = telemetry::FlightSample::from_array(a);
+    }
   }
   return ck;
 }

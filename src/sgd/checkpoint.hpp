@@ -10,8 +10,12 @@
 // real_t), then the partial RunResult (initial_loss f64, diverged u8,
 // alpha_scale f64, losses/epoch_seconds as u64 count + f64s, recoveries
 // as u64 count + {u64 epoch, f64 bad_loss, f64 alpha_scale_after,
-// u8 reason}). Writes go to "<path>.tmp" then rename, so a crash mid-write
-// never corrupts the previous checkpoint.
+// u8 reason}). Version 2 appends the flight-recorder window (DESIGN.md
+// §18): u64 frame count + frames of FlightSample::kFields f64s each;
+// readers accept v1 (empty window) and v2, so post-crash post-mortems
+// work against checkpoints from either era. Writes go to "<path>.tmp"
+// then rename, so a crash mid-write never corrupts the previous
+// checkpoint.
 #pragma once
 
 #include <string>
@@ -20,6 +24,7 @@
 #include "common/rng.hpp"
 #include "matrix/types.hpp"
 #include "sgd/engine.hpp"
+#include "telemetry/flight_recorder.hpp"
 
 namespace parsgd {
 
@@ -30,6 +35,9 @@ struct TrainCheckpoint {
   RngState rng;                 ///< run RNG as of next_epoch
   std::vector<real_t> w;        ///< model weights as of next_epoch
   RunResult partial;            ///< trajectory recorded so far
+  /// Flight-recorder window at save time (empty when record=off or the
+  /// checkpoint predates v2). Survives crashes for post-mortems.
+  std::vector<telemetry::FlightSample> flight;
 };
 
 /// Writes `ck` to `path` atomically (tmp file + rename). Throws CheckError

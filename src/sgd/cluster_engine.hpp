@@ -83,6 +83,11 @@ class ClusterEngine final : public Engine {
   /// Modeled network seconds of the last epoch.
   double last_net_seconds() const { return last_net_seconds_; }
 
+  /// Attribution seams (DESIGN.md §18): the exposed network/stall share
+  /// of the last epoch's modeled seconds, and the per-node health table.
+  EpochSplit last_epoch_split() const override { return last_split_; }
+  std::vector<telemetry::NodeStatus> last_node_status() const override;
+
  private:
   double ps_epoch(std::span<real_t> w, real_t alpha, Rng& rng);
   double allreduce_epoch(std::span<real_t> w, real_t alpha, Rng& rng);
@@ -98,6 +103,7 @@ class ClusterEngine final : public Engine {
   CostBreakdown cost_paper_;
   ClusterEpochStats stats_;
   double last_net_seconds_ = 0;
+  EpochSplit last_split_;
 };
 
 }  // namespace parsgd

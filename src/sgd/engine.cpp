@@ -3,9 +3,12 @@
 #include <algorithm>
 #include <cmath>
 
+#include <memory>
+
 #include "common/check.hpp"
 #include "common/clock.hpp"
 #include "common/log.hpp"
+#include "parallel/thread_pool.hpp"
 #include "sgd/checkpoint.hpp"
 
 namespace parsgd {
@@ -138,6 +141,100 @@ RunResult run_training(Engine& engine, const Model& model,
   double hb_last = hb_start;
   double ck_last = hb_start;
   std::size_t hb_epochs_done = 0;
+  // A status file without an explicit heartbeat still wants a cadence.
+  const double hb_interval =
+      opts.heartbeat_seconds > 0
+          ? opts.heartbeat_seconds
+          : (!opts.status_path.empty() ? 0.5 : 0.0);
+
+  // Attribution ledger + flight recorder (DESIGN.md §18). All of this is
+  // observation-only and off by default: with no attribute/record/status
+  // request, `ledger_on` is false and the epoch path below is the seed's,
+  // branch for branch.
+  const bool ledger_on = opts.attribute || opts.record_ms > 0 ||
+                         !opts.status_path.empty();
+  telemetry::AttributionLedger ledger;
+  std::unique_ptr<telemetry::FlightRecorder> recorder;
+  if (opts.record_ms > 0) {
+    recorder = std::make_unique<telemetry::FlightRecorder>(opts.record_ms);
+  }
+  telemetry::Histogram* h_queue = nullptr;
+  telemetry::Histogram* h_ready = nullptr;
+  if (ledger_on && tel != nullptr && tel->metrics_enabled()) {
+    h_queue = &tel->metrics().histogram("pool.queue_wait_ns");
+    h_ready = &tel->metrics().histogram("graph.ready_wait_ns");
+  }
+  // Wait histograms sum *per-worker* waits that overlap in wall time; the
+  // per-epoch delta is divided by the worker count to approximate the
+  // serial (critical-path) share.
+  const double workers = static_cast<double>(
+      std::max<std::size_t>(ThreadPool::global().size(), 1));
+  double pending_recovery_s = 0;    // rollback/backoff time -> next epoch
+  double pending_checkpoint_s = 0;  // checkpoint I/O -> next epoch
+  bool status_warned = false;
+
+  // One RunStatus feeds both the heartbeat log line and the status file
+  // (the §18 "no drift" contract).
+  const auto build_status = [&](double loss_now, double now) {
+    telemetry::RunStatus st;
+    st.engine = engine.name();
+    st.epoch = static_cast<int>(res.losses.size());
+    st.epochs_total = static_cast<int>(opts.max_epochs);
+    st.loss = loss_now;
+    if (hb_epochs_done > 0) {
+      const double per_epoch =
+          (now - hb_start) / static_cast<double>(hb_epochs_done);
+      st.eta_s = per_epoch * static_cast<double>(
+                                 opts.max_epochs - res.losses.size());
+    }
+    if (supervisor.active()) {
+      const ResilienceStats rs = supervisor.stats();
+      st.has_resilience = true;
+      st.recoveries = rs.recoveries;
+      st.backup_wins = rs.backup_wins;
+      st.ladder = to_string(rs.final_level);
+    }
+    if (recorder != nullptr) {
+      st.record_ms = opts.record_ms;
+      st.flight_frames = recorder->recorded();
+    }
+    if (!ledger.empty()) {
+      st.has_attribution = true;
+      st.last = ledger.last();
+      st.mean = ledger.mean();
+      const telemetry::EpochAttribution tot = ledger.total();
+      st.modeled_total_s = tot.modeled_s;
+      st.host_total_s = tot.host_s;
+    }
+    st.nodes = engine.last_node_status();
+    return st;
+  };
+  const auto emit_status = [&](const telemetry::RunStatus& st) {
+    if (!opts.status_path.empty() &&
+        !telemetry::write_status_file(opts.status_path, st) &&
+        !status_warned) {
+      status_warned = true;
+      PARSGD_WARN << "cannot write status file '" << opts.status_path << "'";
+    }
+  };
+  const auto flight_sample = [&](double now) {
+    telemetry::FlightSample fs;
+    fs.t_s = now;
+    fs.epoch = static_cast<double>(res.losses.size());
+    fs.loss = res.losses.empty() ? res.initial_loss : res.losses.back();
+    const telemetry::EpochAttribution tot = ledger.total();
+    fs.modeled_s = tot.modeled_s;
+    fs.host_s = tot.host_s;
+    fs.m_net_s = tot.m_net_s;
+    fs.m_stall_s = tot.m_stall_s;
+    fs.h_queue_s = tot.h_queue_s;
+    fs.h_ready_s = tot.h_ready_s;
+    fs.h_stall_s = tot.h_stall_s;
+    fs.h_recovery_s = tot.h_recovery_s;
+    fs.h_checkpoint_s = tot.h_checkpoint_s;
+    fs.recoveries = static_cast<double>(res.recoveries.size());
+    return fs;
+  };
 
   std::size_t e = start_epoch;
   while (e < opts.max_epochs) {
@@ -146,6 +243,12 @@ RunResult run_training(Engine& engine, const Model& model,
         alpha_scale);
     double secs, loss;
     double host_s = 0;
+    double q0 = 0, r0 = 0, strag0 = 0;
+    if (ledger_on) {
+      if (h_queue != nullptr) q0 = h_queue->sum();
+      if (h_ready != nullptr) r0 = h_ready->sum();
+      strag0 = engine.fault_injector().applied_straggle_us();
+    }
     {
       // One span per epoch (run + loss evaluation), annotated with the
       // loss and the *modeled* epoch seconds — wall time is the span.
@@ -192,6 +295,10 @@ RunResult run_training(Engine& engine, const Model& model,
     const bool bad = numeric_bad || deadline_bad;
 
     if (guard && bad && recoveries_used < sup_opts.recovery_budget) {
+      // The whole rollback (snapshot restore + supervisor backoff sleep)
+      // plus the rejected epoch itself is recovery time: it bought no
+      // trajectory progress. Charged to the next accepted epoch's record.
+      const double rec_t0 = ledger_on ? monotonic_seconds() - host_s : 0;
       ++recoveries_used;
       alpha_scale *= supervisor.on_epoch_failed(numeric_bad, e);
       if (sup_opts.mode == ResilienceMode::kWatchdog && tel != nullptr &&
@@ -219,30 +326,52 @@ RunResult run_training(Engine& engine, const Model& model,
       e = good.epoch;
       // One-shot faults stay latched: the retried epochs run clean.
       engine.fault_injector().seek_epoch(e);
+      if (ledger_on) pending_recovery_s += monotonic_seconds() - rec_t0;
       continue;
     }
 
     res.losses.push_back(loss);
     res.epoch_seconds.push_back(secs);
     ++hb_epochs_done;
-    if (opts.heartbeat_seconds > 0) {
+    if (ledger_on) {
+      telemetry::EpochAttribution ea;
+      ea.epoch = static_cast<int>(e);
+      ea.loss = loss;
+      ea.modeled_s = secs;
+      const Engine::EpochSplit split = engine.last_epoch_split();
+      ea.m_net_s = split.net_s;
+      ea.m_stall_s = split.stall_s;
+      // Recovery/checkpoint time accrued since the last accepted epoch
+      // extends this epoch's host budget (it happened on the wall clock
+      // between the two accepts).
+      ea.host_s = host_s + pending_recovery_s + pending_checkpoint_s;
+      ea.h_recovery_s = pending_recovery_s;
+      ea.h_checkpoint_s = pending_checkpoint_s;
+      pending_recovery_s = 0;
+      pending_checkpoint_s = 0;
+      if (h_queue != nullptr) {
+        ea.h_queue_s = (h_queue->sum() - q0) * 1e-9 / workers;
+      }
+      if (h_ready != nullptr) {
+        ea.h_ready_s = (h_ready->sum() - r0) * 1e-9 / workers;
+      }
+      ea.h_stall_s =
+          (engine.fault_injector().applied_straggle_us() - strag0) * 1e-6;
+      ledger.add(ea);
+      if (recorder != nullptr) {
+        const double now = monotonic_seconds();
+        if (recorder->due(now)) recorder->push(flight_sample(now), now);
+      }
+    }
+    if (hb_interval > 0) {
       const double now = monotonic_seconds();
-      if (now - hb_last >= opts.heartbeat_seconds) {
+      if (now - hb_last >= hb_interval) {
         hb_last = now;
-        const double per_epoch = (now - hb_start) / hb_epochs_done;
-        const double eta =
-            per_epoch * static_cast<double>(opts.max_epochs - (e + 1));
-        std::string extra;
-        if (supervisor.active()) {
-          const ResilienceStats rs = supervisor.stats();
-          std::ostringstream os;
-          os << " rec=" << rs.recoveries << " backup=" << rs.backup_wins
-             << " ladder=" << to_string(rs.final_level);
-          extra = os.str();
+        const telemetry::RunStatus st = build_status(loss, now);
+        if (opts.heartbeat_seconds > 0) {
+          PARSGD_INFO << telemetry::format_status_line(st);
         }
-        PARSGD_INFO << engine.name() << " epoch " << (e + 1) << "/"
-                    << opts.max_epochs << " loss=" << loss
-                    << " eta=" << eta << "s" << extra;
+        emit_status(st);
       }
     }
     if (bad) {
@@ -266,6 +395,7 @@ RunResult run_training(Engine& engine, const Model& model,
         due = (e + 1) % std::max<std::size_t>(opts.checkpoint_every, 1) == 0;
       }
       if (due) {
+        const double ck_t0 = ledger_on ? monotonic_seconds() : 0;
         TrainCheckpoint ck;
         ck.next_epoch = e + 1;
         ck.alpha_scale = alpha_scale;
@@ -273,8 +403,12 @@ RunResult run_training(Engine& engine, const Model& model,
         ck.rng = rng.state();
         ck.w = w;
         ck.partial = res;
+        // The flight window rides along (checkpoint v2) so a post-mortem
+        // works even after a crash@E fault kills the process.
+        if (recorder != nullptr) ck.flight = recorder->window();
         save_checkpoint(opts.checkpoint_path, ck);
         if (supervisor.active()) supervisor.note_checkpoint();
+        if (ledger_on) pending_checkpoint_s += monotonic_seconds() - ck_t0;
       }
     }
     if (opts.plateau_window > 0 && res.losses.size() > opts.plateau_window) {
@@ -285,6 +419,20 @@ RunResult run_training(Engine& engine, const Model& model,
     ++e;
   }
   res.alpha_scale = alpha_scale;
+  if (ledger_on) {
+    res.attribution = ledger.epochs();
+    if (recorder != nullptr) {
+      // One final frame so even a sub-cadence run leaves a window behind.
+      const double now = monotonic_seconds();
+      recorder->push(flight_sample(now), now);
+      res.flight = recorder->window();
+    }
+    if (!opts.status_path.empty()) {
+      const double loss_now =
+          res.losses.empty() ? res.initial_loss : res.losses.back();
+      emit_status(build_status(loss_now, monotonic_seconds()));
+    }
+  }
   if (supervisor.active()) {
     // ResilienceStats are per-call, not checkpointed: a resumed run
     // restarts its counters (documented in DESIGN.md §16).

@@ -248,6 +248,21 @@ std::optional<EngineSpec> try_parse_spec(const std::string& text,
           return parse_fail(error, "bad value in '" + kv +
                                        "' (expected phi in [0, 1])");
         }
+      } else if (key == "record") {
+        if (val == "off") {
+          s.record_ms = 0;
+        } else {
+          std::string ms = val;
+          if (ms.size() > 2 && ms.compare(ms.size() - 2, 2, "ms") == 0) {
+            ms.resize(ms.size() - 2);
+          }
+          if (!parse_double(ms, &s.record_ms) || s.record_ms <= 0) {
+            return parse_fail(error,
+                              "bad value in '" + kv +
+                                  "' (expected off or a positive cadence "
+                                  "in ms, e.g. record=100ms)");
+          }
+        }
       } else if (key == "resilience") {
         const std::optional<ResilienceMode> mode =
             parse_resilience_mode(val);
@@ -322,6 +337,9 @@ std::string format_spec(const EngineSpec& spec) {
   }
   if (spec.heterogeneous && spec.gpu_fraction >= 0) {
     kv.push_back("phi=" + format_double(spec.gpu_fraction));
+  }
+  if (spec.record_ms > 0) {
+    kv.push_back("record=" + format_double(spec.record_ms) + "ms");
   }
   if (spec.resilience != ResilienceMode::kOff) {
     kv.push_back(std::string("resilience=") + to_string(spec.resilience));

@@ -89,6 +89,11 @@ struct EngineSpec {
   /// DESIGN.md §11). Empty by default; overrides EngineContext::faults
   /// when non-empty.
   FaultPlan faults;
+  /// Flight-recorder sampling cadence in milliseconds (record=off|N ms
+  /// spec key, DESIGN.md §18). 0 (off, the default) means run_training
+  /// never constructs a recorder — one untaken branch, bit-identical
+  /// trajectories; canonical non-off form is e.g. record=100ms.
+  double record_ms = 0;
   /// resilience=off|watchdog|full (DESIGN.md §16): the training
   /// supervisor policy run_training applies to runs of this spec. Default
   /// off — bit-identical to the pre-supervisor seed; format_spec omits it.

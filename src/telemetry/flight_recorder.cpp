@@ -1,0 +1,64 @@
+#include "telemetry/flight_recorder.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace parsgd::telemetry {
+
+FlightRecorder::FlightRecorder(double cadence_ms, std::size_t capacity)
+    : cadence_ms_(cadence_ms),
+      ring_(std::max<std::size_t>(capacity, 1)) {
+  PARSGD_CHECK(cadence_ms > 0, "flight recorder cadence must be > 0 ms");
+}
+
+bool FlightRecorder::due(double now_s) const {
+  if (last_push_s_ < 0) return true;
+  return (now_s - last_push_s_) * 1e3 >= cadence_ms_;
+}
+
+void FlightRecorder::push(const FlightSample& s, double now_s) {
+  const std::uint64_t head = head_.load(std::memory_order_relaxed);
+  Slot& slot = ring_[head % ring_.size()];
+  // Seqlock write: odd marks the slot torn, the release store of the even
+  // value publishes the payload.
+  slot.seq.store(2 * head + 1, std::memory_order_release);
+  const std::array<double, FlightSample::kFields> a = s.to_array();
+  for (std::size_t i = 0; i < FlightSample::kFields; ++i) {
+    slot.v[i].store(a[i], std::memory_order_relaxed);
+  }
+  slot.seq.store(2 * (head + 1), std::memory_order_release);
+  head_.store(head + 1, std::memory_order_release);
+  last_push_s_ = now_s;
+}
+
+std::vector<FlightSample> FlightRecorder::window() const {
+  const std::uint64_t head = head_.load(std::memory_order_acquire);
+  const std::uint64_t n =
+      std::min<std::uint64_t>(head, static_cast<std::uint64_t>(ring_.size()));
+  std::vector<FlightSample> out;
+  out.reserve(static_cast<std::size_t>(n));
+  for (std::uint64_t f = head - n; f < head; ++f) {
+    const Slot& slot = ring_[f % ring_.size()];
+    const std::uint64_t want = 2 * (f + 1);
+    std::array<double, FlightSample::kFields> a{};
+    bool ok = false;
+    for (int attempt = 0; attempt < 4 && !ok; ++attempt) {
+      const std::uint64_t s0 = slot.seq.load(std::memory_order_acquire);
+      if (s0 != want && s0 < want) continue;  // not yet published
+      // Acquire payload loads keep the seq re-check ordered after them
+      // without a thread fence (which TSan cannot model); this is a
+      // cold path, read at heartbeat cadence.
+      for (std::size_t i = 0; i < FlightSample::kFields; ++i) {
+        a[i] = slot.v[i].load(std::memory_order_acquire);
+      }
+      ok = slot.seq.load(std::memory_order_acquire) == s0 && s0 == want;
+    }
+    // A persistently torn slot means the writer lapped us: the frame was
+    // leaving the window anyway — skip it.
+    if (ok) out.push_back(FlightSample::from_array(a));
+  }
+  return out;
+}
+
+}  // namespace parsgd::telemetry

@@ -26,10 +26,16 @@ std::size_t bucket_of(double v) {
   return std::min(b, Histogram::kBuckets - 1);
 }
 
-/// Upper edge of bucket b (the quantile resolution).
+/// Upper edge of bucket b.
 double bucket_edge(std::size_t b) {
   if (b == 0) return 1.0;
   return std::ldexp(1.0, static_cast<int>(b));
+}
+
+/// Lower edge of bucket b (bucket 0 holds [0, 1)).
+double bucket_floor(std::size_t b) {
+  if (b == 0) return 0.0;
+  return std::ldexp(1.0, static_cast<int>(b) - 1);
 }
 
 }  // namespace
@@ -86,12 +92,23 @@ double Histogram::quantile(double q) const {
   }
   if (total == 0) return 0;
   q = std::clamp(q, 0.0, 1.0);
-  const auto rank = static_cast<std::uint64_t>(
-      std::ceil(q * static_cast<double>(total)));
+  const std::uint64_t rank = std::max<std::uint64_t>(
+      static_cast<std::uint64_t>(std::ceil(q * static_cast<double>(total))),
+      1);
   std::uint64_t seen = 0;
   for (std::size_t b = 0; b < kBuckets; ++b) {
-    seen += merged[b];
-    if (seen >= std::max<std::uint64_t>(rank, 1)) return bucket_edge(b);
+    const std::uint64_t in_bucket = merged[b];
+    if (in_bucket > 0 && seen + in_bucket >= rank) {
+      // Linear interpolation within the terminal bucket: assume samples
+      // spread uniformly across [floor, edge) and place the rank-th one
+      // proportionally, instead of snapping every quantile to the edge.
+      const double lower = bucket_floor(b);
+      const double upper = bucket_edge(b);
+      const double frac = static_cast<double>(rank - seen) /
+                          static_cast<double>(in_bucket);
+      return lower + frac * (upper - lower);
+    }
+    seen += in_bucket;
   }
   return bucket_edge(kBuckets - 1);
 }

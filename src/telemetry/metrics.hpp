@@ -72,8 +72,9 @@ class Gauge {
 
 /// Power-of-two-bucketed histogram of non-negative samples (ns timings,
 /// sizes), sharded per thread like Counter. Bucket b counts samples in
-/// [2^(b-1), 2^b); quantiles resolve to a bucket's upper edge, which is
-/// the right fidelity for "is queue wait 2us or 2ms".
+/// [2^(b-1), 2^b); quantiles interpolate linearly inside the terminal
+/// bucket (uniform-within-bucket assumption), which is the right
+/// fidelity for "is queue wait 2us or 2ms".
 class Histogram {
  public:
   static constexpr std::size_t kBuckets = 64;
@@ -83,7 +84,8 @@ class Histogram {
   std::uint64_t count() const;
   double sum() const;
   double max_seen() const;
-  /// Upper edge of the bucket holding the q-quantile (q in [0, 1]).
+  /// q-quantile (q in [0, 1]), linearly interpolated within the bucket
+  /// holding the rank-q sample; q=1 resolves to that bucket's upper edge.
   double quantile(double q) const;
 
  private:

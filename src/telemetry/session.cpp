@@ -1,6 +1,36 @@
 #include "telemetry/session.hpp"
 
+#include <algorithm>
+
+#include "common/log.hpp"
+
 namespace parsgd::telemetry {
+
+TelemetrySession::~TelemetrySession() {
+  const std::uint64_t dropped = trace_.dropped();
+  if (dropped > 0) {
+    PARSGD_WARN << "trace: dropped " << dropped
+                << " span(s) on full per-thread buffers"
+                   " (trace.dropped_spans); raise the recorder cap or trim"
+                   " span rate";
+  }
+}
+
+MetricsSnapshot TelemetrySession::snapshot() const {
+  MetricsSnapshot snap = metrics_.snapshot();
+  const std::uint64_t dropped = trace_.dropped();
+  if (dropped > 0) {
+    MetricSample s;
+    s.name = "trace.dropped_spans";
+    s.kind = MetricKind::kCounter;
+    s.value = static_cast<double>(dropped);
+    const auto pos = std::lower_bound(
+        snap.samples.begin(), snap.samples.end(), s.name,
+        [](const MetricSample& a, const std::string& n) { return a.name < n; });
+    snap.samples.insert(pos, std::move(s));
+  }
+  return snap;
+}
 
 const char* to_string(TelemetryMode m) {
   switch (m) {

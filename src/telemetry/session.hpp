@@ -28,6 +28,10 @@ std::optional<TelemetryMode> parse_telemetry_mode(const std::string& s);
 class TelemetrySession {
  public:
   explicit TelemetrySession(TelemetryMode mode) : mode_(mode) {}
+  /// WARNs once when the trace recorder discarded spans (a capped buffer
+  /// degrades the trace silently at record time; the session end is the
+  /// one place every run passes through).
+  ~TelemetrySession();
   TelemetrySession(const TelemetrySession&) = delete;
   TelemetrySession& operator=(const TelemetrySession&) = delete;
 
@@ -41,6 +45,12 @@ class TelemetrySession {
   const MetricsRegistry& metrics() const { return metrics_; }
   TraceRecorder& trace() { return trace_; }
   const TraceRecorder& trace() const { return trace_; }
+
+  /// Aggregated metrics snapshot with session-level instruments folded
+  /// in: a synthetic `trace.dropped_spans` counter appears whenever the
+  /// trace recorder hit a buffer cap, so every exporter surfaces the
+  /// loss. Prefer this over metrics().snapshot() when exporting.
+  MetricsSnapshot snapshot() const;
 
  private:
   TelemetryMode mode_;

@@ -70,6 +70,16 @@ RunReport sample_report() {
   e.resilience.checkpoints = 6;
   e.resilience.saved_straggle_us = 1234.5;
   e.resilience.final_level = "pooled";
+  e.attribution.epochs = 3;
+  e.attribution.m_compute_s = 4.5;
+  e.attribution.m_net_s = 0.9;
+  e.attribution.m_stall_s = 0.3;
+  e.attribution.h_compute_s = 0.6;
+  e.attribution.h_queue_s = 0.15;
+  e.attribution.h_ready_s = 0.05;
+  e.attribution.h_stall_s = 0.1;
+  e.attribution.h_recovery_s = 0.02;
+  e.attribution.h_checkpoint_s = 0.08;
   r.add_entry(e);
 
   Entry unreached;
@@ -414,6 +424,102 @@ TEST(ReportCompare, DifferentBenchesAreNotComparable) {
   RunReport cur = sample_report();
   cur.name = "other_bench";
   EXPECT_THROW(report::compare_reports(base, cur), CheckError);
+}
+
+// ---- attribution ---------------------------------------------------------
+
+TEST(ReportAttribution, SliceRoundTripsAndAbsenceStaysEmpty) {
+  const RunReport base = sample_report();
+  std::istringstream is(dump(base));
+  const RunReport back = report::read_report(is);
+  const report::AttributionSlice& a = back.entries[0].attribution;
+  ASSERT_TRUE(a.any());
+  EXPECT_EQ(a.epochs, 3.0);
+  EXPECT_EQ(a.m_compute_s, 4.5);
+  EXPECT_EQ(a.m_net_s, 0.9);
+  EXPECT_EQ(a.m_stall_s, 0.3);
+  EXPECT_EQ(a.h_compute_s, 0.6);
+  EXPECT_EQ(a.h_queue_s, 0.15);
+  EXPECT_EQ(a.h_ready_s, 0.05);
+  EXPECT_EQ(a.h_stall_s, 0.1);
+  EXPECT_EQ(a.h_recovery_s, 0.02);
+  EXPECT_EQ(a.h_checkpoint_s, 0.08);
+  EXPECT_NEAR(a.modeled_total(), 5.7, 1e-12);
+  EXPECT_NEAR(a.host_total(), 1.0, 1e-12);
+  // The unreached entry carries no ledger; the slice stays absent.
+  EXPECT_FALSE(back.entries[1].attribution.any());
+}
+
+TEST(ReportAttribution, CompareIgnoresSliceEntirely) {
+  // Attribution explains regressions; it never gates on its own.
+  const RunReport base = sample_report();
+  RunReport cur = sample_report();
+  cur.entries[0].attribution = {};
+  cur.entries[1].attribution.epochs = 7;
+  cur.entries[1].attribution.m_stall_s = 99.0;
+  EXPECT_TRUE(report::compare_reports(base, cur).ok());
+}
+
+TEST(ReportAttribution, DiffNamesDominantBucketPinned) {
+  // Hand-computed: per-epoch means over 4 epochs.
+  //   baseline  compute 1.00  net 0.20  stall 0.05
+  //   current   compute 1.05  net 0.20  stall 0.35
+  // deltas: compute +0.05, net +0.00, stall +0.30 -> dominant 'stall',
+  // total +0.35 s/epoch.
+  Entry base, cur;
+  base.attribution.epochs = 4;
+  base.attribution.m_compute_s = 4.0;
+  base.attribution.m_net_s = 0.8;
+  base.attribution.m_stall_s = 0.2;
+  cur.attribution.epochs = 4;
+  cur.attribution.m_compute_s = 4.2;
+  cur.attribution.m_net_s = 0.8;
+  cur.attribution.m_stall_s = 1.4;
+  const report::AttributionDiff d = report::diff_attribution(base, cur);
+  ASSERT_TRUE(d.available);
+  EXPECT_EQ(d.dominant, "stall");
+  EXPECT_NEAR(d.total_delta_s, 0.35, 1e-12);
+  ASSERT_EQ(d.buckets.size(), 3u);
+  EXPECT_EQ(d.buckets[0].bucket, "compute");
+  EXPECT_NEAR(d.buckets[0].delta_s, 0.05, 1e-12);
+  EXPECT_EQ(d.buckets[1].bucket, "net");
+  EXPECT_NEAR(d.buckets[1].delta_s, 0.0, 1e-12);
+  EXPECT_EQ(d.buckets[2].bucket, "stall");
+  EXPECT_NEAR(d.buckets[2].delta_s, 0.3, 1e-12);
+  EXPECT_EQ(d.describe(),
+            "attribution: dominant bucket 'stall' +0.350s/epoch total "
+            "(compute +0.050, net +0.000, stall +0.300)");
+  // Self-diff: no bucket grew; ties break to the first (compute).
+  EXPECT_EQ(report::diff_attribution(base, base).dominant, "compute");
+}
+
+TEST(ReportAttribution, DiffUnavailableWithoutLedger) {
+  Entry with, without;
+  with.attribution.epochs = 2;
+  with.attribution.m_compute_s = 1.0;
+  const report::AttributionDiff d = report::diff_attribution(with, without);
+  EXPECT_FALSE(d.available);
+  EXPECT_EQ(d.describe(),
+            "attribution: no ledger on one or both sides "
+            "(rerun with --attribute)");
+}
+
+TEST(ReportAttribution, NotesExplainInjectedStallRegression) {
+  // An injected-straggler slowdown: sec/epoch regresses 20% and the
+  // current ledger's stall bucket carries the growth. --attribute must
+  // name 'stall' as the dominant bucket in the note for that label.
+  const RunReport base = sample_report();
+  RunReport cur = sample_report();
+  cur.entries[0].axes.sec_per_epoch *= 1.20;
+  cur.entries[0].attribution.m_stall_s = 1.5;  // mean 0.5 vs 0.1 baseline
+  CompareResult res = report::compare_reports(base, cur);
+  ASSERT_FALSE(res.ok());
+  const std::size_t before = res.notes.size();
+  report::attribute_regressions(base, cur, res);
+  ASSERT_EQ(res.notes.size(), before + 1);
+  const std::string& note = res.notes.back();
+  EXPECT_NE(note.find("[LR/w8a/sync/gpu] sec_per_epoch:"), std::string::npos);
+  EXPECT_NE(note.find("dominant bucket 'stall'"), std::string::npos);
 }
 
 // ---- multi-report merge --------------------------------------------------

@@ -168,16 +168,36 @@ TEST(TelemetryMetrics, CounterAggregatesAcrossPoolSizes) {
   }
 }
 
-TEST(TelemetryMetrics, HistogramQuantilesResolveToBucketEdges) {
+TEST(TelemetryMetrics, HistogramQuantilesInterpolateInTerminalBucket) {
   telemetry::Histogram h;
   for (int i = 0; i < 100; ++i) h.record(3.0);  // bucket [2, 4)
   h.record(1000.0);                             // bucket [512, 1024)
   EXPECT_EQ(h.count(), 101u);
   EXPECT_DOUBLE_EQ(h.sum(), 300.0 + 1000.0);
   EXPECT_DOUBLE_EQ(h.max_seen(), 1000.0);
-  EXPECT_DOUBLE_EQ(h.quantile(0.5), 4.0);
+  // Hand-computed: q(0.5) -> rank ceil(0.5*101) = 51 of 100 inside [2, 4)
+  // -> 2 + (51/100)*2 = 3.02; q(0.99) -> rank 100 -> 2 + (100/100)*2 = 4;
+  // q(1.0) -> rank 101, the singleton terminal bucket [512, 1024) ->
+  // 512 + (1/1)*512 = 1024.
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 3.02);
   EXPECT_DOUBLE_EQ(h.quantile(0.99), 4.0);
   EXPECT_DOUBLE_EQ(h.quantile(1.0), 1024.0);
+}
+
+TEST(TelemetryMetrics, HistogramQuantileInterpolationHandComputed) {
+  // Four samples in bucket [4, 8): ranks 1..4 map to evenly spaced
+  // positions 4 + (k/4)*4 = 5, 6, 7, 8.
+  telemetry::Histogram h;
+  for (int i = 0; i < 4; ++i) h.record(5.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.25), 5.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 6.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.75), 7.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 8.0);
+  // A singleton in the zero bucket [0, 1) interpolates to its upper edge.
+  telemetry::Histogram z;
+  z.record(0.5);
+  EXPECT_DOUBLE_EQ(z.quantile(0.5), 1.0);
+  EXPECT_DOUBLE_EQ(z.quantile(1.0), 1.0);
 }
 
 TEST(TelemetryMetrics, RegistryKindMismatchThrows) {
@@ -319,6 +339,102 @@ TEST(TelemetryTrajectory, EngineRunsFeedTheRegistry) {
   ASSERT_NE(updates, nullptr);
   EXPECT_GT(updates->value, 0.0);
   ASSERT_NE(snap.find("async.write_conflicts"), nullptr);
+}
+
+// ---- exporter golden files + concurrency ---------------------------------
+
+TEST(TelemetryExport, EmptyRegistryGoldenFiles) {
+  TelemetrySession session(TelemetryMode::kMetrics);
+  std::ostringstream csv;
+  write_metrics_csv(csv, session.snapshot());
+  EXPECT_EQ(csv.str(), "metric,kind,value,count,p50,p90,p99,max\n");
+  std::ostringstream prom;
+  write_metrics_prometheus(prom, session.snapshot());
+  EXPECT_EQ(prom.str(), "");
+}
+
+TEST(TelemetryExport, SingleSampleGoldenFiles) {
+  TelemetrySession session(TelemetryMode::kMetrics);
+  session.metrics().counter("epochs.completed").add(3);
+  std::ostringstream csv;
+  write_metrics_csv(csv, session.snapshot());
+  EXPECT_EQ(csv.str(),
+            "metric,kind,value,count,p50,p90,p99,max\n"
+            "epochs.completed,counter,3,0,0,0,0,0\n");
+  std::ostringstream prom;
+  write_metrics_prometheus(prom, session.snapshot());
+  EXPECT_EQ(prom.str(),
+            "# TYPE parsgd_epochs_completed counter\n"
+            "parsgd_epochs_completed 3\n");
+}
+
+TEST(TelemetryExport, ExportersSafeUnderConcurrentWriters) {
+  // Writers hammer every instrument kind while the main thread snapshots
+  // and renders all three exporters mid-flight. Values are racy lower
+  // bounds by design; the contract under test is that export never tears
+  // or crashes (run under TSan via scripts/check.sh).
+  TelemetrySession session(TelemetryMode::kMetrics);
+  telemetry::Counter& c = session.metrics().counter("stress.count");
+  telemetry::Gauge& g = session.metrics().gauge("stress.gauge");
+  telemetry::Histogram& h = session.metrics().histogram("stress.hist");
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 4; ++t) {
+    writers.emplace_back([&, t] {
+      std::uint64_t i = 0;
+      do {  // at least one write per thread even if stop wins the race
+        c.inc();
+        g.set(static_cast<double>(t));
+        h.record(static_cast<double>(i % 1024));
+        ++i;
+      } while (!stop.load(std::memory_order_acquire));
+    });
+  }
+  for (int round = 0; round < 50; ++round) {
+    std::ostringstream csv, prom;
+    write_metrics_csv(csv, session.snapshot());
+    write_metrics_prometheus(prom, session.snapshot());
+    EXPECT_NE(csv.str().find("stress.count"), std::string::npos);
+    EXPECT_NE(prom.str().find("parsgd_stress_hist"), std::string::npos);
+  }
+  stop.store(true, std::memory_order_release);
+  for (std::thread& t : writers) t.join();
+  // Writers quiesced: the final snapshot is exact and well-formed.
+  const telemetry::MetricsSnapshot snap = session.snapshot();
+  const telemetry::MetricSample* count = snap.find("stress.count");
+  ASSERT_NE(count, nullptr);
+  EXPECT_GT(count->value, 0.0);
+}
+
+TEST(TelemetryExport, DroppedSpansSurfaceInSnapshotAndTrace) {
+  // A capped recorder drops spans silently at record time; the counter
+  // must surface in the metrics snapshot and as a trailing instant event
+  // in the Chrome trace so no exporter hides the loss.
+  TelemetrySession session(TelemetryMode::kTrace);
+  const std::size_t cap = std::size_t{1} << 16;
+  for (std::size_t i = 0; i < cap + 5; ++i) {
+    session.trace().instant("spam");
+  }
+  EXPECT_EQ(session.trace().dropped(), 5u);
+  const telemetry::MetricsSnapshot snap = session.snapshot();
+  const telemetry::MetricSample* dropped = snap.find("trace.dropped_spans");
+  ASSERT_NE(dropped, nullptr);
+  EXPECT_EQ(dropped->kind, telemetry::MetricKind::kCounter);
+  EXPECT_EQ(dropped->value, 5.0);
+
+  std::ostringstream os;
+  write_chrome_trace(os, session);
+  EXPECT_NE(os.str().find("\"trace.dropped_spans\""), std::string::npos);
+  EXPECT_NE(os.str().find("\"dropped\":5"), std::string::npos);
+}
+
+TEST(TelemetryExport, CleanSessionOmitsDroppedSpansSample) {
+  TelemetrySession session(TelemetryMode::kTrace);
+  session.trace().instant("one");
+  EXPECT_EQ(session.snapshot().find("trace.dropped_spans"), nullptr);
+  std::ostringstream os;
+  write_chrome_trace(os, session);
+  EXPECT_EQ(os.str().find("trace.dropped_spans"), std::string::npos);
 }
 
 }  // namespace
